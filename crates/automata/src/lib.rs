@@ -1,0 +1,23 @@
+//! # axml-automata — regular path expressions for positive+reg AXML
+//!
+//! Section 5 of *Positive Active XML* extends the query language with
+//! regular path expressions over node labels, and Proposition 5.1
+//! translates them away by encoding the expression's automaton into
+//! services that propagate states up the document tree.
+//!
+//! This crate provides the substrate: a regular-expression AST over an
+//! arbitrary label alphabet ([`Regex`]), a parser for a compact textual
+//! syntax, Thompson-construction NFAs ([`Nfa`]), ε-elimination (the ψ
+//! translation wants one service per labeled transition), and word
+//! acceptance. It is written from scratch because the sanctioned offline
+//! dependency set has no regex crate — and byte-oriented regex engines do
+//! not speak label alphabets anyway.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod nfa;
+pub mod regex;
+
+pub use nfa::{Nfa, StateId};
+pub use regex::{parse_regex, Regex, RegexError};

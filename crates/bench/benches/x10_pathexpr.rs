@@ -1,0 +1,53 @@
+//! X10 — Proposition 5.1: positive+reg queries evaluated directly (NFA
+//! walk) vs through the ψ translation (annotation services + engine).
+//! Shape: ψ's *translation* is cheap (PTIME) while *materializing* the
+//! annotations costs orders of magnitude more than the direct walk —
+//! the translation's value is theoretical (it transports decidability),
+//! exactly as in the paper.
+
+use axml_bench::catalog;
+use axml_core::engine::{run, EngineConfig};
+use axml_core::eval::{snapshot, Env};
+use axml_core::pathexpr::{parse_reg_query, snapshot_reg};
+use axml_core::system::System;
+use axml_core::translate::translate;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_direct_vs_translated(c: &mut Criterion) {
+    let mut g = c.benchmark_group("x10");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    for &(w, d) in &[(2usize, 1usize), (2, 2)] {
+        let id = format!("w{w}-d{d}");
+        let mut sys = System::new();
+        sys.add_document_text("d", &catalog(w, d)).unwrap();
+        let q = parse_reg_query("t{$x} :- d/lib{<_*.cd>{title{$x}}}").unwrap();
+
+        g.bench_with_input(BenchmarkId::new("direct", &id), &(), |b, _| {
+            b.iter(|| {
+                let mut env = Env::new();
+                env.insert("d".into(), sys.doc("d".into()).unwrap());
+                snapshot_reg(&q, &env).unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("psi-translate-only", &id), &(), |b, _| {
+            b.iter(|| translate(&sys, &q).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("psi-full", &id), &(), |b, _| {
+            b.iter(|| {
+                let tr = translate(&sys, &q).unwrap();
+                let mut tsys = tr.system;
+                run(&mut tsys, &EngineConfig::default()).unwrap();
+                let mut env = Env::new();
+                for &dn in tsys.doc_names() {
+                    env.insert(dn, tsys.doc(dn).unwrap());
+                }
+                snapshot(&tr.query, &env).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_direct_vs_translated);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! X1 — Proposition 2.1: subsumption testing and reduction are PTIME.
+//! Series: wall time vs tree size, at two redundancy levels. The *shape*
+//! to observe: low-order polynomial growth, no blow-up.
+
+use axml_bench::random_tree;
+use axml_core::reduce::reduce;
+use axml_core::subsume::subsumed;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_subsume(c: &mut Criterion) {
+    let mut g = c.benchmark_group("x1/subsume");
+    g.sample_size(10).measurement_time(Duration::from_secs(1));
+    for &n in &[100usize, 400, 1600] {
+        for &red in &[0.0f64, 0.5] {
+            let a = random_tree(n, 4, 4, red, 21);
+            let b = random_tree(n, 4, 4, red, 22);
+            g.bench_with_input(
+                BenchmarkId::from_parameter(format!("n{n}-r{red}")),
+                &(a, b),
+                |bencher, (a, b)| bencher.iter(|| subsumed(a, b)),
+            );
+        }
+    }
+    g.finish();
+}
+
+fn bench_reduce(c: &mut Criterion) {
+    let mut g = c.benchmark_group("x1/reduce");
+    g.sample_size(10).measurement_time(Duration::from_secs(1));
+    for &n in &[100usize, 400, 1600] {
+        for &red in &[0.0f64, 0.5] {
+            let a = random_tree(n, 4, 4, red, 23);
+            g.bench_with_input(
+                BenchmarkId::from_parameter(format!("n{n}-r{red}")),
+                &a,
+                |bencher, a| bencher.iter(|| reduce(a)),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_subsume, bench_reduce);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! X4 — Example 3.2 / §3.2: transitive closure in the AXML engine vs
+//! the semi-naive datalog baseline. The shape to observe: both reach the
+//! same fixpoint; the dedicated engine wins by a factor that grows with
+//! the chain (the AXML simulation pays tree-pattern joins and document
+//! reduction).
+
+use axml_datalog::workload::{chain_tc, random_tc};
+use axml_datalog::{axml_eval, seminaive_eval};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_chain(c: &mut Criterion) {
+    let mut g = c.benchmark_group("x4/chain");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    for &n in &[8usize, 12, 16] {
+        let prog = chain_tc(n);
+        g.bench_with_input(BenchmarkId::new("seminaive", n), &prog, |b, p| {
+            b.iter(|| seminaive_eval(p))
+        });
+        g.bench_with_input(BenchmarkId::new("axml", n), &prog, |b, p| {
+            b.iter(|| axml_eval(p).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_random(c: &mut Criterion) {
+    let mut g = c.benchmark_group("x4/random");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    for &(n, m) in &[(10usize, 18usize), (14, 30)] {
+        let prog = random_tc(n, m, 77);
+        let id = format!("{n}n-{m}e");
+        g.bench_with_input(BenchmarkId::new("seminaive", &id), &prog, |b, p| {
+            b.iter(|| seminaive_eval(p))
+        });
+        g.bench_with_input(BenchmarkId::new("axml", &id), &prog, |b, p| {
+            b.iter(|| axml_eval(p).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_chain, bench_random);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! X6 — Lemma 3.1: the AXML simulation of Turing machines vs the native
+//! interpreter. Shape: the simulation is orders of magnitude slower and
+//! its cost grows superlinearly in the run length (configurations
+//! accumulate and every transition service rescans them).
+
+use axml_tm::encode::run_axml_tm;
+use axml_tm::machine::run as tm_run;
+use axml_tm::samples;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_parity(c: &mut Criterion) {
+    let tm = samples::even_parity();
+    let mut g = c.benchmark_group("x6/parity");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    for &len in &[2usize, 6, 10] {
+        let input: Vec<&str> = std::iter::repeat("one").take(len).collect();
+        g.bench_with_input(BenchmarkId::new("native", len), &input, |b, inp| {
+            b.iter(|| tm_run(&tm, inp, 100_000))
+        });
+        g.bench_with_input(BenchmarkId::new("axml", len), &input, |b, inp| {
+            b.iter(|| run_axml_tm(&tm, inp, 200_000).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_anbn(c: &mut Criterion) {
+    let tm = samples::anbn();
+    let mut g = c.benchmark_group("x6/anbn");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for &n in &[1usize, 2, 3] {
+        let input: Vec<&str> = std::iter::repeat("a")
+            .take(n)
+            .chain(std::iter::repeat("b").take(n))
+            .collect();
+        g.bench_with_input(BenchmarkId::new("native", n), &input, |b, inp| {
+            b.iter(|| tm_run(&tm, inp, 100_000))
+        });
+        g.bench_with_input(BenchmarkId::new("axml", n), &input, |b, inp| {
+            b.iter(|| run_axml_tm(&tm, inp, 200_000).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_parity, bench_anbn);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! X7 — Theorem 3.3: deciding termination of simple positive systems by
+//! building the graph representation. Shape: the decision cost tracks
+//! the (worst-case exponential) number of instantiated heads — benign on
+//! pipelines, steeper on the recursive closure systems.
+
+use axml_bench::{pipeline_system, tc_system};
+use axml_core::graphrepr::decide_termination;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_pipelines(c: &mut Criterion) {
+    let mut g = c.benchmark_group("x7/pipeline");
+    g.sample_size(10).measurement_time(Duration::from_secs(1));
+    for &k in &[2usize, 4, 8] {
+        let sys = pipeline_system(k, 3);
+        g.bench_with_input(BenchmarkId::from_parameter(k), &sys, |b, s| {
+            b.iter(|| decide_termination(s).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_closures(c: &mut Criterion) {
+    let mut g = c.benchmark_group("x7/tc");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    for &n in &[4usize, 8, 12] {
+        let sys = tc_system(n);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &sys, |b, s| {
+            b.iter(|| decide_termination(s).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_divergent(c: &mut Criterion) {
+    // Divergence is detected fast: the representation closes quickly.
+    let mut g = c.benchmark_group("x7/divergent");
+    g.sample_size(10).measurement_time(Duration::from_secs(1));
+    let mut sys = axml_core::system::System::new();
+    sys.add_document_text("d", "a{@f}").unwrap();
+    sys.add_service_text("f", "a{@f} :-").unwrap();
+    g.bench_function("ex2.1", |b| b.iter(|| decide_termination(&sys).unwrap()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipelines, bench_closures, bench_divergent);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! X9 — §4: lazy query evaluation vs eager materialization. The eager
+//! baseline is run with a fixed budget (it would diverge otherwise —
+//! that is the point); lazy evaluation stabilizes after ~2 calls however
+//! many diverging junk branches exist. Also benches the weak (PTIME)
+//! relevance analysis and the exact (exponential) stability decision,
+//! reproducing the cost gap that motivates §4's weak properties.
+
+use axml_bench::{poisoned_portal, rating_query};
+use axml_core::engine::{run, EngineConfig};
+use axml_core::lazy::{is_q_stable, lazy_query_eval, weak_relevance, LazyConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_lazy_vs_eager(c: &mut Criterion) {
+    let q = rating_query();
+    let mut g = c.benchmark_group("x9/eval");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    for &junk in &[1usize, 8] {
+        g.bench_with_input(BenchmarkId::new("eager-budget400", junk), &junk, |b, &j| {
+            b.iter(|| {
+                let mut sys = poisoned_portal(j);
+                run(&mut sys, &EngineConfig::with_budget(400)).unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("lazy", junk), &junk, |b, &j| {
+            b.iter(|| {
+                let mut sys = poisoned_portal(j);
+                lazy_query_eval(&mut sys, &q, &LazyConfig::default()).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_weak_vs_exact(c: &mut Criterion) {
+    let q = rating_query();
+    let mut g = c.benchmark_group("x9/analysis");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    for &junk in &[1usize, 4] {
+        let sys = poisoned_portal(junk);
+        g.bench_with_input(BenchmarkId::new("weak-relevance", junk), &sys, |b, s| {
+            b.iter(|| weak_relevance(s, &q))
+        });
+        // Exact stability only works on simple systems; the portal's
+        // Spam services are simple, so this is in scope.
+        g.bench_with_input(BenchmarkId::new("exact-stability", junk), &sys, |b, s| {
+            b.iter(|| is_q_stable(s, &q).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_lazy_vs_eager, bench_weak_vs_exact);
+criterion_main!(benches);

@@ -1,0 +1,233 @@
+//! Shared workload generators for the criterion benches and the
+//! `experiments` harness (one experiment per formal claim of the paper —
+//! see DESIGN.md's per-experiment index X1–X13).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use axml_core::query::parse_query;
+use axml_core::system::System;
+use axml_core::tree::{Marking, NodeId, Tree};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic random tree with `n` nodes over `labels` distinct
+/// labels and `values` distinct values; `redundancy` ∈ [0,1] is the
+/// probability that a new node duplicates an existing sibling subtree
+/// shape (what reduction prunes).
+pub fn random_tree(n: usize, labels: usize, values: usize, redundancy: f64, seed: u64) -> Tree {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Tree::with_label("root");
+    let mut interior: Vec<NodeId> = vec![t.root()];
+    while t.node_count() < n {
+        let parent = interior[rng.gen_range(0..interior.len())];
+        let duplicate = rng.gen_bool(redundancy);
+        let marking = if duplicate || rng.gen_bool(0.75) {
+            Marking::label(&format!("l{}", rng.gen_range(0..labels)))
+        } else {
+            Marking::value(&format!("{}", rng.gen_range(0..values)))
+        };
+        if let Ok(id) = t.add_child(parent, marking) {
+            if !t.marking(id).is_value() {
+                interior.push(id);
+            }
+        }
+    }
+    t
+}
+
+/// The lazy-evaluation portal of experiment X9: one relevant rating call
+/// plus `junk_branches` branches each hosting a diverging service.
+pub fn poisoned_portal(junk_branches: usize) -> System {
+    let mut sys = System::new();
+    let mut dir = String::from(
+        r#"directory{cd{title{"Body and Soul"}, @GetRating{"Body and Soul"}}"#,
+    );
+    for i in 0..junk_branches {
+        dir.push_str(&format!(r#", junk{i}{{@Spam{i}}}"#));
+    }
+    dir.push('}');
+    sys.add_document_text("dir", &dir).unwrap();
+    sys.add_document_text(
+        "ratings",
+        r#"db{entry{name{"Body and Soul"}, stars{"****"}}}"#,
+    )
+    .unwrap();
+    sys.add_service_text(
+        "GetRating",
+        r#"rating{$s} :- input/input{$n}, ratings/db{entry{name{$n}, stars{$s}}}"#,
+    )
+    .unwrap();
+    for i in 0..junk_branches {
+        sys.add_service_text(&format!("Spam{i}"), &format!("junk{i}{{@Spam{i}}} :-"))
+            .unwrap();
+    }
+    sys
+}
+
+/// The rating query over [`poisoned_portal`].
+pub fn rating_query() -> axml_core::query::Query {
+    parse_query(r#"rating{$s} :- dir/directory{cd{title{"Body and Soul"}, rating{$s}}}"#)
+        .unwrap()
+}
+
+/// A terminating simple positive system whose graph representation grows
+/// with `k`: a k-stage copy pipeline over `w` base values (X7's
+/// termination-decision scaling family).
+pub fn pipeline_system(k: usize, w: usize) -> System {
+    let mut sys = System::new();
+    let mut base = String::from("r{");
+    for v in 0..w {
+        base.push_str(&format!(r#"v0{{"{v}"}},"#));
+    }
+    base.pop();
+    base.push('}');
+    sys.add_document_text("base", &base).unwrap();
+    let mut doc = String::from("out{");
+    for s in 0..k {
+        doc.push_str(&format!("@copy{s},"));
+    }
+    doc.pop();
+    doc.push('}');
+    sys.add_document_text("out", &doc).unwrap();
+    for s in 0..k {
+        let (src_doc, src_pat) = if s == 0 {
+            ("base", format!("r{{v0{{$x}}}}"))
+        } else {
+            ("out", format!("out{{v{s}{{$x}}}}"))
+        };
+        sys.add_service_text(
+            &format!("copy{s}"),
+            &format!("v{}{{$x}} :- {src_doc}/{src_pat}", s + 1),
+        )
+        .unwrap();
+    }
+    sys
+}
+
+/// Example 3.2's transitive-closure system over a chain of length `n`.
+pub fn tc_system(n: usize) -> System {
+    let mut sys = System::new();
+    let mut d0 = String::from("r{");
+    for i in 0..n {
+        d0.push_str(&format!(r#"t{{from{{"{i}"}},to{{"{}"}}}},"#, i + 1));
+    }
+    d0.pop();
+    d0.push('}');
+    sys.add_document_text("d0", &d0).unwrap();
+    sys.add_document_text("d1", "r{@g,@f}").unwrap();
+    sys.add_service_text("g", "t{from{$x},to{$y}} :- d0/r{t{from{$x},to{$y}}}")
+        .unwrap();
+    sys.add_service_text(
+        "f",
+        "t{from{$x},to{$y}} :- d1/r{t{from{$x},to{$z}}, t{from{$z},to{$y}}}",
+    )
+    .unwrap();
+    sys
+}
+
+/// A `depth`-deep catalog for the path-expression experiments (X10).
+pub fn catalog(width: usize, depth: usize) -> String {
+    fn level(width: usize, depth: usize, idx: usize) -> String {
+        if depth == 0 {
+            return format!(r#"cd{{title{{"t{idx}"}}}}"#);
+        }
+        let mut s = format!("shelf{{");
+        for i in 0..width {
+            s.push_str(&level(width, depth - 1, idx * width + i));
+            s.push(',');
+        }
+        s.pop();
+        s.push('}');
+        s
+    }
+    let mut s = String::from("lib{");
+    for i in 0..width {
+        s.push_str(&level(width, depth, i));
+        s.push(',');
+    }
+    s.pop();
+    s.push('}');
+    s
+}
+
+/// The X11 peer network: `k` store peers feeding one portal.
+pub fn star_network(k: usize, mode: axml_p2p::network::Mode, seed: Option<u64>) -> axml_p2p::network::Network {
+    let mut net = axml_p2p::network::Network::new(mode, seed);
+    let mut dir = String::from("page{");
+    for i in 0..k {
+        let store = net.add_peer(&format!("store{i}"));
+        store
+            .add_document_text(
+                "cds",
+                &format!(r#"catalog{{cd{{title{{"a{i}"}}}}, cd{{title{{"b{i}"}}}}}}"#),
+            )
+            .unwrap();
+        store
+            .add_service_text("titles", "t{$x} :- cds/catalog{cd{title{$x}}}")
+            .unwrap();
+        dir.push_str(&format!("@store{i}.titles,"));
+    }
+    dir.pop();
+    dir.push('}');
+    let portal = net.add_peer("portal");
+    portal.add_document_text("page", &dir).unwrap();
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axml_core::engine::{run, EngineConfig, RunStatus};
+    use axml_core::graphrepr::{decide_termination, Termination};
+
+    #[test]
+    fn random_tree_is_deterministic_and_sized() {
+        let a = random_tree(200, 5, 5, 0.3, 9);
+        let b = random_tree(200, 5, 5, 0.3, 9);
+        assert_eq!(a.to_string(), b.to_string());
+        assert!(a.node_count() >= 200);
+    }
+
+    #[test]
+    fn pipeline_terminates_and_scales() {
+        for k in [1usize, 3] {
+            let sys = pipeline_system(k, 2);
+            assert!(sys.is_simple());
+            assert_eq!(
+                decide_termination(&sys).unwrap(),
+                Termination::Terminates
+            );
+            let mut runner = sys;
+            let (status, _) = run(&mut runner, &EngineConfig::default()).unwrap();
+            assert_eq!(status, RunStatus::Terminated);
+        }
+    }
+
+    #[test]
+    fn tc_system_computes_full_closure() {
+        let mut sys = tc_system(5);
+        run(&mut sys, &EngineConfig::default()).unwrap();
+        let d1 = sys.doc("d1".into()).unwrap();
+        let tuples = d1
+            .children(d1.root())
+            .iter()
+            .filter(|&&n| d1.marking(n) == Marking::label("t"))
+            .count();
+        assert_eq!(tuples, 6 * 5 / 2);
+    }
+
+    #[test]
+    fn catalog_depth_and_width() {
+        let c = catalog(2, 2);
+        let t = axml_core::parse::parse_tree(&c).unwrap();
+        assert_eq!(t.depth(t.root()), 5); // lib/shelf/shelf/cd/title/"…"
+    }
+
+    #[test]
+    fn star_network_quiesces() {
+        let mut net = star_network(3, axml_p2p::network::Mode::Pull, None);
+        assert!(net.run(50).unwrap());
+        assert!(net.stats.calls_sent >= 3);
+    }
+}

@@ -1,0 +1,82 @@
+//! Serializers: the compact paper syntax and an indented pretty form.
+
+use crate::tree::{NodeId, Tree};
+use std::fmt::Write as _;
+
+/// Render the subtree at `n` in compact syntax (parseable by
+/// [`crate::parse::parse_tree`]). Children are emitted in a
+/// deterministic (sorted) order so output is stable across runs.
+pub fn compact_at(t: &Tree, n: NodeId) -> String {
+    let mut kid_strs: Vec<String> = t.children(n).iter().map(|&c| compact_at(t, c)).collect();
+    kid_strs.sort_unstable();
+    let mut out = String::new();
+    let _ = write!(out, "{}", t.marking(n));
+    if !kid_strs.is_empty() {
+        out.push('{');
+        out.push_str(&kid_strs.join(","));
+        out.push('}');
+    }
+    out
+}
+
+/// Render the whole tree in compact syntax.
+pub fn compact(t: &Tree) -> String {
+    compact_at(t, t.root())
+}
+
+/// Render the whole tree with indentation, one node per line.
+pub fn pretty(t: &Tree) -> String {
+    fn go(t: &Tree, n: NodeId, depth: usize, out: &mut String) {
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        let _ = writeln!(out, "{}", t.marking(n));
+        let mut kids: Vec<NodeId> = t.children(n).to_vec();
+        kids.sort_unstable_by_key(|&c| compact_at(t, c));
+        for c in kids {
+            go(t, c, depth + 1, out);
+        }
+    }
+    let mut out = String::new();
+    go(t, t.root(), 0, &mut out);
+    out
+}
+
+impl std::fmt::Display for Tree {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&compact(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_tree;
+    use crate::subsume::equivalent;
+
+    #[test]
+    fn compact_roundtrip() {
+        for src in [
+            "a",
+            r#"a{b{"1"},@f{c},"x"}"#,
+            r#"directory{cd{title{"Body and Soul"},@GetRating{"Body and Soul"}}}"#,
+        ] {
+            let t = parse_tree(src).unwrap();
+            let back = parse_tree(&compact(&t)).unwrap();
+            assert!(equivalent(&t, &back), "roundtrip failed for {src}");
+        }
+    }
+
+    #[test]
+    fn compact_is_order_stable() {
+        let a = parse_tree("a{c,b}").unwrap();
+        let b = parse_tree("a{b,c}").unwrap();
+        assert_eq!(compact(&a), compact(&b));
+    }
+
+    #[test]
+    fn pretty_has_one_line_per_node() {
+        let t = parse_tree("a{b{c},d}").unwrap();
+        assert_eq!(pretty(&t).lines().count(), t.node_count());
+    }
+}

@@ -1,0 +1,364 @@
+//! The fair rewriting engine (Definitions 2.4–2.5, Theorem 2.1).
+//!
+//! The engine runs *rounds*: each round enumerates every live function
+//! node of the system (in a strategy-chosen order) and invokes it once.
+//! Visiting every node every round makes any run **fair** — every call
+//! that may bring new data is eventually invoked — so by Theorem 2.1 all
+//! runs of a terminating system converge to the same final system (up to
+//! equivalence), and all budget-bounded prefixes of a non-terminating
+//! system are prefixes of the same infinite limit.
+//!
+//! Termination is detected at run time as a fixpoint: a complete round
+//! in which no invocation changed any document means no function node
+//! can bring new data.
+//!
+//! [`run_restricted`] implements the paper's `[I↓N]` (§4): a fair
+//! rewriting that never invokes the calls in a given exclusion set.
+
+use crate::error::Result;
+use crate::invoke::invoke_node;
+use crate::sym::{FxHashMap, Sym};
+use crate::system::System;
+use crate::tree::NodeId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Order in which a round visits the pending function nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// Document insertion order, preorder within each document.
+    RoundRobin,
+    /// The reverse of [`Strategy::RoundRobin`].
+    Reverse,
+    /// A per-round uniformly random order (seeded; used by the confluence
+    /// experiments to sample many fair schedules).
+    Random(u64),
+}
+
+/// Engine budgets and strategy.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Maximum number of invocations (productive or not).
+    pub max_invocations: usize,
+    /// Abort when the system's total live node count exceeds this.
+    pub max_nodes: usize,
+    /// Visit order.
+    pub strategy: Strategy,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            max_invocations: 100_000,
+            max_nodes: 1_000_000,
+            strategy: Strategy::RoundRobin,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// A config with the given invocation budget, default elsewhere.
+    pub fn with_budget(max_invocations: usize) -> EngineConfig {
+        EngineConfig {
+            max_invocations,
+            ..EngineConfig::default()
+        }
+    }
+
+    /// A config with the given strategy, default elsewhere.
+    pub fn with_strategy(strategy: Strategy) -> EngineConfig {
+        EngineConfig {
+            strategy,
+            ..EngineConfig::default()
+        }
+    }
+}
+
+/// Why the engine stopped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunStatus {
+    /// Fixpoint: the system terminated (Definition 2.4). The final system
+    /// is `[I]`.
+    Terminated,
+    /// The invocation budget ran out first; the system state is a fair
+    /// finite prefix of the (possibly infinite) rewriting.
+    InvocationBudget,
+    /// The node budget ran out first.
+    NodeBudget,
+}
+
+/// Statistics of one run.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Complete rounds executed.
+    pub rounds: usize,
+    /// Total invocations (including no-ops).
+    pub invocations: usize,
+    /// Invocations that strictly grew a document.
+    pub productive: usize,
+    /// Invocations per function name.
+    pub per_function: FxHashMap<Sym, usize>,
+    /// Live nodes at the end of the run.
+    pub final_nodes: usize,
+}
+
+/// Run the system to fixpoint or budget, visiting every function node.
+pub fn run(sys: &mut System, cfg: &EngineConfig) -> Result<(RunStatus, RunStats)> {
+    run_restricted(sys, cfg, |_, _| true)
+}
+
+/// Run a fair rewriting that never invokes calls for which `allow`
+/// returns `false` — the paper's `[I↓N]` with
+/// `N = {v : !allow(doc, v)}`. Fair for all other nodes.
+pub fn run_restricted(
+    sys: &mut System,
+    cfg: &EngineConfig,
+    allow: impl Fn(Sym, NodeId) -> bool,
+) -> Result<(RunStatus, RunStats)> {
+    let mut stats = RunStats::default();
+    let mut rng = match cfg.strategy {
+        Strategy::Random(seed) => Some(StdRng::seed_from_u64(seed)),
+        _ => None,
+    };
+    loop {
+        let mut pending = sys.function_nodes();
+        match cfg.strategy {
+            Strategy::RoundRobin => {}
+            Strategy::Reverse => pending.reverse(),
+            Strategy::Random(_) => {
+                pending.shuffle(rng.as_mut().expect("random strategy has an rng"))
+            }
+        }
+        pending.retain(|&(d, n)| allow(d, n));
+        if pending.is_empty() {
+            stats.final_nodes = sys.node_count();
+            return Ok((RunStatus::Terminated, stats));
+        }
+        let mut any_change = false;
+        for (d, n) in pending {
+            // Reduction during an earlier invocation of this round may
+            // have merged this node away; its information survives in the
+            // equivalent sibling that was kept.
+            if !sys.doc(d).map(|t| t.is_alive(n)).unwrap_or(false) {
+                continue;
+            }
+            if stats.invocations >= cfg.max_invocations {
+                stats.final_nodes = sys.node_count();
+                return Ok((RunStatus::InvocationBudget, stats));
+            }
+            let fname = match sys.doc(d).map(|t| t.marking(n)) {
+                Some(crate::tree::Marking::Func(f)) => f,
+                _ => continue,
+            };
+            let outcome = invoke_node(sys, d, n)?;
+            stats.invocations += 1;
+            *stats.per_function.entry(fname).or_insert(0) += 1;
+            if outcome.changed {
+                stats.productive += 1;
+                any_change = true;
+            }
+            if sys.node_count() > cfg.max_nodes {
+                stats.final_nodes = sys.node_count();
+                return Ok((RunStatus::NodeBudget, stats));
+            }
+        }
+        stats.rounds += 1;
+        if !any_change {
+            stats.final_nodes = sys.node_count();
+            return Ok((RunStatus::Terminated, stats));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_tree;
+    use crate::subsume::equivalent;
+    use crate::sym::Sym;
+
+    fn tc_system() -> System {
+        // Example 3.2: transitive closure.
+        let mut sys = System::new();
+        sys.add_document_text(
+            "d0",
+            r#"r{t{from{"1"},to{"2"}}, t{from{"2"},to{"3"}}, t{from{"3"},to{"4"}}}"#,
+        )
+        .unwrap();
+        sys.add_document_text("d1", "r{@g,@f}").unwrap();
+        sys.add_service_text("g", "t{from{$x},to{$y}} :- d0/r{t{from{$x},to{$y}}}")
+            .unwrap();
+        sys.add_service_text(
+            "f",
+            "t{from{$x},to{$y}} :- d1/r{t{from{$x},to{$z}}, t{from{$z},to{$y}}}",
+        )
+        .unwrap();
+        sys
+    }
+
+    fn tc_pairs(sys: &System) -> Vec<(String, String)> {
+        let d1 = sys.doc(Sym::intern("d1")).unwrap();
+        let mut out = Vec::new();
+        for n in d1.children(d1.root()) {
+            if d1.marking(*n) == crate::tree::Marking::label("t") {
+                let mut from = None;
+                let mut to = None;
+                for c in d1.children(*n) {
+                    let v = d1.children(*c).first().map(|&v| d1.marking(v).sym());
+                    match d1.marking(*c).sym().as_str() {
+                        "from" => from = v,
+                        "to" => to = v,
+                        _ => {}
+                    }
+                }
+                out.push((
+                    from.unwrap().as_str().to_string(),
+                    to.unwrap().as_str().to_string(),
+                ));
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn example_3_2_computes_transitive_closure() {
+        let mut sys = tc_system();
+        let (status, stats) = run(&mut sys, &EngineConfig::default()).unwrap();
+        assert_eq!(status, RunStatus::Terminated);
+        assert!(stats.productive > 0);
+        let pairs = tc_pairs(&sys);
+        let expect: Vec<(String, String)> = [
+            ("1", "2"),
+            ("1", "3"),
+            ("1", "4"),
+            ("2", "3"),
+            ("2", "4"),
+            ("3", "4"),
+        ]
+        .iter()
+        .map(|(a, b)| (a.to_string(), b.to_string()))
+        .collect();
+        assert_eq!(pairs, expect);
+    }
+
+    #[test]
+    fn confluence_across_strategies() {
+        // Theorem 2.1: all fair rewritings terminate at the same system.
+        let mut reference = tc_system();
+        run(&mut reference, &EngineConfig::default()).unwrap();
+        for strategy in [
+            Strategy::Reverse,
+            Strategy::Random(1),
+            Strategy::Random(42),
+            Strategy::Random(7_777),
+        ] {
+            let mut sys = tc_system();
+            let (status, _) = run(&mut sys, &EngineConfig::with_strategy(strategy)).unwrap();
+            assert_eq!(status, RunStatus::Terminated);
+            assert_eq!(sys.canonical_key(), reference.canonical_key());
+        }
+    }
+
+    #[test]
+    fn example_2_1_runs_forever() {
+        let mut sys = System::new();
+        sys.add_document_text("d", "a{@f}").unwrap();
+        sys.add_service_text("f", "a{@f} :-").unwrap();
+        let (status, stats) = run(&mut sys, &EngineConfig::with_budget(50)).unwrap();
+        assert_eq!(status, RunStatus::InvocationBudget);
+        // Only the freshest f occurrence is productive each round (older
+        // ones return already-subsumed data), so productive ≈ √(2·budget)
+        // and the document's depth grows without bound.
+        assert!(stats.productive >= 8, "productive = {}", stats.productive);
+        let d = sys.doc(Sym::intern("d")).unwrap();
+        assert!(d.depth(d.root()) >= 8);
+    }
+
+    #[test]
+    fn example_3_3_grows_unboundedly() {
+        // d'/a{a{b},g} with g : a{a{X}} :- context/a{a{X}}.
+        let mut sys = System::new();
+        sys.add_document_text("d", "a{a{b},@g}").unwrap();
+        sys.add_service_text("g", "a{a{#X}} :- context/a{a{#X}}")
+            .unwrap();
+        let (status, _) = run(&mut sys, &EngineConfig::with_budget(10)).unwrap();
+        assert_eq!(status, RunStatus::InvocationBudget);
+        let d = sys.doc(Sym::intern("d")).unwrap();
+        // After k productive calls the document contains a^{k+1}{b}.
+        assert!(d.depth(d.root()) >= 5);
+        // The first few steps match the paper's displayed rewriting.
+        let mut sys2 = System::new();
+        sys2.add_document_text("d", "a{a{b},@g}").unwrap();
+        sys2.add_service_text("g", "a{a{#X}} :- context/a{a{#X}}")
+            .unwrap();
+        let (d2, n) = sys2.function_nodes()[0];
+        crate::invoke::invoke_node(&mut sys2, d2, n).unwrap();
+        let expected = parse_tree("a{a{b}, a{a{b}}, @g}").unwrap();
+        assert!(equivalent(sys2.doc(d2).unwrap(), &expected));
+        crate::invoke::invoke_node(&mut sys2, d2, n).unwrap();
+        let expected2 = parse_tree("a{a{b}, a{a{b}}, a{a{a{b}}}, @g}").unwrap();
+        assert!(equivalent(sys2.doc(d2).unwrap(), &expected2));
+    }
+
+    #[test]
+    fn node_budget_respected() {
+        let mut sys = System::new();
+        sys.add_document_text("d", "a{@f}").unwrap();
+        sys.add_service_text("f", "a{@f} :-").unwrap();
+        let cfg = EngineConfig {
+            max_nodes: 30,
+            ..EngineConfig::default()
+        };
+        let (status, stats) = run(&mut sys, &cfg).unwrap();
+        assert_eq!(status, RunStatus::NodeBudget);
+        assert!(stats.final_nodes > 30);
+        assert!(stats.final_nodes < 100);
+    }
+
+    #[test]
+    fn restricted_run_excludes_calls() {
+        // Excluding the only function node terminates immediately.
+        let mut sys = tc_system();
+        let excluded: Vec<(Sym, NodeId)> = sys.function_nodes();
+        let (status, stats) = run_restricted(&mut sys, &EngineConfig::default(), |d, n| {
+            !excluded.contains(&(d, n))
+        })
+        .unwrap();
+        assert_eq!(status, RunStatus::Terminated);
+        assert_eq!(stats.invocations, 0);
+        // d1 is unchanged: no data was derived.
+        let d1 = sys.doc(Sym::intern("d1")).unwrap();
+        assert_eq!(d1.node_count(), 3);
+    }
+
+    #[test]
+    fn stats_track_per_function_counts() {
+        let mut sys = tc_system();
+        let (_, stats) = run(&mut sys, &EngineConfig::default()).unwrap();
+        assert!(stats.per_function[&Sym::intern("g")] >= 1);
+        assert!(stats.per_function[&Sym::intern("f")] >= 1);
+        assert_eq!(
+            stats.invocations,
+            stats.per_function.values().sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn acyclic_system_single_pass() {
+        // A one-shot service over a static doc terminates in <= 2 rounds.
+        let mut sys = System::new();
+        sys.add_document_text("src", r#"r{v{"1"},v{"2"}}"#).unwrap();
+        sys.add_document_text("dst", "out{@copy}").unwrap();
+        sys.add_service_text("copy", "v{$x} :- src/r{v{$x}}").unwrap();
+        let (status, stats) = run(&mut sys, &EngineConfig::default()).unwrap();
+        assert_eq!(status, RunStatus::Terminated);
+        assert!(stats.rounds <= 2);
+        let dst = sys.doc(Sym::intern("dst")).unwrap();
+        assert!(equivalent(
+            dst,
+            &parse_tree(r#"out{@copy, v{"1"}, v{"2"}}"#).unwrap()
+        ));
+    }
+}

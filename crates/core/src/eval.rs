@@ -1,0 +1,324 @@
+//! Snapshot evaluation of positive queries (Proposition 3.1).
+//!
+//! The snapshot result `q(I)` evaluates the body against the documents
+//! *as they currently are* — no service call is invoked — and returns the
+//! reduced forest of instantiated heads. Snapshot semantics is monotone
+//! (Prop 3.1 (1)) and polynomial in the data (Prop 3.1 (3)); both facts
+//! are exercised by the test suites and the X3 experiment.
+
+use crate::error::{AxmlError, Result};
+use crate::forest::Forest;
+use crate::matcher::{match_pattern, Binding, Bound};
+use crate::pattern::{PItem, Pattern, PNodeId};
+use crate::query::{Operand, Query};
+use crate::sym::{FxHashMap, Sym};
+use crate::tree::{Marking, NodeId, Tree};
+
+/// The evaluation environment: named documents visible to a query (the
+/// system's documents plus, during a service call, the reserved `input`
+/// and `context` documents).
+#[derive(Default)]
+pub struct Env<'a> {
+    docs: FxHashMap<Sym, &'a Tree>,
+}
+
+impl<'a> Env<'a> {
+    /// Empty environment.
+    pub fn new() -> Env<'a> {
+        Env::default()
+    }
+
+    /// Register document `name`.
+    pub fn insert(&mut self, name: Sym, doc: &'a Tree) {
+        self.docs.insert(name, doc);
+    }
+
+    /// Look up a document.
+    pub fn get(&self, name: Sym) -> Option<&'a Tree> {
+        self.docs.get(&name).copied()
+    }
+
+    /// Names registered.
+    pub fn names(&self) -> impl Iterator<Item = Sym> + '_ {
+        self.docs.keys().copied()
+    }
+}
+
+/// Statistics from one snapshot evaluation, for the complexity
+/// experiments.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EvalStats {
+    /// Bindings produced per body atom, summed.
+    pub atom_bindings: usize,
+    /// Bindings surviving the final join.
+    pub joined_bindings: usize,
+    /// Result trees before forest reduction.
+    pub raw_results: usize,
+}
+
+/// Evaluate the snapshot result `q(env)`: the reduced forest of all
+/// `µ(head)` for assignments µ satisfying every body atom and inequality.
+pub fn snapshot(q: &Query, env: &Env<'_>) -> Result<Forest> {
+    snapshot_with_stats(q, env).map(|(f, _)| f)
+}
+
+/// [`snapshot`], also reporting evaluation statistics.
+pub fn snapshot_with_stats(q: &Query, env: &Env<'_>) -> Result<(Forest, EvalStats)> {
+    let mut stats = EvalStats::default();
+    let mut combined: Vec<Binding> = vec![Binding::new()];
+    for atom in &q.body {
+        let doc = env
+            .get(atom.doc)
+            .ok_or(AxmlError::UnknownDocument(atom.doc))?;
+        let matches = match_pattern(&atom.pattern, doc);
+        stats.atom_bindings += matches.len();
+        if matches.is_empty() {
+            return Ok((Forest::new(), stats));
+        }
+        let mut next: Vec<Binding> = Vec::new();
+        for base in &combined {
+            for m in &matches {
+                if let Some(merged) = base.merge(m) {
+                    next.push(merged);
+                }
+            }
+        }
+        // Deduplicate: distinct matches can merge into identical joins.
+        let mut seen = crate::sym::FxHashSet::default();
+        next.retain(|b| seen.insert(b.clone()));
+        if next.is_empty() {
+            return Ok((Forest::new(), stats));
+        }
+        combined = next;
+    }
+
+    combined.retain(|b| q.ineqs.iter().all(|(l, r)| ineq_holds(l, r, b)));
+    stats.joined_bindings = combined.len();
+
+    let mut forest = Forest::new();
+    for b in &combined {
+        forest.push(instantiate_head(&q.head, b)?);
+    }
+    stats.raw_results = forest.len();
+    Ok((forest.reduce(), stats))
+}
+
+/// Does the inequality `l != r` hold under binding `b`?
+///
+/// Operands resolve to markings; two markings are unequal when they
+/// differ in kind or in symbol. Tree variables are excluded by query
+/// validation (Definition 3.1 (3)).
+fn ineq_holds(l: &Operand, r: &Operand, b: &Binding) -> bool {
+    let resolve = |op: &Operand| -> Option<Marking> {
+        match op {
+            Operand::Const(m) => Some(*m),
+            Operand::Var(v) => b.get(*v).and_then(Bound::as_marking),
+        }
+    };
+    match (resolve(l), resolve(r)) {
+        (Some(a), Some(c)) => a != c,
+        // An unbound or tree-valued operand cannot witness the
+        // inequality; validation prevents this case.
+        _ => false,
+    }
+}
+
+/// Instantiate a head pattern under a binding, producing a result tree.
+pub fn instantiate_head(head: &Pattern, b: &Binding) -> Result<Tree> {
+    // A head consisting of a single tree variable returns the bound
+    // subtree itself (Example 3.1's second query).
+    if let PItem::TreeVar(v) = head.item(head.root()) {
+        let bound = b.get(*v).ok_or(AxmlError::UnsafeHeadVariable(*v))?;
+        match bound {
+            Bound::Tree(t, _) => return Ok((**t).clone()),
+            _ => return Err(AxmlError::UnsafeHeadVariable(*v)),
+        }
+    }
+    let root_marking = resolve_item(head.item(head.root()), b)?;
+    let mut out = Tree::new(root_marking);
+    let out_root = out.root();
+    build_children(head, head.root(), &mut out, out_root, b)?;
+    Ok(out)
+}
+
+fn resolve_item(item: &PItem, b: &Binding) -> Result<Marking> {
+    match item {
+        PItem::Const(m) => Ok(*m),
+        PItem::LabelVar(v) | PItem::FuncVar(v) | PItem::ValueVar(v) => {
+            let bound = b.get(*v).ok_or(AxmlError::UnsafeHeadVariable(*v))?;
+            bound.as_marking().ok_or(AxmlError::UnsafeHeadVariable(*v))
+        }
+        PItem::TreeVar(v) => Err(AxmlError::UnsafeHeadVariable(*v)),
+    }
+}
+
+fn build_children(
+    head: &Pattern,
+    hn: PNodeId,
+    out: &mut Tree,
+    on: NodeId,
+    b: &Binding,
+) -> Result<()> {
+    for &hc in head.children(hn) {
+        if let PItem::TreeVar(v) = head.item(hc) {
+            let bound = b.get(*v).ok_or(AxmlError::UnsafeHeadVariable(*v))?;
+            match bound {
+                Bound::Tree(t, _) => {
+                    out.graft(on, t)?;
+                }
+                _ => return Err(AxmlError::UnsafeHeadVariable(*v)),
+            }
+            continue;
+        }
+        let m = resolve_item(head.item(hc), b)?;
+        let oc = out.add_child(on, m)?;
+        build_children(head, hc, out, oc, b)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_tree;
+    use crate::query::parse_query;
+
+    /// Helper: evaluate query text against named documents.
+    fn eval(q: &str, docs: &[(&str, &str)]) -> Forest {
+        let trees: Vec<(Sym, Tree)> = docs
+            .iter()
+            .map(|(n, s)| (Sym::intern(n), parse_tree(s).unwrap()))
+            .collect();
+        let mut env = Env::new();
+        for (n, t) in &trees {
+            env.insert(*n, t);
+        }
+        snapshot(&parse_query(q).unwrap(), &env).unwrap()
+    }
+
+    #[test]
+    fn paper_example_3_1_simple_query() {
+        // z :- d'/a{x}, d/r{t{a{x},b{z}}} over the Example 3.1 documents.
+        let f = eval(
+            "?z :- dp/a{$x}, d/r{t{a{$x},b{?z}}}",
+            &[
+                (
+                    "d",
+                    r#"r{t{a{"1"},b{c{"2"},d{"3"}}},
+                       t{a{"1"},b{c{"3"},e{"3"}}},
+                       t{a{"2"},b{c{"2"},k{"6"}}}}"#,
+                ),
+                ("dp", r#"a{"1"}"#),
+            ],
+        );
+        let mut got: Vec<String> = f.trees().iter().map(|t| t.to_string()).collect();
+        got.sort_unstable();
+        assert_eq!(got, vec!["c", "d", "e"]);
+    }
+
+    #[test]
+    fn paper_example_3_1_tree_query() {
+        let f = eval(
+            "#Z :- dp/a{$x}, d/r{t{a{$x},b{#Z}}}",
+            &[
+                (
+                    "d",
+                    r#"r{t{a{"1"},b{c{"2"},d{"3"}}},
+                       t{a{"1"},b{c{"3"},e{"3"}}},
+                       t{a{"2"},b{c{"2"},k{"6"}}}}"#,
+                ),
+                ("dp", r#"a{"1"}"#),
+            ],
+        );
+        let mut got: Vec<String> = f.trees().iter().map(|t| t.to_string()).collect();
+        got.sort_unstable();
+        assert_eq!(
+            got,
+            vec![r#"c{"2"}"#, r#"c{"3"}"#, r#"d{"3"}"#, r#"e{"3"}"#]
+        );
+    }
+
+    #[test]
+    fn empty_body_yields_single_head() {
+        let f = eval("a{@f} :-", &[]);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.trees()[0].to_string(), "a{@f}");
+    }
+
+    #[test]
+    fn inequality_filters_bindings() {
+        let f = eval(
+            r#"pair{$x,$y} :- d/r{a{$x},a{$y}}, $x != $y"#,
+            &[("d", r#"r{a{"1"},a{"2"}}"#)],
+        );
+        // (1,2) and (2,1) instantiate to the same reduced head set.
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.trees()[0].to_string(), r#"pair{"1","2"}"#);
+    }
+
+    #[test]
+    fn unknown_document_errors() {
+        let q = parse_query("r{$x} :- nosuch/a{$x}").unwrap();
+        let env = Env::new();
+        assert!(matches!(
+            snapshot(&q, &env),
+            Err(AxmlError::UnknownDocument(_))
+        ));
+    }
+
+    #[test]
+    fn monotone_under_document_growth() {
+        // Prop 3.1 (1): growing the document grows the snapshot result.
+        let small = eval(
+            "r{$x} :- d/r{t{$x}}",
+            &[("d", r#"r{t{"1"}}"#)],
+        );
+        let large = eval(
+            "r{$x} :- d/r{t{$x}}",
+            &[("d", r#"r{t{"1"},t{"2"}}"#)],
+        );
+        assert!(small.subsumed_by(&large));
+    }
+
+    #[test]
+    fn join_across_atoms() {
+        // Transitive-step query: t{x,y} :- d/r{t{x,z},t{z,y}} in the
+        // n-ary encoding t{from{x},to{y}}.
+        let f = eval(
+            "t{from{$x},to{$y}} :- d/r{t{from{$x},to{$z}}, t{from{$z},to{$y}}}",
+            &[("d", r#"r{t{from{"1"},to{"2"}}, t{from{"2"},to{"3"}}}"#)],
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.trees()[0].to_string(), r#"t{from{"1"},to{"3"}}"#);
+    }
+
+    #[test]
+    fn result_forest_is_reduced() {
+        let f = eval(
+            "r{$x} :- d/a{b{$x},c{$x}}",
+            &[("d", r#"a{b{"1"},c{"1"},b{"1"}}"#)],
+        );
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn head_with_repeated_tree_var_duplicates_subtree() {
+        let f = eval(
+            "r{#X,copy{#X}} :- d/a{#X}",
+            &[("d", "a{b{c}}")],
+        );
+        assert_eq!(f.len(), 1);
+        assert_eq!(f.trees()[0].to_string(), "r{b{c},copy{b{c}}}");
+    }
+
+    #[test]
+    fn stats_reported() {
+        let trees = parse_tree(r#"r{t{"1"},t{"2"}}"#).unwrap();
+        let mut env = Env::new();
+        env.insert(Sym::intern("d"), &trees);
+        let q = parse_query("r{$x} :- d/r{t{$x}}").unwrap();
+        let (_, stats) = snapshot_with_stats(&q, &env).unwrap();
+        assert_eq!(stats.joined_bindings, 2);
+        assert_eq!(stats.raw_results, 2);
+    }
+}

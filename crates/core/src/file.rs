@@ -1,0 +1,220 @@
+//! A textual file format for AXML systems — the compact tree syntax
+//! plus `doc`/`service` declarations. This is the persistence and
+//! exchange format used by the `axml` CLI and the examples.
+//!
+//! ```text
+//! # the jazz portal (comments run to end of line)
+//! doc dir = directory{
+//!     cd{title{"Body and Soul"}, @GetRating{"Body and Soul"}}
+//! }
+//!
+//! doc ratings = db{entry{name{"Body and Soul"}, stars{"****"}}}
+//!
+//! service GetRating =
+//!     rating{$s} :- input/input{$n}, ratings/db{entry{name{$n}, stars{$s}}}
+//! ```
+//!
+//! Declarations are separated by blank-line-insensitive scanning: a
+//! declaration ends where the next `doc`/`service` keyword starts at
+//! brace depth zero.
+
+use crate::error::{AxmlError, Result};
+use crate::system::System;
+use std::fmt::Write as _;
+
+/// Serialize a system to the declaration format. Positive services are
+/// written out; black-box services cannot be serialized and produce an
+/// error naming the offender.
+pub fn to_text(sys: &System) -> Result<String> {
+    let mut out = String::new();
+    for &d in sys.doc_names() {
+        let tree = sys.doc(d).expect("stored");
+        let _ = writeln!(out, "doc {d} = {tree}");
+    }
+    for &f in sys.service_names() {
+        match sys.service_query(f) {
+            Some(q) => {
+                let _ = writeln!(out, "service {f} = {q}");
+            }
+            None => return Err(AxmlError::NotSimple(f)),
+        }
+    }
+    Ok(out)
+}
+
+/// Strip `#` comments (outside string literals).
+fn strip_comments(src: &str) -> String {
+    let mut out = String::with_capacity(src.len());
+    for line in src.lines() {
+        let mut in_str = false;
+        let mut cut = line.len();
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'\\' if in_str => i += 1,
+                b'"' => in_str = !in_str,
+                b'#' if !in_str => {
+                    cut = i;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        out.push_str(&line[..cut]);
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse the declaration format into a system.
+pub fn from_text(src: &str) -> Result<System> {
+    let src = strip_comments(src);
+    let mut sys = System::new();
+    // Tokenize into declarations: find `doc`/`service` keywords at
+    // depth 0.
+    let bytes = src.as_bytes();
+    let mut decls: Vec<(usize, usize)> = Vec::new(); // (start, end)
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut i = 0;
+    let mut starts: Vec<usize> = Vec::new();
+    while i < bytes.len() {
+        let b = bytes[i];
+        if in_str {
+            if b == b'\\' {
+                i += 1;
+            } else if b == b'"' {
+                in_str = false;
+            }
+        } else {
+            match b {
+                b'"' => in_str = true,
+                b'{' => depth += 1,
+                b'}' => depth -= 1,
+                _ if depth == 0 => {
+                    let word_start = i == 0 || bytes[i - 1].is_ascii_whitespace();
+                    if word_start
+                        && (src[i..].starts_with("doc ")
+                            || src[i..].starts_with("doc\t")
+                            || src[i..].starts_with("service ")
+                            || src[i..].starts_with("service\t"))
+                    {
+                        starts.push(i);
+                    }
+                }
+                _ => {}
+            }
+        }
+        i += 1;
+    }
+    for (k, &s) in starts.iter().enumerate() {
+        let e = starts.get(k + 1).copied().unwrap_or(src.len());
+        decls.push((s, e));
+    }
+    // Anything before the first declaration must be whitespace.
+    let head_end = starts.first().copied().unwrap_or(src.len());
+    if !src[..head_end].trim().is_empty() {
+        return Err(AxmlError::Parse {
+            pos: 0,
+            msg: "expected `doc` or `service` declaration".into(),
+        });
+    }
+
+    for (s, e) in decls {
+        let decl = src[s..e].trim();
+        let (kw, rest) = decl.split_at(if decl.starts_with("doc") { 3 } else { 7 });
+        let rest = rest.trim_start();
+        let Some(eq) = rest.find('=') else {
+            return Err(AxmlError::Parse {
+                pos: s,
+                msg: format!("missing '=' in {kw} declaration"),
+            });
+        };
+        let name = rest[..eq].trim();
+        let body = rest[eq + 1..].trim();
+        match kw {
+            "doc" => sys.add_document_text(name, body)?,
+            "service" => sys.add_service_text(name, body)?,
+            _ => unreachable!("keyword match is exhaustive"),
+        }
+    }
+    Ok(sys)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PORTAL: &str = r#"
+        # the jazz portal
+        doc dir = directory{
+            cd{title{"Body and Soul"}, @GetRating{"Body and Soul"}}   # intensional
+        }
+        doc ratings = db{entry{name{"Body and Soul"}, stars{"****"}}}
+        service GetRating =
+            rating{$s} :- input/input{$n}, ratings/db{entry{name{$n}, stars{$s}}}
+    "#;
+
+    #[test]
+    fn parse_portal_file() {
+        let sys = from_text(PORTAL).unwrap();
+        sys.validate().unwrap();
+        assert_eq!(sys.doc_names().len(), 2);
+        assert_eq!(sys.service_names().len(), 1);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let sys = from_text(PORTAL).unwrap();
+        let text = to_text(&sys).unwrap();
+        let back = from_text(&text).unwrap();
+        assert!(sys.equivalent_to(&back));
+        assert_eq!(
+            sys.service_query("GetRating".into()).unwrap().to_string(),
+            back.service_query("GetRating".into()).unwrap().to_string()
+        );
+    }
+
+    #[test]
+    fn comments_do_not_break_strings() {
+        let sys = from_text(r#"doc d = a{"has # inside"}"#).unwrap();
+        let d = sys.doc("d".into()).unwrap();
+        assert_eq!(d.to_string(), r#"a{"has # inside"}"#);
+    }
+
+    #[test]
+    fn garbage_prefix_rejected() {
+        assert!(from_text("nonsense doc d = a").is_err());
+    }
+
+    #[test]
+    fn keywords_inside_trees_are_not_declarations() {
+        // `doc` as a label inside a tree must not split the declaration.
+        let sys = from_text("doc d = a{doc{service}}").unwrap();
+        assert_eq!(sys.doc_names().len(), 1);
+    }
+
+    #[test]
+    fn black_box_systems_cannot_serialize() {
+        let mut sys = System::new();
+        sys.add_document_text("d", "a").unwrap();
+        sys.add_black_box(
+            "bb",
+            crate::service::BlackBoxService::constant("c", crate::forest::Forest::new()),
+        )
+        .unwrap();
+        assert!(to_text(&sys).is_err());
+    }
+
+    #[test]
+    fn run_loaded_system() {
+        let mut sys = from_text(PORTAL).unwrap();
+        let (status, _) =
+            crate::engine::run(&mut sys, &crate::engine::EngineConfig::default()).unwrap();
+        assert_eq!(status, crate::engine::RunStatus::Terminated);
+        let dir = sys.doc("dir".into()).unwrap();
+        assert!(dir.to_string().contains("rating"));
+    }
+}

@@ -1,0 +1,238 @@
+//! Single service-call invocation semantics (§2.2).
+//!
+//! Invoking a function node `v` marked `f` in document `d`:
+//!
+//! 1. `θ(input)` is a tree rooted `input` whose children are copies of
+//!    `v`'s children (the call parameters);
+//! 2. `θ(context)` is the subtree rooted at `v`'s **parent**;
+//! 3. every stored document keeps its current value;
+//! 4. the service result forest is appended as **siblings of `v`**, and
+//!    the document is reduced.
+//!
+//! A step only counts as a rewriting step when the document strictly
+//! grows (`I ≢ I'`, Definition 2.4); [`invoke_node`] reports this via
+//! [`InvokeOutcome::changed`], determined *before* grafting by checking
+//! whether some result tree is not already subsumed by an existing
+//! sibling subtree.
+
+use crate::error::{AxmlError, Result};
+use crate::eval::Env;
+use crate::reduce::reduce_in_place;
+use crate::subsume::SubMemo;
+use crate::system::{context_sym, input_sym, System};
+use crate::sym::Sym;
+use crate::tree::{Marking, NodeId, Tree};
+
+/// What one invocation did.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct InvokeOutcome {
+    /// Did the document strictly grow (a real rewriting step)?
+    pub changed: bool,
+    /// Trees in the service's result forest.
+    pub result_trees: usize,
+    /// Result trees actually grafted (not subsumed by existing siblings).
+    pub grafted: usize,
+}
+
+/// Build `θ(input)` for the call at `node`: root labeled `input`, children
+/// copied from the call's parameter subtrees.
+pub fn build_input(doc: &Tree, node: NodeId) -> Tree {
+    let mut input = Tree::with_label("input");
+    let input_root = input.root();
+    doc.copy_children_into(node, &mut input, input_root);
+    input
+}
+
+/// Invoke the function node `node` of document `doc_name` in `sys`.
+pub fn invoke_node(sys: &mut System, doc_name: Sym, node: NodeId) -> Result<InvokeOutcome> {
+    // Phase 1 — evaluate the service against the current (immutable)
+    // system state.
+    let (forest, parent) = {
+        let doc = sys
+            .doc(doc_name)
+            .ok_or(AxmlError::UnknownDocument(doc_name))?;
+        if !doc.is_alive(node) {
+            return Err(AxmlError::DeadNode);
+        }
+        let fname = match doc.marking(node) {
+            Marking::Func(f) => f,
+            _ => return Err(AxmlError::NotAFunctionNode),
+        };
+        // Document roots are never function nodes, so `node` has a parent.
+        let parent = doc.parent(node).ok_or(AxmlError::FunctionRoot)?;
+        let svc = sys
+            .service(fname)
+            .ok_or(AxmlError::UnknownFunction(fname))?
+            .clone();
+
+        let input = build_input(doc, node);
+        let context = doc.subtree(parent);
+        let mut env = Env::new();
+        for d in sys.doc_names() {
+            env.insert(*d, sys.doc(*d).expect("doc_names are stored docs"));
+        }
+        env.insert(input_sym(), &input);
+        env.insert(context_sym(), &context);
+        (svc.invoke(&env)?, parent)
+    };
+
+    // Phase 2 — graft the new information and reduce.
+    let result_trees = forest.len();
+    let doc = sys.doc_mut(doc_name).expect("checked above");
+    let mut grafted = 0usize;
+    for r in forest.trees() {
+        let mut memo = SubMemo::new();
+        let already = doc
+            .children(parent)
+            .iter()
+            .any(|&c| memo.subsumed_at(r, r.root(), doc, c));
+        if !already {
+            doc.graft(parent, r)?;
+            grafted += 1;
+        }
+    }
+    if grafted > 0 {
+        reduce_in_place(doc);
+    }
+    Ok(InvokeOutcome {
+        changed: grafted > 0,
+        result_trees,
+        grafted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forest::Forest;
+    use crate::parse::parse_tree;
+    use crate::service::BlackBoxService;
+    use crate::subsume::equivalent;
+
+    fn get_rating_system() -> System {
+        let mut sys = System::new();
+        sys.add_document_text(
+            "dir",
+            r#"directory{cd{title{"Body and Soul"},
+                           singer{"Billie Holiday"},
+                           @GetRating{"Body and Soul"}}}"#,
+        )
+        .unwrap();
+        // A black-box rating service: returns rating{"****"} whatever the
+        // input (constant, hence monotone).
+        let rating = Forest::from_trees(vec![parse_tree(r#"rating{"****"}"#).unwrap()]);
+        sys.add_black_box("GetRating", BlackBoxService::constant("ratings", rating))
+            .unwrap();
+        sys
+    }
+
+    #[test]
+    fn paper_get_rating_invocation() {
+        let mut sys = get_rating_system();
+        let (d, n) = sys.function_nodes()[0];
+        let out = invoke_node(&mut sys, d, n).unwrap();
+        assert!(out.changed);
+        assert_eq!(out.grafted, 1);
+        let expected = parse_tree(
+            r#"directory{cd{title{"Body and Soul"},
+                            singer{"Billie Holiday"},
+                            @GetRating{"Body and Soul"},
+                            rating{"****"}}}"#,
+        )
+        .unwrap();
+        assert!(equivalent(sys.doc(d).unwrap(), &expected));
+    }
+
+    #[test]
+    fn second_invocation_is_a_noop() {
+        let mut sys = get_rating_system();
+        let (d, n) = sys.function_nodes()[0];
+        invoke_node(&mut sys, d, n).unwrap();
+        let again = invoke_node(&mut sys, d, n).unwrap();
+        assert!(!again.changed);
+        assert_eq!(again.grafted, 0);
+        assert_eq!(again.result_trees, 1);
+    }
+
+    #[test]
+    fn input_and_context_are_visible_to_queries() {
+        let mut sys = System::new();
+        sys.add_document_text("d", r#"a{ctx{"c"}, @f{param{"p"}}}"#)
+            .unwrap();
+        // Echo both the parameter and a context child.
+        sys.add_service_text(
+            "f",
+            "echo{$p,$c} :- input/input{param{$p}}, context/a{ctx{$c}}",
+        )
+        .unwrap();
+        let (d, n) = sys.function_nodes()[0];
+        let out = invoke_node(&mut sys, d, n).unwrap();
+        assert!(out.changed);
+        let expected =
+            parse_tree(r#"a{ctx{"c"}, @f{param{"p"}}, echo{"p","c"}}"#).unwrap();
+        assert!(equivalent(sys.doc(d).unwrap(), &expected));
+    }
+
+    #[test]
+    fn nested_call_results_attach_inside_parameters() {
+        let mut sys = System::new();
+        sys.add_document_text("d", r#"a{@outer{@inner{"x"}}}"#).unwrap();
+        sys.add_service_text("inner", r#"v{"found"} :-"#).unwrap();
+        sys.add_service_text("outer", "w :-").unwrap();
+        // Find the *inner* node: it is the function node with a value child.
+        let nodes = sys.function_nodes();
+        let d = nodes[0].0;
+        let inner = *nodes
+            .iter()
+            .map(|(_, n)| n)
+            .find(|&&n| {
+                let t = sys.doc(d).unwrap();
+                t.marking(n) == Marking::func("inner")
+            })
+            .unwrap();
+        invoke_node(&mut sys, d, inner).unwrap();
+        let expected = parse_tree(r#"a{@outer{@inner{"x"}, v{"found"}}}"#).unwrap();
+        assert!(equivalent(sys.doc(d).unwrap(), &expected));
+    }
+
+    #[test]
+    fn invoking_non_function_node_errors() {
+        let mut sys = get_rating_system();
+        let d = sys.doc_names()[0];
+        let root = sys.doc(d).unwrap().root();
+        assert!(matches!(
+            invoke_node(&mut sys, d, root),
+            Err(AxmlError::NotAFunctionNode)
+        ));
+    }
+
+    #[test]
+    fn invoking_unregistered_function_errors() {
+        let mut sys = System::new();
+        sys.add_document_text("d", "a{@ghost}").unwrap();
+        let (d, n) = sys.function_nodes()[0];
+        assert!(matches!(
+            invoke_node(&mut sys, d, n),
+            Err(AxmlError::UnknownFunction(_))
+        ));
+    }
+
+    #[test]
+    fn example_2_1_first_step() {
+        // d/a{f}, f returns a{f}: first invocation yields a{a{f}, f}.
+        let mut sys = System::new();
+        sys.add_document_text("d", "a{@f}").unwrap();
+        sys.add_service_text("f", "a{@f} :-").unwrap();
+        let (d, n) = sys.function_nodes()[0];
+        let out = invoke_node(&mut sys, d, n).unwrap();
+        assert!(out.changed);
+        let expected = parse_tree("a{a{@f}, @f}").unwrap();
+        assert!(equivalent(sys.doc(d).unwrap(), &expected));
+        // Invoking the *original* f again: result a{@f} is now subsumed
+        // by the existing sibling a{@f} → no change ("once some
+        // occurrence of f has been invoked, it is useless to invoke it
+        // again").
+        let again = invoke_node(&mut sys, d, n).unwrap();
+        assert!(!again.changed);
+    }
+}

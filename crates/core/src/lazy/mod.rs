@@ -1,0 +1,29 @@
+//! Lazy query evaluation (Section 4).
+//!
+//! Answering a query over an AXML system does not require materializing
+//! the full semantics: many service calls are irrelevant to the query,
+//! and a *possible answer* — a document whose semantics equals the
+//! query's result — may legitimately keep calls intensional (return
+//! `GetRating{"Body and Soul"}` instead of `"****"`).
+//!
+//! The section's notions and where they live here:
+//!
+//! * **q-unneeded** sets and **q-stability** (Definition 4.1): exact
+//!   decision procedures for simple systems and simple queries, via graph
+//!   representations of `[[q](I)]` and `[[q](I↓N)]` — [`exact`]
+//!   (Theorem 4.1 (2): decidable, expensive);
+//! * **weak properties** (§4 "Weaker properties"): PTIME sound
+//!   over-approximations that treat services as monotone black boxes —
+//!   [`relevance`]. Weak stability implies stability; weakly-unneeded
+//!   calls are unneeded;
+//! * a practical **lazy evaluator** that interleaves relevance analysis
+//!   with restricted fair rounds, invoking only relevant calls —
+//!   [`evaluator`].
+
+pub mod evaluator;
+pub mod exact;
+pub mod relevance;
+
+pub use evaluator::{lazy_query_eval, LazyConfig, LazyStats};
+pub use exact::{is_possible_answer, is_q_stable, is_unneeded};
+pub use relevance::{weak_relevance, weakly_stable, weakly_unneeded, Relevance};

@@ -1,0 +1,63 @@
+//! # axml-core — Positive Active XML
+//!
+//! A from-scratch Rust implementation of the model of
+//! *Positive Active XML* (Abiteboul, Benjelloun, Milo — PODS 2004):
+//!
+//! * **AXML documents** (§2.1): unordered labeled trees mixing data nodes
+//!   with *function nodes* — embedded calls to (Web) services —
+//!   [`tree`], [`forest`], [`parse`], [`display`];
+//! * **subsumption, equivalence, reduction** (Def 2.2, Prop 2.1):
+//!   [`subsume`], [`reduce`];
+//! * **monotone systems and fair rewriting** (Def 2.3–2.5, Thm 2.1):
+//!   [`system`], [`service`], [`invoke`], [`engine`];
+//! * **positive queries** (Def 3.1, Prop 3.1): [`pattern`], [`query`],
+//!   [`matcher`], [`eval`];
+//! * **dependency graphs, acyclic systems** (Def 3.2): [`depgraph`];
+//! * **regular-tree graph representations and decidable termination for
+//!   simple systems** (Lemma 3.2, Thm 3.3): [`regular`], [`graphrepr`];
+//! * **fire-once semantics** (§4): [`fireonce`];
+//! * **lazy query evaluation** (§4): [`lazy`];
+//! * **regular path expressions and the ψ translation** (§5, Prop 5.1):
+//!   [`pathexpr`], [`translate`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod depgraph;
+pub mod display;
+pub mod engine;
+pub mod error;
+pub mod eval;
+pub mod invoke;
+pub mod forest;
+pub mod gensys;
+pub mod matcher;
+pub mod parse;
+pub mod pathexpr;
+pub mod pattern;
+pub mod file;
+pub mod fireonce;
+pub mod graphrepr;
+pub mod lazy;
+pub mod query;
+pub mod regular;
+pub mod reduce;
+pub mod service;
+pub mod subsume;
+pub mod sym;
+pub mod system;
+pub mod translate;
+pub mod tree;
+
+pub use error::{AxmlError, Result};
+pub use forest::Forest;
+pub use engine::{run, EngineConfig, RunStatus, Strategy};
+pub use eval::{snapshot, Env};
+pub use invoke::invoke_node;
+pub use parse::{parse_document, parse_pattern, parse_tree};
+pub use query::{parse_query, Query};
+pub use system::System;
+pub use reduce::{canonical_key, lub, reduce, CanonKey};
+pub use subsume::{compare, equivalent, subsumed};
+pub use sym::Sym;
+pub use tree::{Marking, NodeId, Tree};

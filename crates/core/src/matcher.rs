@@ -1,0 +1,347 @@
+//! Pattern matching: enumerating the variable assignments µ with
+//! `µ(p) ⊆ d` (Section 3.1, snapshot semantics).
+//!
+//! A match embeds the pattern root at the document root and each pattern
+//! child below *some* document child (homomorphically, like subsumption),
+//! while binding variables consistently. Data complexity is polynomial
+//! (Prop 3.1 (3)): for a fixed pattern the number of distinct bindings is
+//! polynomial in the document, and duplicates are eliminated at every
+//! join level.
+
+use crate::pattern::{PItem, Pattern, PNodeId};
+use crate::reduce::canonical_key;
+use crate::reduce::CanonKey;
+use crate::sym::{FxHashSet, Sym};
+use crate::tree::{Marking, NodeId, Tree};
+use std::fmt;
+use std::rc::Rc;
+
+/// A value bound to a query variable.
+#[derive(Clone, Debug)]
+pub enum Bound {
+    /// A label, bound to a label variable.
+    Label(Sym),
+    /// A function name, bound to a function variable.
+    Func(Sym),
+    /// An atomic value, bound to a value variable.
+    Value(Sym),
+    /// A whole subtree, bound to a tree variable. The canonical key makes
+    /// bindings hashable and deduplicable.
+    Tree(Rc<Tree>, CanonKey),
+}
+
+impl Bound {
+    /// Bind a copy of the subtree of `t` at `n` to a tree variable.
+    pub fn tree_at(t: &Tree, n: NodeId) -> Bound {
+        let sub = t.subtree(n);
+        let key = canonical_key(&sub);
+        Bound::Tree(Rc::new(sub), key)
+    }
+
+    /// The marking this binding denotes, for non-tree bindings.
+    pub fn as_marking(&self) -> Option<Marking> {
+        match *self {
+            Bound::Label(s) => Some(Marking::Label(s)),
+            Bound::Func(s) => Some(Marking::Func(s)),
+            Bound::Value(s) => Some(Marking::Value(s)),
+            Bound::Tree(..) => None,
+        }
+    }
+}
+
+impl PartialEq for Bound {
+    fn eq(&self, other: &Bound) -> bool {
+        match (self, other) {
+            (Bound::Label(a), Bound::Label(b)) => a == b,
+            (Bound::Func(a), Bound::Func(b)) => a == b,
+            (Bound::Value(a), Bound::Value(b)) => a == b,
+            (Bound::Tree(_, ka), Bound::Tree(_, kb)) => ka == kb,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Bound {}
+
+impl std::hash::Hash for Bound {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Bound::Label(s) => {
+                state.write_u8(0);
+                s.hash(state);
+            }
+            Bound::Func(s) => {
+                state.write_u8(1);
+                s.hash(state);
+            }
+            Bound::Value(s) => {
+                state.write_u8(2);
+                s.hash(state);
+            }
+            Bound::Tree(_, k) => {
+                state.write_u8(3);
+                k.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Bound {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Bound::Label(s) => write!(f, "{s}"),
+            Bound::Func(s) => write!(f, "@{s}"),
+            Bound::Value(s) => write!(f, "{:?}", s.as_str()),
+            Bound::Tree(t, _) => write!(f, "{t}"),
+        }
+    }
+}
+
+/// A variable assignment: a small sorted map from variable names to
+/// bound values.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub struct Binding {
+    entries: Vec<(Sym, Bound)>,
+}
+
+impl Binding {
+    /// The empty assignment.
+    pub fn new() -> Binding {
+        Binding::default()
+    }
+
+    /// Look up a variable.
+    pub fn get(&self, var: Sym) -> Option<&Bound> {
+        self.entries
+            .binary_search_by(|(v, _)| v.cmp(&var))
+            .ok()
+            .map(|i| &self.entries[i].1)
+    }
+
+    /// Bind `var` to `val`. Returns `false` (and leaves the binding
+    /// unchanged) on a conflicting existing binding.
+    pub fn bind(&mut self, var: Sym, val: Bound) -> bool {
+        match self.entries.binary_search_by(|(v, _)| v.cmp(&var)) {
+            Ok(i) => self.entries[i].1 == val,
+            Err(i) => {
+                self.entries.insert(i, (var, val));
+                true
+            }
+        }
+    }
+
+    /// Merge two assignments; `None` on conflict.
+    pub fn merge(&self, other: &Binding) -> Option<Binding> {
+        let mut out = self.clone();
+        for (v, b) in &other.entries {
+            if !out.bind(*v, b.clone()) {
+                return None;
+            }
+        }
+        Some(out)
+    }
+
+    /// Variables bound.
+    pub fn vars(&self) -> impl Iterator<Item = Sym> + '_ {
+        self.entries.iter().map(|(v, _)| *v)
+    }
+
+    /// Number of bound variables.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is this the empty assignment?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// All assignments µ (restricted to the pattern's variables) such that
+/// `µ(p) ⊆ t`, starting the embedding at the roots.
+pub fn match_pattern(p: &Pattern, t: &Tree) -> Vec<Binding> {
+    match_at(p, p.root(), t, t.root(), &Binding::new())
+}
+
+/// All assignments embedding the pattern below some node of `t` whose
+/// parent is arbitrary — i.e. the pattern root may match *any* node of
+/// the document (used by relevance analysis, not by query semantics).
+pub fn match_pattern_anywhere(p: &Pattern, t: &Tree) -> Vec<(NodeId, Binding)> {
+    let mut out = Vec::new();
+    for n in t.iter_live(t.root()) {
+        for b in match_at(p, p.root(), t, n, &Binding::new()) {
+            out.push((n, b));
+        }
+    }
+    out
+}
+
+pub(crate) fn bind_item(item: &PItem, t: &Tree, tn: NodeId, b: &Binding) -> Option<Binding> {
+    let m = t.marking(tn);
+    match item {
+        PItem::Const(c) => (*c == m).then(|| b.clone()),
+        PItem::LabelVar(v) => match m {
+            Marking::Label(s) => {
+                let mut nb = b.clone();
+                nb.bind(*v, Bound::Label(s)).then_some(nb)
+            }
+            _ => None,
+        },
+        PItem::FuncVar(v) => match m {
+            Marking::Func(s) => {
+                let mut nb = b.clone();
+                nb.bind(*v, Bound::Func(s)).then_some(nb)
+            }
+            _ => None,
+        },
+        PItem::ValueVar(v) => match m {
+            Marking::Value(s) => {
+                let mut nb = b.clone();
+                nb.bind(*v, Bound::Value(s)).then_some(nb)
+            }
+            _ => None,
+        },
+        PItem::TreeVar(v) => {
+            let mut nb = b.clone();
+            nb.bind(*v, Bound::tree_at(t, tn)).then_some(nb)
+        }
+    }
+}
+
+fn match_at(p: &Pattern, pn: PNodeId, t: &Tree, tn: NodeId, b: &Binding) -> Vec<Binding> {
+    let Some(b0) = bind_item(p.item(pn), t, tn, b) else {
+        return Vec::new();
+    };
+    let mut current: Vec<Binding> = vec![b0];
+    for &pc in p.children(pn) {
+        let mut next: FxHashSet<Binding> = FxHashSet::default();
+        for base in &current {
+            for &tc in t.children(tn) {
+                for nb in match_at(p, pc, t, tc, base) {
+                    next.insert(nb);
+                }
+            }
+        }
+        if next.is_empty() {
+            return Vec::new();
+        }
+        current = next.into_iter().collect();
+    }
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::{parse_pattern, parse_tree};
+
+    fn bindings(p: &str, t: &str) -> Vec<Binding> {
+        match_pattern(&parse_pattern(p).unwrap(), &parse_tree(t).unwrap())
+    }
+
+    #[test]
+    fn ground_pattern_matches_like_subsumption() {
+        assert_eq!(bindings("a{b}", "a{b,c}").len(), 1);
+        assert!(bindings("a{b{x}}", "a{b}").is_empty());
+    }
+
+    #[test]
+    fn value_variable_enumerates_values() {
+        let bs = bindings(r#"r{t{$x}}"#, r#"r{t{"1"},t{"2"},t{"2"}}"#);
+        let mut vals: Vec<&str> = bs
+            .iter()
+            .map(|b| match b.get(Sym::intern("x")).unwrap() {
+                Bound::Value(s) => s.as_str(),
+                _ => panic!("expected value"),
+            })
+            .collect();
+        vals.sort_unstable();
+        assert_eq!(vals, vec!["1", "2"]); // deduplicated
+    }
+
+    #[test]
+    fn paper_example_3_1_label_variable() {
+        // z :- d'/a{x}, d/r{t{a{x},b{z}}} — here just the d-side pattern
+        // with x fixed to 1 by hand.
+        let d = r#"r{t{a{"1"},b{c{"2"},d{"3"}}},
+                    t{a{"1"},b{c{"3"},e{"3"}}},
+                    t{a{"2"},b{c{"2"},k{"6"}}}}"#;
+        let bs = bindings(r#"r{t{a{"1"},b{?z}}}"#, d);
+        let mut labels: Vec<&str> = bs
+            .iter()
+            .map(|b| match b.get(Sym::intern("z")).unwrap() {
+                Bound::Label(s) => s.as_str(),
+                _ => panic!("expected label"),
+            })
+            .collect();
+        labels.sort_unstable();
+        assert_eq!(labels, vec!["c", "d", "e"]);
+    }
+
+    #[test]
+    fn paper_example_3_1_tree_variable() {
+        let d = r#"r{t{a{"1"},b{c{"2"},d{"3"}}},
+                    t{a{"1"},b{c{"3"},e{"3"}}},
+                    t{a{"2"},b{c{"2"},k{"6"}}}}"#;
+        let bs = bindings(r#"r{t{a{"1"},b{#Z}}}"#, d);
+        let mut trees: Vec<String> = bs
+            .iter()
+            .map(|b| match b.get(Sym::intern("Z")).unwrap() {
+                Bound::Tree(t, _) => t.to_string(),
+                _ => panic!("expected tree"),
+            })
+            .collect();
+        trees.sort_unstable();
+        assert_eq!(
+            trees,
+            vec![r#"c{"2"}"#, r#"c{"3"}"#, r#"d{"3"}"#, r#"e{"3"}"#]
+        );
+    }
+
+    #[test]
+    fn shared_variable_must_agree() {
+        // Same variable twice in one pattern: both positions must bind
+        // identically.
+        let bs = bindings("r{t{a{$x},b{$x}}}", r#"r{t{a{"1"},b{"1"}},t{a{"2"},b{"3"}}}"#);
+        assert_eq!(bs.len(), 1);
+    }
+
+    #[test]
+    fn function_variable_matches_function_nodes_only() {
+        let bs = bindings("a{@?f}", r#"a{@GetRating{"x"},b}"#);
+        assert_eq!(bs.len(), 1);
+        assert_eq!(
+            bs[0].get(Sym::intern("f")),
+            Some(&Bound::Func(Sym::intern("GetRating")))
+        );
+        assert!(bindings("a{@?f}", "a{b}").is_empty());
+    }
+
+    #[test]
+    fn tree_variable_matches_any_node_kind() {
+        let bs = bindings("a{#X}", r#"a{@f{"p"},b{c}}"#);
+        assert_eq!(bs.len(), 2); // @f{"p"} and b{c}
+    }
+
+    #[test]
+    fn binding_merge_conflicts() {
+        let mut a = Binding::new();
+        a.bind(Sym::intern("x"), Bound::Value(Sym::intern("1")));
+        let mut b = Binding::new();
+        b.bind(Sym::intern("x"), Bound::Value(Sym::intern("2")));
+        assert!(a.merge(&b).is_none());
+        let mut c = Binding::new();
+        c.bind(Sym::intern("y"), Bound::Label(Sym::intern("l")));
+        let m = a.merge(&c).unwrap();
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn match_anywhere_finds_inner_nodes() {
+        let hits = match_pattern_anywhere(
+            &parse_pattern("b{$x}").unwrap(),
+            &parse_tree(r#"a{b{"1"},c{b{"2"}}}"#).unwrap(),
+        );
+        assert_eq!(hits.len(), 2);
+    }
+}

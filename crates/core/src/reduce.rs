@@ -1,0 +1,292 @@
+//! Reduction, canonical forms, and least upper bounds (Definition 2.2,
+//! Proposition 2.1).
+//!
+//! A document is *reduced* when no subtree is equivalent to a sibling-
+//! pruned version of itself — operationally, no child subtree is subsumed
+//! by one of its siblings, recursively. Each document has a unique reduced
+//! version up to node isomorphism (Prop 2.1 (2)), computable in PTIME
+//! (Prop 2.1 (4)) by bottom-up sibling pruning.
+//!
+//! Because reduced versions are unique up to isomorphism, a sorted
+//! recursive encoding ([`canon_of_reduced`]) is a sound equality key for
+//! reduced trees: two reduced trees are equivalent iff their canonical
+//! encodings coincide. The rewriting engine, graph representation, and
+//! confluence tests all rely on this.
+
+use crate::error::{AxmlError, Result};
+use crate::subsume::{subsumed_within, SubMemo};
+use crate::tree::{Marking, NodeId, Tree};
+
+/// Reduce `t` in place: prune every child subtree subsumed by a sibling,
+/// bottom-up. Keeps the *oldest* (lowest node id) representative of each
+/// equivalence class so that node ids — in particular function-node ids
+/// the engine schedules — survive reduction.
+///
+/// Returns the number of subtrees pruned.
+pub fn reduce_in_place(t: &mut Tree) -> usize {
+    let mut memo = SubMemo::new();
+    let post = postorder(t);
+    let mut pruned = 0usize;
+    for n in post {
+        if !t.is_alive(n) {
+            continue;
+        }
+        let mut kids: Vec<NodeId> = t.children(n).to_vec();
+        if kids.len() < 2 {
+            continue;
+        }
+        // Oldest first, so equivalent younger siblings are the ones dropped.
+        kids.sort_unstable();
+        let k = kids.len();
+        let mut removed = vec![false; k];
+        for i in 0..k {
+            if removed[i] {
+                continue;
+            }
+            for j in 0..k {
+                if i == j || removed[j] || removed[i] {
+                    continue;
+                }
+                if subsumed_within(t, kids[i], kids[j], &mut memo) {
+                    if subsumed_within(t, kids[j], kids[i], &mut memo) {
+                        // Equivalent: drop the younger (larger index, since
+                        // kids are sorted by id ascending).
+                        removed[i.max(j)] = true;
+                    } else {
+                        removed[i] = true;
+                    }
+                }
+            }
+        }
+        for i in 0..k {
+            if removed[i] {
+                t.remove_subtree(kids[i]).expect("child is alive");
+                pruned += 1;
+            }
+        }
+    }
+    pruned
+}
+
+/// Live nodes of `t` in postorder (children before parents).
+fn postorder(t: &Tree) -> Vec<NodeId> {
+    let mut pre: Vec<NodeId> = t.iter_live(t.root()).collect();
+    pre.reverse();
+    pre
+}
+
+/// Return a freshly-built reduced version of `t` (compact arena, new ids).
+pub fn reduce(t: &Tree) -> Tree {
+    let mut c = t.compact();
+    reduce_in_place(&mut c);
+    c.compact()
+}
+
+/// Is `t` already reduced?
+pub fn is_reduced(t: &Tree) -> bool {
+    let mut memo = SubMemo::new();
+    for n in t.iter_live(t.root()) {
+        let kids = t.children(n);
+        for (i, &a) in kids.iter().enumerate() {
+            for (j, &b) in kids.iter().enumerate() {
+                if i != j && subsumed_within(t, a, b, &mut memo) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// Canonical encoding key for a reduced tree.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct CanonKey(pub String);
+
+impl std::fmt::Display for CanonKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+fn marking_tag(m: Marking, out: &mut String) {
+    let (tag, s) = match m {
+        Marking::Label(s) => ('L', s),
+        Marking::Func(s) => ('F', s),
+        Marking::Value(s) => ('V', s),
+    };
+    let name = s.as_str();
+    out.push(tag);
+    out.push_str(&name.len().to_string());
+    out.push(':');
+    out.push_str(name);
+}
+
+/// Canonical encoding of the subtree of `t` at `n`.
+///
+/// Sound as an equivalence key only for **reduced** trees: reduced
+/// versions are unique up to isomorphism, and this encoding is
+/// isomorphism-invariant (children encodings are sorted). For arbitrary
+/// trees use [`canonical_key`], which reduces first.
+pub fn canon_of_reduced(t: &Tree, n: NodeId) -> CanonKey {
+    fn go(t: &Tree, n: NodeId, out: &mut String) {
+        marking_tag(t.marking(n), out);
+        let kids = t.children(n);
+        if !kids.is_empty() {
+            let mut encs: Vec<String> = kids
+                .iter()
+                .map(|&c| {
+                    let mut s = String::new();
+                    go(t, c, &mut s);
+                    s
+                })
+                .collect();
+            encs.sort_unstable();
+            out.push('{');
+            for e in encs {
+                out.push_str(&e);
+            }
+            out.push('}');
+        }
+    }
+    let mut s = String::new();
+    go(t, n, &mut s);
+    CanonKey(s)
+}
+
+/// Canonical key of an arbitrary tree: reduce a copy, then encode.
+/// Two trees are equivalent (Definition 2.2) iff their canonical keys are
+/// equal.
+pub fn canonical_key(t: &Tree) -> CanonKey {
+    let r = reduce(t);
+    canon_of_reduced(&r, r.root())
+}
+
+/// Least upper bound `d ∪ d'` of two trees with the same root marking
+/// (§2.1): a tree with that root and the children of both, reduced.
+/// Trees with distinct root markings are incomparable.
+pub fn lub(a: &Tree, b: &Tree) -> Result<Tree> {
+    if a.marking(a.root()) != b.marking(b.root()) {
+        return Err(AxmlError::IncomparableRoots);
+    }
+    let mut out = Tree::new(a.marking(a.root()));
+    let dst_root = out.root();
+    a.copy_children_into(a.root(), &mut out, dst_root);
+    b.copy_children_into(b.root(), &mut out, dst_root);
+    reduce_in_place(&mut out);
+    Ok(out.compact())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_tree;
+    use crate::subsume::{equivalent, subsumed};
+
+    fn t(s: &str) -> Tree {
+        parse_tree(s).unwrap()
+    }
+
+    #[test]
+    fn paper_reduction_example() {
+        // a{b{c,c},b{c,d,d}} reduces to a{b{c,d}}.
+        let orig = t("a{b{c,c},b{c,d,d}}");
+        let red = reduce(&orig);
+        assert!(equivalent(&orig, &red));
+        assert!(is_reduced(&red));
+        assert!(equivalent(&red, &t("a{b{c,d}}")));
+        assert_eq!(red.node_count(), 4);
+    }
+
+    #[test]
+    fn reduce_is_idempotent() {
+        let r = reduce(&t("a{b{c,c},b{c,d,d},b}"));
+        let rr = reduce(&r);
+        assert_eq!(
+            canon_of_reduced(&r, r.root()),
+            canon_of_reduced(&rr, rr.root())
+        );
+    }
+
+    #[test]
+    fn reduction_preserves_equivalence_class() {
+        for s in [
+            "a{b,b,b}",
+            "a{b{c},b{c,d}}",
+            r#"a{@f{"1"},@f{"1"},x}"#,
+            "r{t{a,b},t{a},t{a,b,c}}",
+        ] {
+            let orig = t(s);
+            let red = reduce(&orig);
+            assert!(equivalent(&orig, &red), "not equivalent for {s}");
+            assert!(is_reduced(&red), "not reduced for {s}");
+        }
+    }
+
+    #[test]
+    fn uniqueness_via_canonical_keys() {
+        // Equivalent inputs yield identical canonical keys (Prop 2.1 (2)).
+        let a = t("a{b{c,c},b{c,d,d}}");
+        let b = t("a{b{d,c}}");
+        let c = t("a{b{c,d},b{c}}");
+        assert_eq!(canonical_key(&a), canonical_key(&b));
+        assert_eq!(canonical_key(&b), canonical_key(&c));
+        assert_ne!(canonical_key(&a), canonical_key(&t("a{b{c}}")));
+    }
+
+    #[test]
+    fn in_place_reduction_keeps_oldest_ids() {
+        let mut tree = Tree::with_label("a");
+        let first = tree.add_child(tree.root(), Marking::label("b")).unwrap();
+        let second = tree.add_child(tree.root(), Marking::label("b")).unwrap();
+        reduce_in_place(&mut tree);
+        assert!(tree.is_alive(first));
+        assert!(!tree.is_alive(second));
+    }
+
+    #[test]
+    fn strictly_larger_sibling_replaces_smaller() {
+        // b{c} arrives first, b{c,d} second: the larger must survive.
+        let mut tree = Tree::with_label("a");
+        let small = tree.add_child(tree.root(), Marking::label("b")).unwrap();
+        tree.add_child(small, Marking::label("c")).unwrap();
+        let big = tree.add_child(tree.root(), Marking::label("b")).unwrap();
+        tree.add_child(big, Marking::label("c")).unwrap();
+        tree.add_child(big, Marking::label("d")).unwrap();
+        reduce_in_place(&mut tree);
+        assert!(!tree.is_alive(small));
+        assert!(tree.is_alive(big));
+    }
+
+    #[test]
+    fn lub_paper_semantics() {
+        let a = t("a{b{c}}");
+        let b = t("a{b{d},e}");
+        let u = lub(&a, &b).unwrap();
+        assert!(subsumed(&a, &u));
+        assert!(subsumed(&b, &u));
+        assert!(equivalent(&u, &t("a{b{c},b{d},e}")));
+        // Incomparable roots.
+        assert!(matches!(
+            lub(&t("a"), &t("b")),
+            Err(AxmlError::IncomparableRoots)
+        ));
+    }
+
+    #[test]
+    fn lub_is_least() {
+        // Any other upper bound must subsume the lub.
+        let a = t("a{b}");
+        let b = t("a{c}");
+        let u = lub(&a, &b).unwrap();
+        let other = t("a{b,c,d}");
+        assert!(subsumed(&a, &other) && subsumed(&b, &other));
+        assert!(subsumed(&u, &other));
+    }
+
+    #[test]
+    fn function_subtrees_merge_only_when_identical_calls() {
+        // Two @f calls with subsumed params merge; distinct params survive.
+        let red = reduce(&t(r#"a{@f{"1"},@f{"1"},@f{"2"}}"#));
+        assert_eq!(red.function_nodes().len(), 2);
+    }
+}

@@ -1,0 +1,143 @@
+//! Services: the functions behind function nodes (§2.2).
+//!
+//! A service maps an assignment of documents (the system's documents plus
+//! the reserved `input` and `context`) to a forest of AXML trees. The
+//! paper studies two views:
+//!
+//! * **black-box** monotone services ([`BlackBoxService`]) — arbitrary
+//!   monotone functions, the general monotone-system setting of §2;
+//! * **positive** services ([`QueryService`]) — defined by positive
+//!   queries, the setting of §3 onward. Positivity makes the system's
+//!   monotonicity automatic (Prop 3.1 (1)).
+
+use crate::error::Result;
+use crate::eval::{snapshot, Env};
+use crate::forest::Forest;
+use crate::query::Query;
+use std::fmt;
+use std::sync::Arc;
+
+/// A Web service: a (monotone) function from document assignments to
+/// forests of AXML trees.
+pub trait Service: Send + Sync {
+    /// Evaluate the service under the given environment.
+    fn invoke(&self, env: &Env<'_>) -> Result<Forest>;
+
+    /// The defining positive query, when the service is declaratively
+    /// defined (positive systems). Black boxes return `None`.
+    fn query(&self) -> Option<&Query> {
+        None
+    }
+
+    /// Human-readable description for diagnostics.
+    fn describe(&self) -> String {
+        match self.query() {
+            Some(q) => q.to_string(),
+            None => "<black-box>".to_string(),
+        }
+    }
+}
+
+/// A positive service defined by a positive query (§3.2). Invocation is
+/// the query's snapshot evaluation; monotonicity follows from
+/// Proposition 3.1 (1).
+#[derive(Clone, Debug)]
+pub struct QueryService {
+    query: Query,
+}
+
+impl QueryService {
+    /// Wrap a validated query.
+    pub fn new(query: Query) -> QueryService {
+        QueryService { query }
+    }
+}
+
+impl Service for QueryService {
+    fn invoke(&self, env: &Env<'_>) -> Result<Forest> {
+        snapshot(&self.query, env)
+    }
+
+    fn query(&self) -> Option<&Query> {
+        Some(&self.query)
+    }
+}
+
+/// A black-box monotone service backed by a Rust closure (§2.2's general
+/// monotone systems, and remote peers whose definitions are unknown —
+/// the situation §4's *weak* properties are designed for).
+///
+/// The implementation trusts the closure to be monotone; the engine's
+/// confluence guarantees only hold if it is. Property tests in the suite
+/// check monotonicity of the provided combinators.
+pub struct BlackBoxService {
+    f: Box<dyn Fn(&Env<'_>) -> Result<Forest> + Send + Sync>,
+    description: String,
+}
+
+impl BlackBoxService {
+    /// Wrap a monotone closure.
+    pub fn new(
+        description: impl Into<String>,
+        f: impl Fn(&Env<'_>) -> Result<Forest> + Send + Sync + 'static,
+    ) -> BlackBoxService {
+        BlackBoxService {
+            f: Box::new(f),
+            description: description.into(),
+        }
+    }
+
+    /// A service returning a constant forest (trivially monotone).
+    pub fn constant(description: impl Into<String>, forest: Forest) -> BlackBoxService {
+        BlackBoxService::new(description, move |_| Ok(forest.clone()))
+    }
+}
+
+impl Service for BlackBoxService {
+    fn invoke(&self, env: &Env<'_>) -> Result<Forest> {
+        (self.f)(env)
+    }
+
+    fn describe(&self) -> String {
+        format!("<black-box: {}>", self.description)
+    }
+}
+
+impl fmt::Debug for BlackBoxService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BlackBoxService({})", self.description)
+    }
+}
+
+/// Shared service handle as stored by a [`crate::system::System`].
+pub type ServiceRef = Arc<dyn Service>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_tree;
+    use crate::query::parse_query;
+    use crate::sym::Sym;
+
+    #[test]
+    fn query_service_evaluates_snapshot() {
+        let q = parse_query("r{$x} :- d/a{$x}").unwrap();
+        let svc = QueryService::new(q);
+        let doc = parse_tree(r#"a{"1","2"}"#).unwrap();
+        let mut env = Env::new();
+        env.insert(Sym::intern("d"), &doc);
+        let out = svc.invoke(&env).unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(svc.query().is_some());
+    }
+
+    #[test]
+    fn constant_black_box() {
+        let forest = Forest::from_trees(vec![parse_tree("a{b}").unwrap()]);
+        let svc = BlackBoxService::constant("const", forest);
+        let env = Env::new();
+        assert_eq!(svc.invoke(&env).unwrap().len(), 1);
+        assert!(svc.query().is_none());
+        assert!(svc.describe().contains("const"));
+    }
+}

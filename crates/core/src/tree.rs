@@ -1,0 +1,409 @@
+//! Unordered AXML trees (Definition 2.1).
+//!
+//! A tree is an arena of nodes; each node carries a [`Marking`] — a label,
+//! a function name (a Web-service call), or an atomic value. The paper's
+//! two structural invariants are enforced where they apply:
+//!
+//! * atomic values mark only leaves — enforced on every `add_child`;
+//! * a *document* root is a label or a value — enforced by
+//!   [`Tree::validate_document_root`], not by the arena itself, because
+//!   intermediate trees (e.g. the `context` of a nested call, whose root
+//!   may be an enclosing function node) legitimately violate it.
+//!
+//! Nodes are never reused: removal marks a subtree dead and unlinks it
+//! from its parent, but live node ids stay stable. The rewriting engine
+//! relies on this to keep function-node identities across invocation steps
+//! (reduction keeps the *oldest* of equivalent siblings; see
+//! [`crate::reduce`]).
+
+use crate::error::{AxmlError, Result};
+use crate::sym::Sym;
+use std::fmt;
+
+/// The marking of a node: label, function name, or atomic value.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Marking {
+    /// A data node carrying a label from `L`.
+    Label(Sym),
+    /// A function node carrying a function name from `F` (a service call).
+    Func(Sym),
+    /// A data leaf carrying an atomic value from `V`.
+    Value(Sym),
+}
+
+impl Marking {
+    /// Convenience constructor for a label marking.
+    pub fn label(s: &str) -> Marking {
+        Marking::Label(Sym::intern(s))
+    }
+
+    /// Convenience constructor for a function marking.
+    pub fn func(s: &str) -> Marking {
+        Marking::Func(Sym::intern(s))
+    }
+
+    /// Convenience constructor for a value marking.
+    pub fn value(s: &str) -> Marking {
+        Marking::Value(Sym::intern(s))
+    }
+
+    /// True for function markings.
+    pub fn is_func(&self) -> bool {
+        matches!(self, Marking::Func(_))
+    }
+
+    /// True for atomic-value markings.
+    pub fn is_value(&self) -> bool {
+        matches!(self, Marking::Value(_))
+    }
+
+    /// The underlying symbol, whatever the kind.
+    pub fn sym(&self) -> Sym {
+        match *self {
+            Marking::Label(s) | Marking::Func(s) | Marking::Value(s) => s,
+        }
+    }
+}
+
+impl fmt::Display for Marking {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Marking::Label(s) => write!(f, "{s}"),
+            Marking::Func(s) => write!(f, "@{s}"),
+            Marking::Value(s) => write!(f, "{s:?}", s = s.as_str()),
+        }
+    }
+}
+
+/// Index of a node inside one [`Tree`] arena.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    #[inline]
+    pub(crate) fn idx(self) -> usize {
+        self.0 as usize
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    marking: Marking,
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+    alive: bool,
+}
+
+/// An unordered AXML tree backed by a node arena.
+#[derive(Clone, Debug)]
+pub struct Tree {
+    nodes: Vec<Node>,
+    root: NodeId,
+}
+
+impl Tree {
+    /// Create a single-node tree with the given root marking.
+    ///
+    /// Any marking is accepted here; use [`Tree::validate_document_root`]
+    /// when the tree is meant to be a document.
+    pub fn new(root: Marking) -> Tree {
+        Tree {
+            nodes: vec![Node {
+                marking: root,
+                parent: None,
+                children: Vec::new(),
+                alive: true,
+            }],
+            root: NodeId(0),
+        }
+    }
+
+    /// Create a tree with a label root — the common case.
+    pub fn with_label(label: &str) -> Tree {
+        Tree::new(Marking::label(label))
+    }
+
+    /// Definition 2.1 (ii): a document root must be a label or a value.
+    pub fn validate_document_root(&self) -> Result<()> {
+        if self.marking(self.root).is_func() {
+            Err(AxmlError::FunctionRoot)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// The root node id.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The marking of node `n`.
+    #[inline]
+    pub fn marking(&self, n: NodeId) -> Marking {
+        self.nodes[n.idx()].marking
+    }
+
+    /// The live children of node `n`.
+    #[inline]
+    pub fn children(&self, n: NodeId) -> &[NodeId] {
+        &self.nodes[n.idx()].children
+    }
+
+    /// The parent of node `n` (`None` for the root).
+    #[inline]
+    pub fn parent(&self, n: NodeId) -> Option<NodeId> {
+        self.nodes[n.idx()].parent
+    }
+
+    /// Whether node `n` is still part of the tree.
+    #[inline]
+    pub fn is_alive(&self, n: NodeId) -> bool {
+        n.idx() < self.nodes.len() && self.nodes[n.idx()].alive
+    }
+
+    /// Add a child with marking `m` under `parent`. Fails if `parent` is an
+    /// atomic-value node (Definition 2.1 (i)) or dead.
+    pub fn add_child(&mut self, parent: NodeId, m: Marking) -> Result<NodeId> {
+        if !self.is_alive(parent) {
+            return Err(AxmlError::DeadNode);
+        }
+        if self.marking(parent).is_value() {
+            return Err(AxmlError::ValueNodeWithChildren);
+        }
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(Node {
+            marking: m,
+            parent: Some(parent),
+            children: Vec::new(),
+            alive: true,
+        });
+        self.nodes[parent.idx()].children.push(id);
+        Ok(id)
+    }
+
+    /// Remove the subtree rooted at `n` (unlink from parent, mark dead).
+    /// Removing the root is not allowed.
+    pub fn remove_subtree(&mut self, n: NodeId) -> Result<()> {
+        if !self.is_alive(n) {
+            return Err(AxmlError::DeadNode);
+        }
+        let parent = self.nodes[n.idx()].parent.ok_or(AxmlError::DeadNode)?;
+        let siblings = &mut self.nodes[parent.idx()].children;
+        if let Some(pos) = siblings.iter().position(|&c| c == n) {
+            siblings.swap_remove(pos);
+        }
+        // Mark the whole subtree dead, iteratively.
+        let mut stack = vec![n];
+        while let Some(x) = stack.pop() {
+            self.nodes[x.idx()].alive = false;
+            stack.extend(self.nodes[x.idx()].children.iter().copied());
+            self.nodes[x.idx()].children.clear();
+        }
+        Ok(())
+    }
+
+    /// Number of live nodes.
+    pub fn node_count(&self) -> usize {
+        self.iter_live(self.root).count()
+    }
+
+    /// Total arena slots ever allocated (live + dead).
+    pub fn arena_len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Depth-first iterator over the live nodes of the subtree at `n`.
+    pub fn iter_live(&self, n: NodeId) -> LiveIter<'_> {
+        LiveIter {
+            tree: self,
+            stack: if self.is_alive(n) { vec![n] } else { vec![] },
+        }
+    }
+
+    /// All live function nodes, in depth-first order.
+    pub fn function_nodes(&self) -> Vec<NodeId> {
+        self.iter_live(self.root)
+            .filter(|&n| self.marking(n).is_func())
+            .collect()
+    }
+
+    /// Depth (edge count) of the subtree rooted at `n`.
+    pub fn depth(&self, n: NodeId) -> usize {
+        let mut max = 0usize;
+        let mut stack = vec![(n, 0usize)];
+        while let Some((x, d)) = stack.pop() {
+            max = max.max(d);
+            for &c in self.children(x) {
+                stack.push((c, d + 1));
+            }
+        }
+        max
+    }
+
+    /// Deep-copy the subtree rooted at `n` into a fresh tree.
+    pub fn subtree(&self, n: NodeId) -> Tree {
+        let mut out = Tree::new(self.marking(n));
+        let dst_root = out.root();
+        self.copy_children_into(n, &mut out, dst_root);
+        out
+    }
+
+    /// Copy the children subtrees of `src_node` (in `self`) as children of
+    /// `dst_node` in `dst`.
+    pub fn copy_children_into(&self, src_node: NodeId, dst: &mut Tree, dst_node: NodeId) {
+        for &c in self.children(src_node) {
+            self.copy_subtree_into(c, dst, dst_node);
+        }
+    }
+
+    /// Copy the subtree rooted at `src_node` (in `self`) as a new child of
+    /// `dst_node` in `dst`, returning the new subtree root's id.
+    pub fn copy_subtree_into(&self, src_node: NodeId, dst: &mut Tree, dst_node: NodeId) -> NodeId {
+        let new_root = dst
+            .add_child(dst_node, self.marking(src_node))
+            .expect("copy target must accept children");
+        let mut stack: Vec<(NodeId, NodeId)> = vec![(src_node, new_root)];
+        while let Some((s, d)) = stack.pop() {
+            for &c in self.children(s) {
+                let nd = dst
+                    .add_child(d, self.marking(c))
+                    .expect("copy target must accept children");
+                stack.push((c, nd));
+            }
+        }
+        new_root
+    }
+
+    /// Append a copy of `other` (whole tree) as a child of `parent`.
+    pub fn graft(&mut self, parent: NodeId, other: &Tree) -> Result<NodeId> {
+        if !self.is_alive(parent) {
+            return Err(AxmlError::DeadNode);
+        }
+        if self.marking(parent).is_value() {
+            return Err(AxmlError::ValueNodeWithChildren);
+        }
+        Ok(other.copy_subtree_into(other.root(), self, parent))
+    }
+
+    /// Rebuild the arena, dropping dead slots. Node ids are *not*
+    /// preserved; use only between engine runs.
+    pub fn compact(&self) -> Tree {
+        self.subtree(self.root)
+    }
+
+    /// Leaf count (live nodes with no children).
+    pub fn leaf_count(&self) -> usize {
+        self.iter_live(self.root)
+            .filter(|&n| self.children(n).is_empty())
+            .count()
+    }
+}
+
+/// Iterator over live nodes, depth-first preorder.
+pub struct LiveIter<'a> {
+    tree: &'a Tree,
+    stack: Vec<NodeId>,
+}
+
+impl Iterator for LiveIter<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let n = self.stack.pop()?;
+        self.stack.extend(self.tree.children(n).iter().copied());
+        Some(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Tree {
+        // a{b{"1"}, @f{c}}
+        let mut t = Tree::with_label("a");
+        let b = t.add_child(t.root(), Marking::label("b")).unwrap();
+        t.add_child(b, Marking::value("1")).unwrap();
+        let f = t.add_child(t.root(), Marking::func("f")).unwrap();
+        t.add_child(f, Marking::label("c")).unwrap();
+        t
+    }
+
+    #[test]
+    fn build_and_count() {
+        let t = sample();
+        assert_eq!(t.node_count(), 5);
+        assert_eq!(t.leaf_count(), 2);
+        assert_eq!(t.depth(t.root()), 2);
+    }
+
+    #[test]
+    fn values_stay_leaves() {
+        let mut t = Tree::with_label("a");
+        let v = t.add_child(t.root(), Marking::value("5")).unwrap();
+        assert_eq!(
+            t.add_child(v, Marking::label("x")),
+            Err(AxmlError::ValueNodeWithChildren)
+        );
+    }
+
+    #[test]
+    fn function_roots_rejected_for_documents() {
+        let t = Tree::new(Marking::func("f"));
+        assert_eq!(t.validate_document_root(), Err(AxmlError::FunctionRoot));
+        assert!(sample().validate_document_root().is_ok());
+    }
+
+    #[test]
+    fn remove_subtree_unlinks_and_kills() {
+        let mut t = sample();
+        let f = t.function_nodes()[0];
+        t.remove_subtree(f).unwrap();
+        assert!(!t.is_alive(f));
+        assert_eq!(t.node_count(), 3);
+        assert!(t.function_nodes().is_empty());
+        // Dead node operations fail.
+        assert_eq!(t.remove_subtree(f), Err(AxmlError::DeadNode));
+        assert_eq!(t.add_child(f, Marking::label("x")), Err(AxmlError::DeadNode));
+    }
+
+    #[test]
+    fn subtree_copy_is_deep() {
+        let t = sample();
+        let f = t.function_nodes()[0];
+        let sub = t.subtree(f);
+        assert_eq!(sub.node_count(), 2);
+        assert_eq!(sub.marking(sub.root()), Marking::func("f"));
+    }
+
+    #[test]
+    fn graft_appends_copy() {
+        let mut t = sample();
+        let extra = Tree::with_label("z");
+        let at = t.graft(t.root(), &extra).unwrap();
+        assert_eq!(t.marking(at), Marking::label("z"));
+        assert_eq!(t.children(t.root()).len(), 3);
+    }
+
+    #[test]
+    fn compact_preserves_structure() {
+        let mut t = sample();
+        let f = t.function_nodes()[0];
+        t.remove_subtree(f).unwrap();
+        let c = t.compact();
+        assert_eq!(c.node_count(), 3);
+        assert_eq!(c.arena_len(), 3);
+        assert!(t.arena_len() > c.arena_len());
+    }
+
+    #[test]
+    fn ids_stable_across_removal_of_sibling() {
+        let mut t = Tree::with_label("a");
+        let b = t.add_child(t.root(), Marking::label("b")).unwrap();
+        let c = t.add_child(t.root(), Marking::label("c")).unwrap();
+        t.remove_subtree(b).unwrap();
+        assert!(t.is_alive(c));
+        assert_eq!(t.marking(c), Marking::label("c"));
+    }
+}

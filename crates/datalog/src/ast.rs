@@ -1,0 +1,361 @@
+//! Datalog abstract syntax and parser.
+//!
+//! ```text
+//! edge("1", "2").
+//! path(X, Y) :- edge(X, Y).
+//! path(X, Y) :- edge(X, Z), path(Z, Y).
+//! ```
+//!
+//! Variables are capitalized identifiers; constants are quoted strings
+//! (keeping them aligned with AXML atomic values).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A term: variable or constant.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
+pub enum Term {
+    /// A variable (capitalized in the syntax).
+    Var(String),
+    /// A constant.
+    Const(String),
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Const(c) => write!(f, "{c:?}"),
+        }
+    }
+}
+
+/// An atom `pred(t1, …, tk)`.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Atom {
+    /// Predicate name.
+    pub pred: String,
+    /// Arguments.
+    pub args: Vec<Term>,
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.pred)?;
+        for (i, a) in self.args.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{a}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A rule `head :- body.` (facts have an empty body and a ground head).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Rule {
+    /// The derived atom.
+    pub head: Atom,
+    /// The joined body atoms.
+    pub body: Vec<Atom>,
+}
+
+impl Rule {
+    /// Range restriction: every head variable occurs in the body.
+    pub fn is_safe(&self) -> bool {
+        let body_vars: BTreeSet<&String> = self
+            .body
+            .iter()
+            .flat_map(|a| a.args.iter())
+            .filter_map(|t| match t {
+                Term::Var(v) => Some(v),
+                Term::Const(_) => None,
+            })
+            .collect();
+        self.head.args.iter().all(|t| match t {
+            Term::Var(v) => body_vars.contains(v),
+            Term::Const(_) => true,
+        })
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.head)?;
+        if !self.body.is_empty() {
+            write!(f, " :- ")?;
+            for (i, a) in self.body.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{a}")?;
+            }
+        }
+        write!(f, ".")
+    }
+}
+
+/// A positive datalog program: facts plus rules.
+#[derive(Clone, Default, Debug)]
+pub struct Program {
+    /// Ground facts.
+    pub facts: Vec<Atom>,
+    /// Proper rules (non-empty bodies).
+    pub rules: Vec<Rule>,
+}
+
+impl Program {
+    /// Predicate names with their arities (first-seen arity wins; a
+    /// mismatch is a parse error).
+    pub fn predicates(&self) -> BTreeMap<String, usize> {
+        let mut out = BTreeMap::new();
+        for a in self
+            .facts
+            .iter()
+            .chain(self.rules.iter().map(|r| &r.head))
+            .chain(self.rules.iter().flat_map(|r| r.body.iter()))
+        {
+            out.entry(a.pred.clone()).or_insert(a.args.len());
+        }
+        out
+    }
+
+    /// Intensional predicates (appearing in some rule head).
+    pub fn idb_predicates(&self) -> BTreeSet<String> {
+        self.rules.iter().map(|r| r.head.pred.clone()).collect()
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for a in &self.facts {
+            writeln!(f, "{a}.")?;
+        }
+        for r in &self.rules {
+            writeln!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Parse error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset.
+    pub pos: usize,
+    /// Description.
+    pub msg: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "datalog parse error at {}: {}", self.pos, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+struct P<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn err<T>(&self, msg: &str) -> Result<T, ParseError> {
+        Err(ParseError {
+            pos: self.pos,
+            msg: msg.to_string(),
+        })
+    }
+
+    fn ws(&mut self) {
+        loop {
+            while self.pos < self.src.len() && self.src[self.pos].is_ascii_whitespace() {
+                self.pos += 1;
+            }
+            // Comments: `% …\n`.
+            if self.pos < self.src.len() && self.src[self.pos] == b'%' {
+                while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+                    self.pos += 1;
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.ws();
+        self.src.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseError> {
+        self.ws();
+        let start = self.pos;
+        while self.pos < self.src.len()
+            && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start {
+            return self.err("expected identifier");
+        }
+        Ok(std::str::from_utf8(&self.src[start..self.pos])
+            .expect("ASCII")
+            .to_string())
+    }
+
+    fn term(&mut self) -> Result<Term, ParseError> {
+        match self.peek() {
+            Some(b'"') => {
+                self.pos += 1;
+                let start = self.pos;
+                while self.pos < self.src.len() && self.src[self.pos] != b'"' {
+                    self.pos += 1;
+                }
+                if self.pos >= self.src.len() {
+                    return self.err("unterminated constant");
+                }
+                let s = std::str::from_utf8(&self.src[start..self.pos])
+                    .expect("ASCII")
+                    .to_string();
+                self.pos += 1;
+                Ok(Term::Const(s))
+            }
+            Some(c) if c.is_ascii_uppercase() => Ok(Term::Var(self.ident()?)),
+            Some(c) if c.is_ascii_lowercase() || c.is_ascii_digit() => {
+                // Lowercase/digit-leading bare words are constants too
+                // (common datalog convention).
+                Ok(Term::Const(self.ident()?))
+            }
+            _ => self.err("expected term"),
+        }
+    }
+
+    fn atom(&mut self) -> Result<Atom, ParseError> {
+        let pred = self.ident()?;
+        if !self.eat(b'(') {
+            return self.err("expected '('");
+        }
+        let mut args = vec![self.term()?];
+        while self.eat(b',') {
+            args.push(self.term()?);
+        }
+        if !self.eat(b')') {
+            return self.err("expected ')'");
+        }
+        Ok(Atom { pred, args })
+    }
+}
+
+/// Parse a program.
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let mut p = P {
+        src: src.as_bytes(),
+        pos: 0,
+    };
+    let mut prog = Program::default();
+    let mut arities: BTreeMap<String, usize> = BTreeMap::new();
+    loop {
+        p.ws();
+        if p.pos >= p.src.len() {
+            break;
+        }
+        let head = p.atom()?;
+        let mut body = Vec::new();
+        if p.eat(b':') {
+            if !p.eat(b'-') {
+                return p.err("expected ':-'");
+            }
+            body.push(p.atom()?);
+            while p.eat(b',') {
+                body.push(p.atom()?);
+            }
+        }
+        if !p.eat(b'.') {
+            return p.err("expected '.'");
+        }
+        for a in std::iter::once(&head).chain(body.iter()) {
+            match arities.get(&a.pred) {
+                Some(&k) if k != a.args.len() => {
+                    return p.err(&format!("arity mismatch for {}", a.pred))
+                }
+                _ => {
+                    arities.insert(a.pred.clone(), a.args.len());
+                }
+            }
+        }
+        if body.is_empty() {
+            if head.args.iter().any(|t| matches!(t, Term::Var(_))) {
+                return p.err("facts must be ground");
+            }
+            prog.facts.push(head);
+        } else {
+            let rule = Rule { head, body };
+            if !rule.is_safe() {
+                return p.err("unsafe rule (head variable not in body)");
+            }
+            prog.rules.push(rule);
+        }
+    }
+    Ok(prog)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TC: &str = r#"
+        % transitive closure
+        edge("1", "2"). edge("2", "3").
+        path(X, Y) :- edge(X, Y).
+        path(X, Y) :- edge(X, Z), path(Z, Y).
+    "#;
+
+    #[test]
+    fn parse_tc() {
+        let p = parse_program(TC).unwrap();
+        assert_eq!(p.facts.len(), 2);
+        assert_eq!(p.rules.len(), 2);
+        assert_eq!(p.predicates()["edge"], 2);
+        assert!(p.idb_predicates().contains("path"));
+    }
+
+    #[test]
+    fn unsafe_rule_rejected() {
+        assert!(parse_program(r#"p(X) :- q(Y)."#).is_err());
+    }
+
+    #[test]
+    fn non_ground_fact_rejected() {
+        assert!(parse_program("p(X).").is_err());
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        assert!(parse_program(r#"p("1"). p("1","2")."#).is_err());
+    }
+
+    #[test]
+    fn bare_word_constants() {
+        let p = parse_program("edge(a, b). path(X,Y) :- edge(X,Y).").unwrap();
+        assert_eq!(p.facts[0].args[0], Term::Const("a".into()));
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let p = parse_program(TC).unwrap();
+        let p2 = parse_program(&p.to_string()).unwrap();
+        assert_eq!(p.to_string(), p2.to_string());
+    }
+}

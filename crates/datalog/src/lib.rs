@@ -1,0 +1,27 @@
+//! # axml-datalog — positive datalog substrate
+//!
+//! Example 3.2 of *Positive Active XML* shows a simple positive system
+//! computing a transitive closure, and §3.2 notes that "any datalog
+//! program can be simulated by a simple positive system". This crate
+//! provides the substrate to reproduce and benchmark that claim
+//! (experiment X4):
+//!
+//! * a positive (negation-free) datalog engine, with naive and
+//!   semi-naive bottom-up evaluation ([`engine`]) — the baseline;
+//! * a translation from datalog programs to simple positive AXML systems
+//!   ([`translate`]), generalizing the paper's binary example to n-ary
+//!   relations;
+//! * workload generators (chains, cycles, random digraphs, same-
+//!   generation trees) in [`workload`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod engine;
+pub mod translate;
+pub mod workload;
+
+pub use ast::{parse_program, Atom, Program, Rule, Term};
+pub use engine::{naive_eval, seminaive_eval, Database};
+pub use translate::{axml_eval, datalog_to_axml};

@@ -1,0 +1,29 @@
+//! # axml-p2p — simulated peer-to-peer AXML data management
+//!
+//! The paper frames AXML as "a powerful framework for distributed data
+//! management" over P2P networks (§1, §6): peers host documents and
+//! offer AXML services to one another; calls are activated repeatedly in
+//! a *pull* mode, or providers *push* new results to their callers — two
+//! essentially equivalent views of the same streams of data (§2.2
+//! remark). §6 also notes that detecting termination of the distributed
+//! system needs a dedicated mechanism, since each peer only sees its own
+//! fixpoint.
+//!
+//! This crate simulates that setting deterministically:
+//!
+//! * [`network`] — peers, peer-qualified service names (`peer.svc`),
+//!   message-counted request/response (pull) and subscription (push)
+//!   propagation, with randomizable delivery order for the confluence
+//!   experiments;
+//! * [`termination`] — a polling-based distributed quiescence detector
+//!   validated against the simulator's global oracle.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod network;
+pub mod termination;
+pub mod threaded;
+
+pub use network::{Mode, Network, NetworkStats, Peer};
+pub use threaded::{run_threaded, standalone_peer, ThreadedOutcome};

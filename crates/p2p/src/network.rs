@@ -1,0 +1,551 @@
+//! The simulated AXML peer network.
+//!
+//! Function nodes carry **peer-qualified** names `provider.service`.
+//! Invoking one sends a `Call` message carrying the call's `input`
+//! parameters and `context`; the provider evaluates its local positive
+//! query against its *own* documents (plus the shipped input/context)
+//! and replies with a forest, which the caller appends as siblings of
+//! the call node and reduces — exactly the single-system semantics of
+//! §2.2, distributed.
+//!
+//! Two propagation modes (§2.2's equivalent pull and push views):
+//!
+//! * **Pull** — every round, every call node re-requests; quiescence is
+//!   reached when a full round brings no change anywhere.
+//! * **Push** — the first request subscribes the call node at the
+//!   provider; afterwards the provider re-evaluates and pushes only when
+//!   one of its documents changed. Far fewer messages on stable data.
+
+use axml_core::error::{AxmlError, Result};
+use axml_core::eval::{snapshot, Env};
+use axml_core::forest::Forest;
+use axml_core::query::{parse_query, Query};
+use axml_core::reduce::{canonical_key, reduce_in_place, CanonKey};
+use axml_core::subsume::SubMemo;
+use axml_core::sym::{FxHashMap, Sym};
+use axml_core::system::{context_sym, input_sym};
+use axml_core::tree::{Marking, NodeId, Tree};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One peer: named documents plus locally-hosted positive services.
+#[derive(Clone)]
+pub struct Peer {
+    /// The peer's name.
+    pub name: Sym,
+    docs: FxHashMap<Sym, Tree>,
+    doc_order: Vec<Sym>,
+    services: FxHashMap<Sym, Query>,
+}
+
+impl Peer {
+    pub(crate) fn new(name: Sym) -> Peer {
+        Peer {
+            name,
+            docs: FxHashMap::default(),
+            doc_order: Vec::new(),
+            services: FxHashMap::default(),
+        }
+    }
+
+    /// Add a document (compact syntax).
+    pub fn add_document_text(&mut self, name: &str, src: &str) -> Result<()> {
+        let mut t = axml_core::parse::parse_document(src)?;
+        reduce_in_place(&mut t);
+        let name = Sym::intern(name);
+        if self.docs.insert(name, t).is_some() {
+            return Err(AxmlError::DuplicateDocument(name));
+        }
+        self.doc_order.push(name);
+        Ok(())
+    }
+
+    /// Host a service defined by a positive query over this peer's
+    /// documents (plus `input`/`context` shipped by callers).
+    pub fn add_service_text(&mut self, name: &str, query: &str) -> Result<()> {
+        let name = Sym::intern(name);
+        if self
+            .services
+            .insert(name, parse_query(query)?)
+            .is_some()
+        {
+            return Err(AxmlError::DuplicateService(name));
+        }
+        Ok(())
+    }
+
+    /// Read a document.
+    pub fn doc(&self, name: &str) -> Option<&Tree> {
+        self.docs.get(&Sym::intern(name))
+    }
+
+    /// Evaluate a locally-hosted service for the given input/context.
+    pub(crate) fn evaluate(&self, service: Sym, input: &Tree, context: &Tree) -> Result<Forest> {
+        let q = self
+            .services
+            .get(&service)
+            .ok_or(AxmlError::UnknownFunction(service))?;
+        let mut env = Env::new();
+        for d in &self.doc_order {
+            env.insert(*d, &self.docs[d]);
+        }
+        env.insert(input_sym(), input);
+        env.insert(context_sym(), context);
+        snapshot(q, &env)
+    }
+
+    /// Graft a response forest beside the call node; true if data was
+    /// added (the shared §2.2 delivery semantics).
+    pub(crate) fn deliver(&mut self, doc: Sym, node: NodeId, forest: &Forest) -> bool {
+        let Some(tree) = self.docs.get_mut(&doc) else {
+            return false;
+        };
+        if !tree.is_alive(node) {
+            return false;
+        }
+        let Some(parent) = tree.parent(node) else {
+            return false;
+        };
+        let mut grafted = false;
+        for r in forest.trees() {
+            let mut memo = SubMemo::new();
+            let already = tree
+                .children(parent)
+                .iter()
+                .any(|&c| memo.subsumed_at(r, r.root(), tree, c));
+            if !already {
+                tree.graft(parent, r).expect("parent is alive");
+                grafted = true;
+            }
+        }
+        if grafted {
+            reduce_in_place(tree);
+        }
+        grafted
+    }
+
+    /// Deterministic digest of this peer's documents.
+    pub(crate) fn digest(&self) -> Vec<(Sym, CanonKey)> {
+        self.doc_order
+            .iter()
+            .map(|d| (*d, canonical_key(&self.docs[d])))
+            .collect()
+    }
+
+    /// Build `input`/`context` for a call node, if it is still live.
+    pub(crate) fn call_arguments(&self, doc: Sym, node: NodeId) -> Option<(Tree, Tree)> {
+        let tree = self.docs.get(&doc)?;
+        if !tree.is_alive(node) {
+            return None;
+        }
+        let parent = tree.parent(node)?;
+        let mut input = Tree::with_label("input");
+        let iroot = input.root();
+        tree.copy_children_into(node, &mut input, iroot);
+        Some((input, tree.subtree(parent)))
+    }
+
+    /// Live function nodes across this peer's documents.
+    pub(crate) fn function_nodes(&self) -> Vec<(Sym, NodeId, Sym)> {
+        let mut out = Vec::new();
+        for d in &self.doc_order {
+            let t = &self.docs[d];
+            for n in t.iter_live(t.root()) {
+                if let Marking::Func(f) = t.marking(n) {
+                    out.push((*d, n, f));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Propagation mode.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Mode {
+    /// Callers re-request every round.
+    Pull,
+    /// Callers subscribe once; providers push on change.
+    Push,
+}
+
+/// Message and work accounting.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NetworkStats {
+    /// Rounds executed.
+    pub rounds: usize,
+    /// Call/request messages sent.
+    pub calls_sent: usize,
+    /// Response/push messages delivered.
+    pub responses: usize,
+    /// Responses that actually added data somewhere.
+    pub productive_responses: usize,
+    /// Service evaluations at providers.
+    pub evaluations: usize,
+}
+
+/// A subscription (push mode): re-deliver to this call site when the
+/// provider's data changes.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct Subscription {
+    caller: Sym,
+    doc: Sym,
+    node: NodeId,
+    provider: Sym,
+    service: Sym,
+}
+
+/// The network of peers.
+pub struct Network {
+    peers: Vec<Peer>,
+    index: FxHashMap<Sym, usize>,
+    mode: Mode,
+    rng: Option<StdRng>,
+    subs: Vec<Subscription>,
+    /// Canonical keys of each peer's docs at the last push round.
+    last_keys: FxHashMap<Sym, Vec<(Sym, CanonKey)>>,
+    /// Global stats.
+    pub stats: NetworkStats,
+}
+
+impl Network {
+    /// An empty network in the given mode; `seed` randomizes delivery
+    /// order (None = deterministic order).
+    pub fn new(mode: Mode, seed: Option<u64>) -> Network {
+        Network {
+            peers: Vec::new(),
+            index: FxHashMap::default(),
+            mode,
+            rng: seed.map(StdRng::seed_from_u64),
+            subs: Vec::new(),
+            last_keys: FxHashMap::default(),
+            stats: NetworkStats::default(),
+        }
+    }
+
+    /// Add a peer and get a handle to populate it.
+    pub fn add_peer(&mut self, name: &str) -> &mut Peer {
+        let sym = Sym::intern(name);
+        let idx = self.peers.len();
+        self.peers.push(Peer::new(sym));
+        self.index.insert(sym, idx);
+        &mut self.peers[idx]
+    }
+
+    /// Access a peer.
+    pub fn peer(&self, name: &str) -> Option<&Peer> {
+        self.index.get(&Sym::intern(name)).map(|&i| &self.peers[i])
+    }
+
+    /// Split `provider.service` into its halves.
+    fn resolve(&self, qualified: Sym) -> Result<(usize, Sym)> {
+        let s = qualified.as_str();
+        let Some((peer, svc)) = s.split_once('.') else {
+            return Err(AxmlError::UnknownFunction(qualified));
+        };
+        let pidx = *self
+            .index
+            .get(&Sym::intern(peer))
+            .ok_or(AxmlError::UnknownFunction(qualified))?;
+        Ok((pidx, Sym::intern(svc)))
+    }
+
+    /// Evaluate `service` at provider `pidx` for the given input/context.
+    fn evaluate(
+        &mut self,
+        pidx: usize,
+        service: Sym,
+        input: &Tree,
+        context: &Tree,
+    ) -> Result<Forest> {
+        self.stats.evaluations += 1;
+        self.peers[pidx].evaluate(service, input, context)
+    }
+
+    /// Deliver a response forest to a call site; true if data was added.
+    fn deliver(&mut self, caller: Sym, doc: Sym, node: NodeId, forest: &Forest) -> bool {
+        let cidx = self.index[&caller];
+        self.peers[cidx].deliver(doc, node, forest)
+    }
+
+    /// One fair round. Returns true if any document changed.
+    fn round(&mut self) -> Result<bool> {
+        self.stats.rounds += 1;
+        let mut changed = false;
+
+        // Gather the call sites to serve this round.
+        let mut work: Vec<(Sym, Sym, NodeId, Sym)> = Vec::new(); // (caller, doc, node, qualified)
+        match self.mode {
+            Mode::Pull => {
+                for p in &self.peers {
+                    for (d, n, f) in p.function_nodes() {
+                        work.push((p.name, d, n, f));
+                    }
+                }
+            }
+            Mode::Push => {
+                // New, unsubscribed call nodes always fire (subscribe).
+                for p in &self.peers {
+                    for (d, n, f) in p.function_nodes() {
+                        let sub_exists = self.subs.iter().any(|s| {
+                            s.caller == p.name && s.doc == d && s.node == n
+                        });
+                        if !sub_exists {
+                            work.push((p.name, d, n, f));
+                        }
+                    }
+                }
+                // Subscribed nodes fire only if their provider changed.
+                let dirty: Vec<Sym> = self
+                    .peers
+                    .iter()
+                    .filter(|p| self.last_keys.get(&p.name) != Some(&p.digest()))
+                    .map(|p| p.name)
+                    .collect();
+                for s in &self.subs {
+                    if dirty.contains(&s.provider) {
+                        let qualified =
+                            Sym::intern(&format!("{}.{}", s.provider, s.service));
+                        work.push((s.caller, s.doc, s.node, qualified));
+                    }
+                }
+                // Snapshot provider keys for the next round.
+                self.last_keys = self
+                    .peers
+                    .iter()
+                    .map(|p| (p.name, p.digest()))
+                    .collect();
+            }
+        }
+
+        if let Some(rng) = self.rng.as_mut() {
+            work.shuffle(rng);
+        }
+
+        for (caller, doc, node, qualified) in work {
+            let cidx = self.index[&caller];
+            // The node may have been merged away by an earlier reduction.
+            let Some((input, context)) = self.peers[cidx].call_arguments(doc, node) else {
+                continue;
+            };
+            let (pidx, svc) = self.resolve(qualified)?;
+            self.stats.calls_sent += 1;
+            let forest = self.evaluate(pidx, svc, &input, &context)?;
+            self.stats.responses += 1;
+            if self.mode == Mode::Push {
+                let sub = Subscription {
+                    caller,
+                    doc,
+                    node,
+                    provider: self.peers[pidx].name,
+                    service: svc,
+                };
+                if !self.subs.contains(&sub) {
+                    self.subs.push(sub);
+                }
+            }
+            if self.deliver(caller, doc, node, &forest) {
+                self.stats.productive_responses += 1;
+                changed = true;
+            }
+        }
+        Ok(changed)
+    }
+
+    /// Run rounds until global quiescence or the round budget.
+    /// Returns true if quiescence was reached.
+    pub fn run(&mut self, max_rounds: usize) -> Result<bool> {
+        for _ in 0..max_rounds {
+            let changed = self.round()?;
+            if !changed && self.no_pending_work() {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Oracle quiescence check: in push mode, unsubscribed calls are
+    /// pending work even if the last round was quiet.
+    fn no_pending_work(&self) -> bool {
+        match self.mode {
+            Mode::Pull => true,
+            Mode::Push => self.peers.iter().all(|p| {
+                p.function_nodes().iter().all(|(d, n, _)| {
+                    self.subs
+                        .iter()
+                        .any(|s| s.caller == p.name && s.doc == *d && s.node == *n)
+                })
+            }),
+        }
+    }
+
+    /// Canonical key of the whole network state (for confluence checks).
+    pub fn canonical_key(&self) -> Vec<(Sym, Sym, CanonKey)> {
+        let mut out = Vec::new();
+        for p in &self.peers {
+            for d in &p.doc_order {
+                out.push((p.name, *d, canonical_key(&p.docs[d])));
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
+    /// Peer names.
+    pub fn peer_names(&self) -> Vec<Sym> {
+        self.peers.iter().map(|p| p.name).collect()
+    }
+
+    /// Per-peer change indicator used by the distributed termination
+    /// detector: the canonical keys of one peer's documents.
+    pub fn peer_state_key(&self, name: Sym) -> Vec<(Sym, CanonKey)> {
+        self.peers[self.index[&name]].digest()
+    }
+
+    /// Run exactly one round (building block for the termination
+    /// detector experiments).
+    pub fn step_round(&mut self) -> Result<bool> {
+        self.round()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axml_core::subsume::equivalent;
+
+    /// Two peers: a portal pulling reviews from a store.
+    fn portal_network(mode: Mode, seed: Option<u64>) -> Network {
+        let mut net = Network::new(mode, seed);
+        let store = net.add_peer("store");
+        store
+            .add_document_text("cds", r#"catalog{cd{title{"Body and Soul"}}, cd{title{"So What"}}}"#)
+            .unwrap();
+        store
+            .add_service_text("titles", "t{$x} :- cds/catalog{cd{title{$x}}}")
+            .unwrap();
+        let portal = net.add_peer("portal");
+        portal
+            .add_document_text("dir", "directory{@store.titles}")
+            .unwrap();
+        net
+    }
+
+    #[test]
+    fn pull_mode_collects_remote_data() {
+        let mut net = portal_network(Mode::Pull, None);
+        assert!(net.run(100).unwrap());
+        let dir = net.peer("portal").unwrap().doc("dir").unwrap();
+        let expected = axml_core::parse::parse_tree(
+            r#"directory{@store.titles, t{"Body and Soul"}, t{"So What"}}"#,
+        )
+        .unwrap();
+        assert!(equivalent(dir, &expected), "got {dir}");
+    }
+
+    #[test]
+    fn push_and_pull_reach_the_same_state() {
+        let mut pull = portal_network(Mode::Pull, None);
+        pull.run(100).unwrap();
+        let mut push = portal_network(Mode::Push, None);
+        push.run(100).unwrap();
+        assert_eq!(pull.canonical_key(), push.canonical_key());
+    }
+
+    #[test]
+    fn push_mode_sends_fewer_messages_on_stable_data() {
+        let mut pull = portal_network(Mode::Pull, None);
+        // Force several extra rounds to model continued polling.
+        for _ in 0..5 {
+            pull.step_round().unwrap();
+        }
+        let mut push = portal_network(Mode::Push, None);
+        for _ in 0..5 {
+            push.step_round().unwrap();
+        }
+        assert!(
+            push.stats.calls_sent < pull.stats.calls_sent,
+            "push {} vs pull {}",
+            push.stats.calls_sent,
+            pull.stats.calls_sent
+        );
+    }
+
+    #[test]
+    fn confluence_across_delivery_orders() {
+        let mut reference = portal_network(Mode::Pull, None);
+        reference.run(100).unwrap();
+        for seed in [1u64, 7, 2024] {
+            let mut net = portal_network(Mode::Pull, Some(seed));
+            assert!(net.run(100).unwrap());
+            assert_eq!(net.canonical_key(), reference.canonical_key());
+        }
+    }
+
+    #[test]
+    fn three_peer_chain_and_intensional_answers() {
+        // c asks b; b's answer itself contains a call to a — intensional
+        // data travels between peers (the §1 portal story).
+        let mut net = Network::new(Mode::Pull, None);
+        let a = net.add_peer("a");
+        a.add_document_text("base", r#"r{v{"42"}}"#).unwrap();
+        a.add_service_text("get", "w{$x} :- base/r{v{$x}}").unwrap();
+        let b = net.add_peer("b");
+        b.add_document_text("mid", "m{hint}").unwrap();
+        // b's answer ships a *call to a.get*, not the data itself.
+        b.add_service_text("relay", "wrap{@a.get} :- mid/m{hint}").unwrap();
+        let c = net.add_peer("c");
+        c.add_document_text("out", "o{@b.relay}").unwrap();
+        assert!(net.run(100).unwrap());
+        let out = net.peer("c").unwrap().doc("out").unwrap();
+        let expected = axml_core::parse::parse_tree(
+            r#"o{@b.relay, wrap{@a.get, w{"42"}}}"#,
+        )
+        .unwrap();
+        assert!(equivalent(out, &expected), "got {out}");
+    }
+
+    #[test]
+    fn recursive_distributed_closure() {
+        // Distributed transitive closure: the portal joins its own
+        // accumulated answers (Example 3.2 across two peers).
+        let mut net = Network::new(Mode::Pull, None);
+        let store = net.add_peer("store");
+        store
+            .add_document_text(
+                "edges",
+                r#"r{t{from{"1"},to{"2"}}, t{from{"2"},to{"3"}}, t{from{"3"},to{"4"}}}"#,
+            )
+            .unwrap();
+        store
+            .add_service_text("base", "t{from{$x},to{$y}} :- edges/r{t{from{$x},to{$y}}}")
+            .unwrap();
+        let portal = net.add_peer("portal");
+        portal
+            .add_document_text("acc", "r{@store.base, @portal.join}")
+            .unwrap();
+        portal
+            .add_service_text(
+                "join",
+                "t{from{$x},to{$y}} :- acc/r{t{from{$x},to{$z}}, t{from{$z},to{$y}}}",
+            )
+            .unwrap();
+        assert!(net.run(100).unwrap());
+        let acc = net.peer("portal").unwrap().doc("acc").unwrap();
+        let tuples = acc
+            .children(acc.root())
+            .iter()
+            .filter(|&&n| acc.marking(n) == Marking::label("t"))
+            .count();
+        assert_eq!(tuples, 6);
+    }
+
+    #[test]
+    fn unknown_peer_errors() {
+        let mut net = Network::new(Mode::Pull, None);
+        let p = net.add_peer("solo");
+        p.add_document_text("d", "a{@ghost.svc}").unwrap();
+        assert!(net.run(10).is_err());
+    }
+}

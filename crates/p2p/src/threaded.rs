@@ -1,0 +1,389 @@
+//! Truly concurrent peers: each peer runs on its own OS thread and
+//! exchanges AXML messages over channels.
+//!
+//! The round-based [`crate::network`] simulator is deterministic; this
+//! module removes that crutch. Peers pull concurrently, interleave
+//! arbitrarily, and a coordinator detects global quiescence with a
+//! double-wave protocol (digests stable *and* the network's global
+//! sent/received counters balanced across two consecutive polls — the
+//! classical guard against in-flight laggards). Theorem 2.1 predicts
+//! that, despite the nondeterminism, the final state equals the
+//! deterministic simulator's fixpoint — which is exactly what the tests
+//! assert, across many runs.
+
+use crate::network::Peer;
+use axml_core::error::{AxmlError, Result};
+use axml_core::forest::Forest;
+use axml_core::reduce::CanonKey;
+use axml_core::sym::{FxHashMap, Sym};
+use axml_core::tree::{NodeId, Tree};
+use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::thread;
+use std::time::Duration;
+
+/// A message between peer threads.
+enum Msg {
+    /// Invoke `service` at the receiver on behalf of `(caller, doc, node)`.
+    Call {
+        caller: Sym,
+        doc: Sym,
+        node: NodeId,
+        service: Sym,
+        input: Tree,
+        context: Tree,
+    },
+    /// The provider's answer for a call site, stamped with the
+    /// provider's state digest so the caller knows whether the provider
+    /// is still evolving (and must be re-pulled).
+    Response {
+        doc: Sym,
+        node: NodeId,
+        forest: Forest,
+        provider: Sym,
+        provider_digest: Vec<(Sym, CanonKey)>,
+    },
+    /// A provider's documents changed: past callers should re-pull.
+    /// (The §2.2 push view assisting the pull loop — without it, a
+    /// provider that changes after a caller's last pull would never be
+    /// re-queried.)
+    Changed,
+    /// Coordinator poll: report a digest and the message counters.
+    Poll(Sender<PollReply>),
+    /// Stop and ship the final peer state back.
+    Shutdown(Sender<Peer>),
+}
+
+struct PollReply {
+    digest: Vec<(Sym, CanonKey)>,
+    sent: u64,
+    received: u64,
+    /// No pending pull scheduled (the peer will stay silent unless a
+    /// message arrives).
+    idle: bool,
+}
+
+/// Statistics of a threaded run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ThreadedStats {
+    /// Polling waves until quiescence.
+    pub waves: usize,
+    /// Total messages sent by peers (calls + responses).
+    pub messages: u64,
+}
+
+/// Outcome of a threaded run: the final peers plus statistics.
+pub struct ThreadedOutcome {
+    /// Final peer states, by name.
+    pub peers: FxHashMap<Sym, Peer>,
+    /// Run statistics.
+    pub stats: ThreadedStats,
+}
+
+impl ThreadedOutcome {
+    /// Canonical key of the final network state (for comparisons with
+    /// the deterministic simulator).
+    pub fn canonical_key(&self) -> Vec<(Sym, Sym, CanonKey)> {
+        let mut out = Vec::new();
+        for (name, peer) in &self.peers {
+            for (d, k) in peer.digest() {
+                out.push((*name, d, k));
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+/// Run the given peers concurrently (pull mode) until the coordinator
+/// detects global quiescence or `max_waves` polls pass.
+pub fn run_threaded(peers: Vec<Peer>, max_waves: usize) -> Result<ThreadedOutcome> {
+    let names: Vec<Sym> = peers.iter().map(|p| p.name).collect();
+    let mut senders: FxHashMap<Sym, Sender<Msg>> = FxHashMap::default();
+    let mut receivers: Vec<(Peer, Receiver<Msg>)> = Vec::new();
+    for peer in peers {
+        let (tx, rx) = unbounded::<Msg>();
+        senders.insert(peer.name, tx);
+        receivers.push((peer, rx));
+    }
+
+    let mut handles = Vec::new();
+    for (peer, rx) in receivers {
+        let peers_tx = senders.clone();
+        handles.push(thread::spawn(move || peer_loop(peer, rx, peers_tx)));
+    }
+
+    // Coordinator: two consecutive waves where every peer is idle, the
+    // digests are unchanged, the global counters balance (nothing in
+    // flight: every sent message was processed), and the counters did
+    // not move between the waves (nothing was sent in between). Any
+    // message or pending pull after a peer's poll bumps a counter and
+    // voids the fire condition — race-free by monotonicity.
+    let mut stats = ThreadedStats::default();
+    let mut prev: Option<(Vec<Vec<(Sym, CanonKey)>>, u64, u64)> = None;
+    let mut quiesced = false;
+    for _ in 0..max_waves {
+        stats.waves += 1;
+        thread::sleep(Duration::from_millis(3));
+        let mut digests = Vec::new();
+        let mut sent = 0u64;
+        let mut received = 0u64;
+        let mut all_idle = true;
+        let mut ok = true;
+        for name in &names {
+            let (rtx, rrx) = unbounded();
+            if senders[name].send(Msg::Poll(rtx)).is_err() {
+                ok = false;
+                break;
+            }
+            match rrx.recv_timeout(Duration::from_secs(5)) {
+                Ok(reply) => {
+                    digests.push(reply.digest);
+                    sent += reply.sent;
+                    received += reply.received;
+                    all_idle &= reply.idle;
+                }
+                Err(_) => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if !ok {
+            break;
+        }
+        let balanced = sent == received;
+        if all_idle && balanced {
+            if let Some((pd, ps, pr)) = &prev {
+                if *pd == digests && *ps == sent && *pr == received {
+                    stats.messages = sent;
+                    quiesced = true;
+                    break;
+                }
+            }
+            prev = Some((digests, sent, received));
+        } else {
+            prev = None;
+        }
+    }
+
+    // Shut everything down and collect final states.
+    let mut final_peers: FxHashMap<Sym, Peer> = FxHashMap::default();
+    for name in &names {
+        let (rtx, rrx) = unbounded();
+        let _ = senders[name].send(Msg::Shutdown(rtx));
+        if let Ok(peer) = rrx.recv_timeout(Duration::from_secs(5)) {
+            final_peers.insert(*name, peer);
+        }
+    }
+    for h in handles {
+        let _ = h.join();
+    }
+    if !quiesced {
+        return Err(AxmlError::BudgetExhausted);
+    }
+    Ok(ThreadedOutcome {
+        peers: final_peers,
+        stats,
+    })
+}
+
+/// The peer's event loop: serve calls, absorb responses, keep pulling.
+fn peer_loop(mut peer: Peer, rx: Receiver<Msg>, peers_tx: FxHashMap<Sym, Sender<Msg>>) {
+    let myname = peer.name;
+    let mut sent = 0u64;
+    let mut received = 0u64;
+    // Re-pull when: never pulled, new data arrived, our own documents
+    // changed, or a provider's stamped digest shows it is still moving.
+    let mut need_pull = true;
+    let mut provider_digests: FxHashMap<Sym, Vec<(Sym, CanonKey)>> = FxHashMap::default();
+    let mut callers_seen: Vec<Sym> = Vec::new();
+    loop {
+        match rx.recv_timeout(Duration::from_millis(2)) {
+            Ok(Msg::Call {
+                caller,
+                doc,
+                node,
+                service,
+                input,
+                context,
+            }) => {
+                received += 1;
+                if !callers_seen.contains(&caller) {
+                    callers_seen.push(caller);
+                }
+                if let Ok(forest) = peer.evaluate(service, &input, &context) {
+                    if let Some(tx) = peers_tx.get(&caller) {
+                        sent += 1;
+                        let _ = tx.send(Msg::Response {
+                            doc,
+                            node,
+                            forest,
+                            provider: myname,
+                            provider_digest: peer.digest(),
+                        });
+                    }
+                }
+            }
+            Ok(Msg::Response {
+                doc,
+                node,
+                forest,
+                provider,
+                provider_digest,
+            }) => {
+                received += 1;
+                let changed = peer.deliver(doc, node, &forest);
+                let known = provider_digests.insert(provider, provider_digest.clone());
+                if changed || known.as_ref() != Some(&provider_digest) {
+                    need_pull = true;
+                }
+                if changed {
+                    // Our own data moved: past callers must re-pull us.
+                    for c in &callers_seen {
+                        if let Some(tx) = peers_tx.get(c) {
+                            sent += 1;
+                            let _ = tx.send(Msg::Changed);
+                        }
+                    }
+                }
+            }
+            Ok(Msg::Changed) => {
+                received += 1;
+                need_pull = true;
+            }
+            Ok(Msg::Poll(reply)) => {
+                let _ = reply.send(PollReply {
+                    digest: peer.digest(),
+                    sent,
+                    received,
+                    idle: !need_pull,
+                });
+            }
+            Ok(Msg::Shutdown(reply)) => {
+                let _ = reply.send(peer);
+                return;
+            }
+            Err(RecvTimeoutError::Timeout) => {
+                if need_pull {
+                    for (doc, node, qualified) in peer.function_nodes() {
+                        let Some((provider, service)) = split_qualified(qualified) else {
+                            continue;
+                        };
+                        let Some((input, context)) = peer.call_arguments(doc, node) else {
+                            continue;
+                        };
+                        if let Some(tx) = peers_tx.get(&provider) {
+                            sent += 1;
+                            let _ = tx.send(Msg::Call {
+                                caller: myname,
+                                doc,
+                                node,
+                                service,
+                                input,
+                                context,
+                            });
+                        }
+                    }
+                    need_pull = false;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        }
+    }
+}
+
+fn split_qualified(qualified: Sym) -> Option<(Sym, Sym)> {
+    let s = qualified.as_str();
+    let (peer, svc) = s.split_once('.')?;
+    Some((Sym::intern(peer), Sym::intern(svc)))
+}
+
+/// Convenience: build peers with a closure and run them.
+pub fn run_with(
+    build: impl FnOnce(&mut Vec<Peer>),
+    max_waves: usize,
+) -> Result<ThreadedOutcome> {
+    let mut peers = Vec::new();
+    build(&mut peers);
+    run_threaded(peers, max_waves)
+}
+
+/// Create a standalone peer (for [`run_threaded`]).
+pub fn standalone_peer(name: &str) -> Peer {
+    Peer::new(Sym::intern(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::{Mode, Network};
+
+    fn build_peers() -> Vec<Peer> {
+        let mut store = standalone_peer("store");
+        store
+            .add_document_text(
+                "cds",
+                r#"catalog{cd{title{"Body and Soul"}}, cd{title{"So What"}}}"#,
+            )
+            .unwrap();
+        store
+            .add_service_text("titles", "t{$x} :- cds/catalog{cd{title{$x}}}")
+            .unwrap();
+        let mut hub = standalone_peer("hub");
+        hub.add_document_text("feed", "feed{@store.titles}").unwrap();
+        hub.add_service_text("relay", "got{$x} :- feed/feed{t{$x}}").unwrap();
+        let mut portal = standalone_peer("portal");
+        portal.add_document_text("page", "page{@hub.relay}").unwrap();
+        vec![store, hub, portal]
+    }
+
+    fn reference_key() -> Vec<(Sym, Sym, CanonKey)> {
+        let mut net = Network::new(Mode::Pull, None);
+        {
+            let p = net.add_peer("store");
+            p.add_document_text(
+                "cds",
+                r#"catalog{cd{title{"Body and Soul"}}, cd{title{"So What"}}}"#,
+            )
+            .unwrap();
+            p.add_service_text("titles", "t{$x} :- cds/catalog{cd{title{$x}}}")
+                .unwrap();
+        }
+        {
+            let p = net.add_peer("hub");
+            p.add_document_text("feed", "feed{@store.titles}").unwrap();
+            p.add_service_text("relay", "got{$x} :- feed/feed{t{$x}}").unwrap();
+        }
+        {
+            let p = net.add_peer("portal");
+            p.add_document_text("page", "page{@hub.relay}").unwrap();
+        }
+        net.run(100).unwrap();
+        net.canonical_key()
+    }
+
+    #[test]
+    fn threaded_run_matches_deterministic_simulator() {
+        let reference = reference_key();
+        // Several runs: thread interleavings differ, the fixpoint must not.
+        for attempt in 0..3 {
+            let out = run_threaded(build_peers(), 2_000)
+                .unwrap_or_else(|e| panic!("attempt {attempt}: {e}"));
+            assert_eq!(
+                out.canonical_key(),
+                reference,
+                "attempt {attempt}: threaded fixpoint differs"
+            );
+            assert!(out.stats.messages >= 2);
+        }
+    }
+
+    #[test]
+    fn quiescence_detected_promptly_on_static_network() {
+        let mut solo = standalone_peer("solo");
+        solo.add_document_text("d", r#"a{"static"}"#).unwrap();
+        let out = run_threaded(vec![solo], 2_000).unwrap();
+        assert_eq!(out.stats.messages, 0);
+        assert!(out.stats.waves >= 2);
+    }
+}

@@ -1,0 +1,29 @@
+//! # axml-tm — Turing machines and their AXML encoding (Lemma 3.1)
+//!
+//! Lemma 3.1 of *Positive Active XML*: any Turing machine can be
+//! simulated by a positive AXML system, with the tape represented as a
+//! "line" tree. This crate builds both sides of the claim:
+//!
+//! * a TM model and direct step interpreter ([`machine`]) — the ground
+//!   truth;
+//! * the compiler to positive AXML systems ([`encode`]), literal to the
+//!   proof sketch: configurations as trees holding the state and two
+//!   line trees for the tape halves, one (non-simple, tree-variable)
+//!   service per transition, all configurations accumulated in one
+//!   document;
+//! * a library of sample machines ([`samples`]) used by the tests and
+//!   experiment X6.
+//!
+//! Corollary 3.1 (undecidability of positive-system termination) rests
+//! on this encoding; the tests confirm that non-halting machines yield
+//! non-terminating systems and halting ones reach fixpoints.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod encode;
+pub mod machine;
+pub mod samples;
+
+pub use encode::{encode_tm, run_axml_tm, AxmlTmOutcome};
+pub use machine::{Dir, Outcome, Tm};

@@ -1,0 +1,118 @@
+//! A small library of Turing machines for tests and experiment X6.
+//!
+//! Symbols are identifier-safe words (`one`, `zero`, `a`, `b`, `x`, `y`)
+//! so they can double as AXML labels in the Lemma 3.1 encoding.
+
+use crate::machine::{Dir, Tm};
+
+/// Append one `one` to a unary number: run right to the first blank,
+/// write `one`, accept.
+pub fn unary_successor() -> Tm {
+    Tm::new(
+        "q0",
+        "qa",
+        None,
+        &[
+            ("q0", "one", "q0", "one", Dir::R),
+            ("q0", "blank", "qa", "one", Dir::R),
+        ],
+    )
+}
+
+/// Accept iff the number of `one`s is even (scan right, flip parity).
+pub fn even_parity() -> Tm {
+    Tm::new(
+        "even",
+        "qa",
+        Some("qr"),
+        &[
+            ("even", "one", "odd", "one", Dir::R),
+            ("odd", "one", "even", "one", Dir::R),
+            ("even", "blank", "qa", "blank", Dir::R),
+            ("odd", "blank", "qr", "blank", Dir::R),
+        ],
+    )
+}
+
+/// Recognize `aⁿbⁿ` by crossing off matching `a`/`b` pairs (`x`/`y`
+/// markers).
+pub fn anbn() -> Tm {
+    Tm::new(
+        "q0",
+        "qa",
+        Some("qr"),
+        &[
+            // q0: at (logical) start; find the first unmarked a.
+            ("q0", "x", "q0", "x", Dir::R),
+            ("q0", "a", "q1", "x", Dir::R),
+            ("q0", "y", "q3", "y", Dir::R), // no a's left: verify only y's remain
+            ("q0", "blank", "qa", "blank", Dir::R), // empty word
+            // q1: skip a's and y's, find the first b.
+            ("q1", "a", "q1", "a", Dir::R),
+            ("q1", "y", "q1", "y", Dir::R),
+            ("q1", "b", "q2", "y", Dir::L),
+            ("q1", "blank", "qr", "blank", Dir::R),
+            // q2: rewind to the leftmost x block.
+            ("q2", "a", "q2", "a", Dir::L),
+            ("q2", "y", "q2", "y", Dir::L),
+            ("q2", "x", "q0", "x", Dir::R),
+            // q3: after the a's are gone everything must be y.
+            ("q3", "y", "q3", "y", Dir::R),
+            ("q3", "blank", "qa", "blank", Dir::R),
+            ("q3", "a", "qr", "a", Dir::R),
+            ("q3", "b", "qr", "b", Dir::R),
+            // stray symbols in q0.
+            ("q0", "b", "qr", "b", Dir::R),
+        ],
+    )
+}
+
+/// Increment an LSB-first binary number (`one`/`zero`), carrying.
+pub fn binary_increment() -> Tm {
+    Tm::new(
+        "carry",
+        "qa",
+        None,
+        &[
+            ("carry", "one", "carry", "zero", Dir::R),
+            ("carry", "zero", "qa", "one", Dir::R),
+            ("carry", "blank", "qa", "one", Dir::R),
+        ],
+    )
+}
+
+/// A machine that never halts and never cycles (for Corollary 3.1's
+/// non-termination direction): march right forever, writing `one`s, so
+/// every configuration is new.
+pub fn spinner() -> Tm {
+    Tm::new(
+        "q0",
+        "qa",
+        None,
+        &[
+            ("q0", "one", "q0", "one", Dir::R),
+            ("q0", "zero", "q0", "one", Dir::R),
+            ("q0", "blank", "q0", "one", Dir::R),
+        ],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_samples_are_well_formed() {
+        for tm in [
+            unary_successor(),
+            even_parity(),
+            anbn(),
+            binary_increment(),
+            spinner(),
+        ] {
+            assert!(tm.states().contains(&tm.start));
+            assert!(tm.states().contains(&tm.accept));
+            assert!(tm.symbols().contains("blank"));
+        }
+    }
+}

@@ -1,0 +1,68 @@
+//! Quickstart: the paper's §1 jazz-portal document, service invocation,
+//! subsumption and reduction.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use positive_axml::core::engine::{run, EngineConfig};
+use positive_axml::core::{equivalent, parse_document, parse_tree, reduce, subsumed, System};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // §2.1's example document: extensional cds, plus intensional data
+    // behind service calls (`@name{…}` marks a function node).
+    let mut sys = System::new();
+    sys.add_document_text(
+        "directory",
+        r#"directory{
+            cd{title{"L'amour"}, singer{"Carla Bruni"}, rating{"***"}},
+            cd{title{"Body and Soul"}, singer{"Billie Holiday"},
+               @GetRating{"Body and Soul"}},
+            cd{title{"Where or When"}, singer{"Peggy Lee"}, rating{"*****"}},
+            @FreeMusicDB{type{"Jazz"}}
+        }"#,
+    )?;
+
+    // GetRating is a positive service: a conjunctive query over a local
+    // ratings database, reading its parameter through `input`.
+    sys.add_document_text(
+        "ratings",
+        r#"db{entry{name{"Body and Soul"}, stars{"****"}},
+             entry{name{"So What"}, stars{"*****"}}}"#,
+    )?;
+    sys.add_service_text(
+        "GetRating",
+        r#"rating{$s} :- input/input{$n}, ratings/db{entry{name{$n}, stars{$s}}}"#,
+    )?;
+    // FreeMusicDB returns more jazz cds (here a constant answer).
+    sys.add_service_text(
+        "FreeMusicDB",
+        r#"cd{title{"Kind of Blue"}, singer{"Miles Davis"}, @GetRating{"So What"}} :-"#,
+    )?;
+    sys.validate()?;
+
+    println!("before: {}\n", sys.doc("directory".into()).unwrap());
+
+    // Run a fair rewriting to the fixpoint (Definition 2.4/2.5). Note the
+    // FreeMusicDB answer itself contained a call — intensional data.
+    let (status, stats) = run(&mut sys, &EngineConfig::default())?;
+    println!(
+        "engine: {status:?} after {} invocations ({} productive)\n",
+        stats.invocations, stats.productive
+    );
+    println!("after:  {}\n", sys.doc("directory".into()).unwrap());
+
+    // Subsumption and reduction (Definition 2.2, Proposition 2.1).
+    let a = parse_tree("a{b{c,c},b{c,d,d}}")?;
+    let r = reduce(&a);
+    println!("reduce({a}) = {r}");
+    assert!(equivalent(&a, &r));
+    assert!(subsumed(&parse_tree("b{c,c}")?, &parse_tree("b{c,d,d}")?));
+
+    // Documents are unordered: these two parse to equivalent trees.
+    let x = parse_document("songs{s{\"1\"}, s{\"2\"}}")?;
+    let y = parse_document("songs{s{\"2\"}, s{\"1\"}}")?;
+    assert!(equivalent(&x, &y));
+    println!("\nok: unordered equivalence and reduction behave as in the paper");
+    Ok(())
+}

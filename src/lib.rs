@@ -1,0 +1,13 @@
+//! # positive-axml — facade crate
+//!
+//! Re-exports the crates of the *Positive Active XML* (PODS 2004)
+//! reproduction under one roof. See `README.md`, `DESIGN.md`, and the
+//! runnable programs under `examples/`.
+
+#![forbid(unsafe_code)]
+
+pub use axml_automata as automata;
+pub use axml_core as core;
+pub use axml_datalog as datalog;
+pub use axml_p2p as p2p;
+pub use axml_tm as tm;

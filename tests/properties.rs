@@ -1,0 +1,174 @@
+//! Property-based tests of the core invariants (proptest).
+//!
+//! Random AXML trees exercise Proposition 2.1 (reduction/subsumption),
+//! §2.1's lattice structure (lub), and Proposition 3.1 (snapshot
+//! monotonicity) on arbitrary inputs rather than hand-picked ones.
+
+use positive_axml::core::eval::{snapshot, Env};
+use positive_axml::core::query::parse_query;
+use positive_axml::core::reduce::{canonical_key, is_reduced, lub, reduce};
+use positive_axml::core::{equivalent, subsumed, Marking, Tree};
+use proptest::prelude::*;
+
+/// A random tree over a tiny alphabet (labels a-d, values "0"/"1",
+/// function f) — small alphabets maximize sibling collisions, which is
+/// where reduction is interesting.
+fn arb_tree() -> impl Strategy<Value = Tree> {
+    // Recursive structure: a node is (marking index, children).
+    #[derive(Clone, Debug)]
+    enum Spec {
+        Label(u8, Vec<Spec>),
+        Value(u8),
+        Func(u8, Vec<Spec>),
+    }
+    let leaf = prop_oneof![
+        (0u8..4).prop_map(|l| Spec::Label(l, vec![])),
+        (0u8..2).prop_map(Spec::Value),
+        (0u8..2).prop_map(|f| Spec::Func(f, vec![])),
+    ];
+    let node = leaf.prop_recursive(4, 24, 4, |inner| {
+        prop_oneof![
+            ((0u8..4), prop::collection::vec(inner.clone(), 0..4))
+                .prop_map(|(l, cs)| Spec::Label(l, cs)),
+            ((0u8..2), prop::collection::vec(inner, 0..3))
+                .prop_map(|(f, cs)| Spec::Func(f, cs)),
+            (0u8..2).prop_map(Spec::Value),
+        ]
+    });
+    // Root must be a label.
+    ((0u8..4), prop::collection::vec(node, 0..4)).prop_map(|(l, cs)| {
+        fn build(t: &mut Tree, parent: positive_axml::core::NodeId, s: &Spec) {
+            match s {
+                Spec::Label(l, cs) => {
+                    let id = t
+                        .add_child(parent, Marking::label(&format!("l{l}")))
+                        .unwrap();
+                    for c in cs {
+                        build(t, id, c);
+                    }
+                }
+                Spec::Value(v) => {
+                    t.add_child(parent, Marking::value(&format!("{v}"))).unwrap();
+                }
+                Spec::Func(f, cs) => {
+                    let id = t
+                        .add_child(parent, Marking::func(&format!("f{f}")))
+                        .unwrap();
+                    for c in cs {
+                        build(t, id, c);
+                    }
+                }
+            }
+        }
+        let mut t = Tree::new(Marking::label(&format!("l{l}")));
+        let root = t.root();
+        for c in &cs {
+            build(&mut t, root, c);
+        }
+        t
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Prop 2.1 (2): reduction yields an equivalent, reduced tree, and
+    /// is idempotent.
+    #[test]
+    fn reduction_sound_and_idempotent(t in arb_tree()) {
+        let r = reduce(&t);
+        prop_assert!(equivalent(&t, &r));
+        prop_assert!(is_reduced(&r));
+        let rr = reduce(&r);
+        prop_assert_eq!(canonical_key(&r), canonical_key(&rr));
+    }
+
+    /// Prop 2.1 (2): equivalent trees have identical canonical keys —
+    /// built here by shuffling child insertion through an extra reduce
+    /// and by duplicating subtrees (which reduction absorbs).
+    #[test]
+    fn canonical_keys_respect_equivalence(t in arb_tree()) {
+        // Duplicate the first child (if any): equivalent by definition.
+        let mut dup = t.clone();
+        if let Some(&c) = dup.children(dup.root()).first() {
+            let copy = dup.subtree(c);
+            let root = dup.root();
+            dup.graft(root, &copy).unwrap();
+        }
+        prop_assert!(equivalent(&t, &dup));
+        prop_assert_eq!(canonical_key(&t), canonical_key(&dup));
+    }
+
+    /// Prop 2.1 (1): subsumption is reflexive and transitive on random
+    /// triples (transitivity checked when premises hold).
+    #[test]
+    fn subsumption_preorder(a in arb_tree(), b in arb_tree(), c in arb_tree()) {
+        prop_assert!(subsumed(&a, &a));
+        if subsumed(&a, &b) && subsumed(&b, &c) {
+            prop_assert!(subsumed(&a, &c));
+        }
+    }
+
+    /// §2.1: `lub` is an upper bound and least among upper bounds of the
+    /// same root marking.
+    #[test]
+    fn lub_is_least_upper_bound(a in arb_tree(), b in arb_tree()) {
+        // Force comparable roots by re-rooting b onto a's root marking.
+        let mut b2 = Tree::new(a.marking(a.root()));
+        let b2root = b2.root();
+        b.copy_children_into(b.root(), &mut b2, b2root);
+        let u = lub(&a, &b2).unwrap();
+        prop_assert!(subsumed(&a, &u));
+        prop_assert!(subsumed(&b2, &u));
+        // Any other upper bound dominates u: test with u ∪ extra.
+        let mut bigger = u.clone();
+        let broot = bigger.root();
+        bigger.add_child(broot, Marking::label("extra")).unwrap();
+        prop_assert!(subsumed(&u, &bigger));
+    }
+
+    /// Prop 3.1 (1): snapshot evaluation is monotone — growing the
+    /// document can only grow the result.
+    #[test]
+    fn snapshot_monotone(t in arb_tree(), extra in arb_tree()) {
+        let q = parse_query("hit{?l} :- d/?r{?l{$v}}").unwrap();
+        let small_res = {
+            let mut env = Env::new();
+            env.insert("d".into(), &t);
+            snapshot(&q, &env).unwrap()
+        };
+        // Grow: graft `extra` under the root.
+        let mut grown = t.clone();
+        let root = grown.root();
+        grown.graft(root, &extra).unwrap();
+        let big_res = {
+            let mut env = Env::new();
+            env.insert("d".into(), &grown);
+            snapshot(&q, &env).unwrap()
+        };
+        prop_assert!(subsumed(&t, &grown));
+        prop_assert!(small_res.subsumed_by(&big_res));
+    }
+
+    /// Graph import/unfold is the identity on finite trees, and graph
+    /// simulation coincides with tree subsumption (regular-tree layer
+    /// soundness, underpinning Lemma 3.2).
+    #[test]
+    fn graph_simulation_matches_tree_subsumption(a in arb_tree(), b in arb_tree()) {
+        use positive_axml::core::regular::{simulated, Graph};
+        let mut g = Graph::new();
+        let na = g.import_tree(&a);
+        let nb = g.import_tree(&b);
+        prop_assert_eq!(simulated(&g, na, &g, nb), subsumed(&a, &b));
+        let back = g.unfold_exact(na).unwrap();
+        prop_assert!(equivalent(&a, &back));
+    }
+
+    /// Parser/serializer roundtrip through the compact syntax.
+    #[test]
+    fn display_parse_roundtrip(t in arb_tree()) {
+        let text = t.to_string();
+        let back = positive_axml::core::parse_tree(&text).unwrap();
+        prop_assert!(equivalent(&t, &back));
+    }
+}
