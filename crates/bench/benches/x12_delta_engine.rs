@@ -1,0 +1,68 @@
+//! X12 bench (experiment X14 in EXPERIMENTS.md) — naive vs delta-driven
+//! engine mode on the X4-style transitive-closure workload and the X6
+//! Turing-machine workload.
+//!
+//! The shape to observe: on the sharded TC digraph the delta scheduler
+//! skips every static loader after its first firing (≥5× fewer snapshot
+//! evaluations, same fixpoint); on the TM workload nearly every call
+//! reads its own growing document, so delta degenerates gracefully to
+//! naive cost plus bookkeeping.
+
+use axml_bench::tc_random_digraph;
+use axml_core::engine::{run, EngineConfig, EngineMode};
+use axml_tm::encode::encode_tm;
+use axml_tm::samples;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn bench_tc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("x12/tc-digraph");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    for &n in &[32usize, 64] {
+        let sys = tc_random_digraph(n, 6, 12);
+        g.bench_with_input(BenchmarkId::new("naive", n), &sys, |b, s| {
+            b.iter(|| {
+                let mut runner = s.clone();
+                run(&mut runner, &EngineConfig::default()).unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("delta", n), &sys, |b, s| {
+            b.iter(|| {
+                let mut runner = s.clone();
+                run(&mut runner, &EngineConfig::with_mode(EngineMode::Delta)).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_tm(c: &mut Criterion) {
+    let mut g = c.benchmark_group("x12/turing");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    let cases = [
+        ("parity-6", encode_tm(&samples::even_parity(), &["one"; 6]).unwrap()),
+        ("anbn-4", encode_tm(&samples::anbn(), &["a", "a", "b", "b"]).unwrap()),
+    ];
+    for (name, sys) in &cases {
+        g.bench_with_input(BenchmarkId::new("naive", name), sys, |b, s| {
+            b.iter(|| {
+                let mut runner = s.clone();
+                run(&mut runner, &EngineConfig::with_budget(5_000)).unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("delta", name), sys, |b, s| {
+            b.iter(|| {
+                let mut runner = s.clone();
+                let cfg = EngineConfig {
+                    mode: EngineMode::Delta,
+                    ..EngineConfig::with_budget(5_000)
+                };
+                run(&mut runner, &cfg).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_tc, bench_tm);
+criterion_main!(benches);

@@ -9,9 +9,9 @@
 
 use axml_bench::{
     catalog, pipeline_system, poisoned_portal, random_tree, rating_query, star_network,
-    tc_system,
+    tc_random_digraph, tc_system,
 };
-use axml_core::engine::{run, EngineConfig, RunStatus, Strategy};
+use axml_core::engine::{run, EngineConfig, EngineMode, RunStatus, Strategy};
 use axml_core::eval::{snapshot, snapshot_with_stats, Env};
 use axml_core::fireonce::run_fire_once;
 use axml_core::forest::Forest;
@@ -506,6 +506,42 @@ fn x13() {
     }
 }
 
+/// X14 — delta-driven engine mode (bench `x12_delta_engine`).
+fn x14() {
+    header(
+        "X14",
+        "delta engine — skip calls whose read set is unchanged (bench x12_delta_engine)",
+    );
+    println!(
+        "{:>16} {:>7} {:>12} {:>12} {:>9} {:>11} {:>7} {:>7}",
+        "workload", "mode", "evals", "skipped", "hits", "misses", "ratio", "agree"
+    );
+    for &(name, n) in &[("tc-digraph-32", 32usize), ("tc-digraph-64", 64)] {
+        let mut naive = tc_random_digraph(n, 6, 12);
+        let (ns, nstats) = run(&mut naive, &EngineConfig::default()).unwrap();
+        let mut delta = tc_random_digraph(n, 6, 12);
+        let (ds, dstats) =
+            run(&mut delta, &EngineConfig::with_mode(EngineMode::Delta)).unwrap();
+        assert_eq!(ns, RunStatus::Terminated);
+        assert_eq!(ds, RunStatus::Terminated);
+        let agree = naive.canonical_key() == delta.canonical_key();
+        assert!(agree);
+        let ratio = nstats.invocations as f64 / dstats.invocations as f64;
+        println!(
+            "{name:>16} {:>7} {:>12} {:>12} {:>9} {:>11} {:>7} {:>7}",
+            "naive", nstats.invocations, nstats.skipped, "-", "-", "", ""
+        );
+        println!(
+            "{name:>16} {:>7} {:>12} {:>12} {:>9} {:>11} {ratio:>6.1}x {agree:>7}",
+            "delta", dstats.invocations, dstats.skipped, dstats.cache_hits, dstats.cache_misses
+        );
+        assert!(nstats.invocations >= 5 * dstats.invocations);
+    }
+    println!("(claim: ≥5x fewer snapshot evaluations on tc-digraph-64, same fixpoint;");
+    println!(" soundness: monotone services re-fed unchanged read sets produce only");
+    println!(" already-subsumed output, so skipping preserves Thm 2.1 confluence)");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let all = args.is_empty();
@@ -549,6 +585,9 @@ fn main() {
     }
     if want("x13") {
         x13();
+    }
+    if want("x14") {
+        x14();
     }
     println!("\nall requested experiments completed in {:.1}s", t0.elapsed().as_secs_f64());
 }

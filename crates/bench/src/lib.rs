@@ -126,6 +126,76 @@ pub fn tc_system(n: usize) -> System {
     sys
 }
 
+/// X12's workload: transitive closure of a random `n`-node digraph whose
+/// edge set is sharded across `shards` static edge documents.
+///
+/// The digraph is a spine `0 → 1 → … → n/4` (the diameter driver — it
+/// forces the linear closure rule through ≥ n/4 rewriting rounds) plus
+/// `n/4` random extra edges over all `n` nodes. Each shard document
+/// `e{i}` holds its slice of the edges; `d1` hosts, per shard, one
+/// loader call emitting `t` tuples and one emitting `e` tuples (both
+/// read *only* their static shard), plus the closure call
+/// `f : t(x,y) :- d1/r{t(x,z), e(z,y)}`.
+///
+/// Under the naive engine every loader is re-invoked every round; under
+/// the delta engine each loader runs exactly once because its read set
+/// (its shard) never changes. That asymmetry is what experiment X12
+/// measures.
+pub fn tc_random_digraph(n: usize, shards: usize, seed: u64) -> System {
+    assert!(n >= 4 && shards >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let spine = n / 4;
+    let mut edges: Vec<(usize, usize)> = (0..spine).map(|i| (i, i + 1)).collect();
+    for _ in 0..n / 4 {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b && !edges.contains(&(a, b)) {
+            edges.push((a, b));
+        }
+    }
+
+    let mut sys = System::new();
+    for s in 0..shards {
+        let mut doc = String::from("r{");
+        let mut any = false;
+        for (j, (a, b)) in edges.iter().enumerate() {
+            if j % shards == s {
+                doc.push_str(&format!(r#"edge{{from{{"{a}"}},to{{"{b}"}}}},"#));
+                any = true;
+            }
+        }
+        if any {
+            doc.pop();
+        }
+        doc.push('}');
+        sys.add_document_text(&format!("e{s}"), &doc).unwrap();
+    }
+    let mut d1 = String::from("r{");
+    for s in 0..shards {
+        d1.push_str(&format!("@loadt{s},@loade{s},"));
+    }
+    d1.push_str("@f}");
+    sys.add_document_text("d1", &d1).unwrap();
+    for s in 0..shards {
+        sys.add_service_text(
+            &format!("loadt{s}"),
+            &format!("t{{from{{$x}},to{{$y}}}} :- e{s}/r{{edge{{from{{$x}},to{{$y}}}}}}"),
+        )
+        .unwrap();
+        sys.add_service_text(
+            &format!("loade{s}"),
+            &format!("e{{from{{$x}},to{{$y}}}} :- e{s}/r{{edge{{from{{$x}},to{{$y}}}}}}"),
+        )
+        .unwrap();
+    }
+    sys.add_service_text(
+        "f",
+        "t{from{$x},to{$y}} :- d1/r{t{from{$x},to{$z}}, e{from{$z},to{$y}}}",
+    )
+    .unwrap();
+    sys
+}
+
 /// A `depth`-deep catalog for the path-expression experiments (X10).
 pub fn catalog(width: usize, depth: usize) -> String {
     fn level(width: usize, depth: usize, idx: usize) -> String {
@@ -215,6 +285,31 @@ mod tests {
             .filter(|&&n| d1.marking(n) == Marking::label("t"))
             .count();
         assert_eq!(tuples, 6 * 5 / 2);
+    }
+
+    #[test]
+    fn tc_random_digraph_delta_is_5x_cheaper_and_equivalent() {
+        // X12's acceptance criterion: on the n=64 random-digraph TC
+        // workload the delta engine performs ≥5× fewer snapshot
+        // evaluations than the naive engine while reaching an
+        // equivalent final system.
+        use axml_core::engine::EngineMode;
+
+        let mut naive = tc_random_digraph(64, 6, 12);
+        let mut delta = tc_random_digraph(64, 6, 12);
+        let (ns, nstats) = run(&mut naive, &EngineConfig::default()).unwrap();
+        let (ds, dstats) =
+            run(&mut delta, &EngineConfig::with_mode(EngineMode::Delta)).unwrap();
+        assert_eq!(ns, RunStatus::Terminated);
+        assert_eq!(ds, RunStatus::Terminated);
+        assert_eq!(naive.canonical_key(), delta.canonical_key());
+        assert!(dstats.skipped > 0, "delta mode never skipped a call");
+        assert!(
+            nstats.invocations >= 5 * dstats.invocations,
+            "naive={} delta={}: below the 5x bar",
+            nstats.invocations,
+            dstats.invocations
+        );
     }
 
     #[test]

@@ -211,6 +211,59 @@ pub fn is_acyclic(sys: &System) -> bool {
     DepGraph::build(sys).is_acyclic()
 }
 
+/// The documents a call to one service may *read* — the inputs its
+/// result forest can depend on. Derived from the same information as the
+/// dependency graph's `(f, d)` edges, but kept separate because the
+/// delta engine also needs to know whether the call's **own** document
+/// matters (it does exactly when the query mentions the reserved
+/// `input`/`context` documents, which are built from the call's subtree
+/// and parent subtree).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReadSet {
+    /// Unknown definition (black box, or head function variables able to
+    /// mint arbitrary calls): conservatively reads every document.
+    All,
+    /// A positive service: the stored documents named by its body atoms,
+    /// plus — when `own_doc` — the document hosting the invoked call.
+    Docs {
+        /// Stored documents named in body atoms (deduplicated).
+        docs: Vec<Sym>,
+        /// Does the query read `input` or `context` (so the result
+        /// depends on the call's own document)?
+        own_doc: bool,
+    },
+}
+
+impl ReadSet {
+    /// Does a call in document `host` read document `d`?
+    pub fn reads(&self, host: Sym, d: Sym) -> bool {
+        match self {
+            ReadSet::All => true,
+            ReadSet::Docs { docs, own_doc } => {
+                docs.contains(&d) || (*own_doc && host == d)
+            }
+        }
+    }
+}
+
+/// Compute the read set of service `f` in `sys` (conservative
+/// [`ReadSet::All`] when `f` is unknown or not positively defined).
+pub fn read_set(sys: &System, f: Sym) -> ReadSet {
+    let Some(q) = sys.service_query(f) else {
+        return ReadSet::All;
+    };
+    let mut own_doc = false;
+    let mut docs = Vec::new();
+    for d in q.doc_names() {
+        if d == input_sym() || d == context_sym() {
+            own_doc = true;
+        } else if !docs.contains(&d) {
+            docs.push(d);
+        }
+    }
+    ReadSet::Docs { docs, own_doc }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -275,6 +328,60 @@ mod tests {
             .unwrap();
         // bb conservatively depends on d, and d contains bb: cycle.
         assert!(!is_acyclic(&sys));
+    }
+
+    #[test]
+    fn read_sets_follow_body_atoms() {
+        let sys = acyclic_portal();
+        let fetch = Sym::intern("fetch");
+        let reviews = Sym::intern("reviews");
+        let portal = Sym::intern("portal");
+        let rs = read_set(&sys, fetch);
+        assert_eq!(
+            rs,
+            ReadSet::Docs {
+                docs: vec![reviews],
+                own_doc: false
+            }
+        );
+        assert!(rs.reads(portal, reviews));
+        // A fetch call hosted in portal does NOT read portal itself.
+        assert!(!rs.reads(portal, portal));
+    }
+
+    #[test]
+    fn input_context_pull_in_own_document() {
+        let mut sys = System::new();
+        sys.add_document_text("d", "a{a{b},@g}").unwrap();
+        sys.add_service_text("g", "a{a{#X}} :- context/a{a{#X}}")
+            .unwrap();
+        let rs = read_set(&sys, Sym::intern("g"));
+        assert_eq!(
+            rs,
+            ReadSet::Docs {
+                docs: vec![],
+                own_doc: true
+            }
+        );
+        let d = Sym::intern("d");
+        assert!(rs.reads(d, d));
+        assert!(!rs.reads(d, Sym::intern("other")));
+    }
+
+    #[test]
+    fn black_box_reads_everything() {
+        let mut sys = System::new();
+        sys.add_document_text("d", "a{@bb}").unwrap();
+        sys.add_black_box(
+            "bb",
+            BlackBoxService::constant("c", crate::forest::Forest::new()),
+        )
+        .unwrap();
+        let rs = read_set(&sys, Sym::intern("bb"));
+        assert_eq!(rs, ReadSet::All);
+        assert!(rs.reads(Sym::intern("d"), Sym::intern("anything")));
+        // Unknown service: also conservative.
+        assert_eq!(read_set(&sys, Sym::intern("ghost")), ReadSet::All);
     }
 
     #[test]

@@ -15,8 +15,10 @@
 //! [`run_restricted`] implements the paper's `[I↓N]` (§4): a fair
 //! rewriting that never invokes the calls in a given exclusion set.
 
+use crate::depgraph::{read_set, ReadSet};
 use crate::error::Result;
-use crate::invoke::invoke_node;
+use crate::eval::MatchCache;
+use crate::invoke::invoke_node_cached;
 use crate::sym::{FxHashMap, Sym};
 use crate::system::System;
 use crate::tree::NodeId;
@@ -36,7 +38,27 @@ pub enum Strategy {
     Random(u64),
 }
 
-/// Engine budgets and strategy.
+/// How the engine decides *which* pending calls to actually evaluate.
+/// Orthogonal to [`Strategy`] (which only orders the visits).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineMode {
+    /// Invoke every live call every round (the paper's fair rewriting,
+    /// verbatim).
+    Naive,
+    /// Semi-naive: skip any call whose entire *read set* — the documents
+    /// its service's body atoms name, plus its own document when the
+    /// query mentions `input`/`context` — is unchanged since the call's
+    /// previous invocation. Sound because services are deterministic
+    /// functions of their read set and systems are monotone: unchanged
+    /// inputs reproduce the previous (already grafted, hence subsumed)
+    /// output. A skipped call re-fires as soon as any read document's
+    /// version changes, so runs stay fair and Theorem 2.1's confluence
+    /// is preserved. Also evaluates positive services through the
+    /// per-atom [`MatchCache`].
+    Delta,
+}
+
+/// Engine budgets, strategy, and evaluation mode.
 #[derive(Clone, Copy, Debug)]
 pub struct EngineConfig {
     /// Maximum number of invocations (productive or not).
@@ -45,6 +67,8 @@ pub struct EngineConfig {
     pub max_nodes: usize,
     /// Visit order.
     pub strategy: Strategy,
+    /// Evaluation mode (naive or delta-driven).
+    pub mode: EngineMode,
 }
 
 impl Default for EngineConfig {
@@ -53,6 +77,7 @@ impl Default for EngineConfig {
             max_invocations: 100_000,
             max_nodes: 1_000_000,
             strategy: Strategy::RoundRobin,
+            mode: EngineMode::Naive,
         }
     }
 }
@@ -70,6 +95,14 @@ impl EngineConfig {
     pub fn with_strategy(strategy: Strategy) -> EngineConfig {
         EngineConfig {
             strategy,
+            ..EngineConfig::default()
+        }
+    }
+
+    /// A config with the given mode, default elsewhere.
+    pub fn with_mode(mode: EngineMode) -> EngineConfig {
+        EngineConfig {
+            mode,
             ..EngineConfig::default()
         }
     }
@@ -93,10 +126,20 @@ pub enum RunStatus {
 pub struct RunStats {
     /// Complete rounds executed.
     pub rounds: usize,
-    /// Total invocations (including no-ops).
+    /// Total invocations actually evaluated (including no-ops). In
+    /// [`EngineMode::Delta`] this is the number of snapshot/service
+    /// evaluations performed; skipped visits are counted separately.
     pub invocations: usize,
     /// Invocations that strictly grew a document.
     pub productive: usize,
+    /// Pending calls *not* evaluated because their read set was
+    /// unchanged since their previous invocation (always 0 in
+    /// [`EngineMode::Naive`]).
+    pub skipped: usize,
+    /// Per-atom match-cache hits ([`EngineMode::Delta`] only).
+    pub cache_hits: usize,
+    /// Per-atom match-cache misses ([`EngineMode::Delta`] only).
+    pub cache_misses: usize,
     /// Invocations per function name.
     pub per_function: FxHashMap<Sym, usize>,
     /// Live nodes at the end of the run.
@@ -121,7 +164,27 @@ pub fn run_restricted(
         Strategy::Random(seed) => Some(StdRng::seed_from_u64(seed)),
         _ => None,
     };
-    loop {
+    let delta = cfg.mode == EngineMode::Delta;
+
+    // Delta-mode bookkeeping. Read sets are derivable once per run: the
+    // document and service name spaces of a system are fixed, only
+    // document *contents* evolve. Logical time is a single counter that
+    // ticks on every document change; a call may be skipped iff no
+    // document of its read set changed after the call's last invocation.
+    let read_sets: FxHashMap<Sym, ReadSet> = if delta {
+        sys.service_names()
+            .iter()
+            .map(|&f| (f, read_set(sys, f)))
+            .collect()
+    } else {
+        FxHashMap::default()
+    };
+    let mut stamp: u64 = 0;
+    let mut doc_changed_at: FxHashMap<Sym, u64> = FxHashMap::default();
+    let mut invoked_at: FxHashMap<(Sym, NodeId), u64> = FxHashMap::default();
+    let mut cache = MatchCache::new();
+
+    let status = 'run: loop {
         let mut pending = sys.function_nodes();
         match cfg.strategy {
             Strategy::RoundRobin => {}
@@ -132,8 +195,7 @@ pub fn run_restricted(
         }
         pending.retain(|&(d, n)| allow(d, n));
         if pending.is_empty() {
-            stats.final_nodes = sys.node_count();
-            return Ok((RunStatus::Terminated, stats));
+            break 'run RunStatus::Terminated;
         }
         let mut any_change = false;
         for (d, n) in pending {
@@ -143,32 +205,64 @@ pub fn run_restricted(
             if !sys.doc(d).map(|t| t.is_alive(n)).unwrap_or(false) {
                 continue;
             }
-            if stats.invocations >= cfg.max_invocations {
-                stats.final_nodes = sys.node_count();
-                return Ok((RunStatus::InvocationBudget, stats));
-            }
             let fname = match sys.doc(d).map(|t| t.marking(n)) {
                 Some(crate::tree::Marking::Func(f)) => f,
                 _ => continue,
             };
-            let outcome = invoke_node(sys, d, n)?;
+            if delta {
+                // Never invoked before ⇒ must run once; otherwise skip
+                // iff every read document is unchanged since then.
+                if let Some(&at) = invoked_at.get(&(d, n)) {
+                    let changed_at =
+                        |e: &Sym| doc_changed_at.get(e).copied().unwrap_or(0);
+                    let unchanged = match read_sets.get(&fname) {
+                        Some(ReadSet::Docs { docs, own_doc }) => {
+                            docs.iter().all(|e| changed_at(e) <= at)
+                                && (!own_doc || changed_at(&d) <= at)
+                        }
+                        // Black box / unknown service: conservative.
+                        _ => sys.doc_names().iter().all(|e| changed_at(e) <= at),
+                    };
+                    if unchanged {
+                        stats.skipped += 1;
+                        continue;
+                    }
+                }
+            }
+            if stats.invocations >= cfg.max_invocations {
+                break 'run RunStatus::InvocationBudget;
+            }
+            let outcome =
+                invoke_node_cached(sys, d, n, delta.then_some(&mut cache))?;
             stats.invocations += 1;
             *stats.per_function.entry(fname).or_insert(0) += 1;
+            if delta {
+                // The invocation read state at time `stamp`; its own
+                // change (if any) is stamped strictly later so calls
+                // reading their host document re-fire.
+                invoked_at.insert((d, n), stamp);
+                if outcome.changed {
+                    stamp += 1;
+                    doc_changed_at.insert(d, stamp);
+                }
+            }
             if outcome.changed {
                 stats.productive += 1;
                 any_change = true;
             }
             if sys.node_count() > cfg.max_nodes {
-                stats.final_nodes = sys.node_count();
-                return Ok((RunStatus::NodeBudget, stats));
+                break 'run RunStatus::NodeBudget;
             }
         }
         stats.rounds += 1;
         if !any_change {
-            stats.final_nodes = sys.node_count();
-            return Ok((RunStatus::Terminated, stats));
+            break 'run RunStatus::Terminated;
         }
-    }
+    };
+    stats.final_nodes = sys.node_count();
+    stats.cache_hits = cache.hits();
+    stats.cache_misses = cache.misses();
+    Ok((status, stats))
 }
 
 #[cfg(test)]
@@ -343,6 +437,111 @@ mod tests {
             stats.invocations,
             stats.per_function.values().sum::<usize>()
         );
+    }
+
+    #[test]
+    fn delta_mode_matches_naive_and_skips() {
+        let mut naive = tc_system();
+        let (ns, nstats) = run(&mut naive, &EngineConfig::default()).unwrap();
+        assert_eq!(ns, RunStatus::Terminated);
+
+        let mut delta = tc_system();
+        let (ds, dstats) =
+            run(&mut delta, &EngineConfig::with_mode(EngineMode::Delta)).unwrap();
+        assert_eq!(ds, RunStatus::Terminated);
+        assert_eq!(naive.canonical_key(), delta.canonical_key());
+        // g reads only d0 (static): after its first evaluation every
+        // later visit is skipped, so delta evaluates strictly less.
+        assert!(dstats.skipped > 0, "stats: {dstats:?}");
+        assert!(dstats.invocations < nstats.invocations);
+        assert_eq!(nstats.skipped, 0);
+    }
+
+    #[test]
+    fn delta_mode_confluent_across_strategies() {
+        let mut reference = tc_system();
+        run(&mut reference, &EngineConfig::default()).unwrap();
+        for strategy in [Strategy::RoundRobin, Strategy::Reverse, Strategy::Random(9)] {
+            let mut sys = tc_system();
+            let cfg = EngineConfig {
+                mode: EngineMode::Delta,
+                ..EngineConfig::with_strategy(strategy)
+            };
+            let (status, _) = run(&mut sys, &cfg).unwrap();
+            assert_eq!(status, RunStatus::Terminated);
+            assert_eq!(sys.canonical_key(), reference.canonical_key());
+        }
+    }
+
+    #[test]
+    fn delta_mode_reports_cache_traffic() {
+        // A cache hit needs a service that is *re*-evaluated (some read
+        // doc changed) while another of its atoms' docs is unchanged:
+        // `join` reads the static d0 and the growing d1.
+        fn mixed_reads() -> System {
+            let mut sys = System::new();
+            sys.add_document_text("d0", r#"r{v{"1"},v{"2"}}"#).unwrap();
+            sys.add_document_text("d1", "out{@join,@pump}").unwrap();
+            sys.add_service_text(
+                "join",
+                "pair{$x,$y} :- d0/r{v{$x}}, d1/out{w{$y}}",
+            )
+            .unwrap();
+            sys.add_service_text("pump", r#"w{"a"} :-"#).unwrap();
+            sys
+        }
+        let mut sys = mixed_reads();
+        let (status, stats) =
+            run(&mut sys, &EngineConfig::with_mode(EngineMode::Delta)).unwrap();
+        assert_eq!(status, RunStatus::Terminated);
+        assert!(stats.cache_misses > 0);
+        assert!(stats.cache_hits > 0, "stats: {stats:?}");
+        // Same final system as the naive engine.
+        let mut naive = mixed_reads();
+        let (_, nstats) = run(&mut naive, &EngineConfig::default()).unwrap();
+        assert_eq!(naive.canonical_key(), sys.canonical_key());
+        // Naive mode leaves the cache untouched.
+        assert_eq!(nstats.cache_hits + nstats.cache_misses, 0);
+    }
+
+    #[test]
+    fn delta_mode_context_readers_keep_firing() {
+        // Example 3.3: g reads its own document through `context`, so its
+        // read set changes after every productive call — delta must not
+        // starve it.
+        let mut sys = System::new();
+        sys.add_document_text("d", "a{a{b},@g}").unwrap();
+        sys.add_service_text("g", "a{a{#X}} :- context/a{a{#X}}")
+            .unwrap();
+        let cfg = EngineConfig {
+            mode: EngineMode::Delta,
+            ..EngineConfig::with_budget(10)
+        };
+        let (status, stats) = run(&mut sys, &cfg).unwrap();
+        assert_eq!(status, RunStatus::InvocationBudget);
+        assert!(stats.productive >= 5);
+        let d = sys.doc(Sym::intern("d")).unwrap();
+        assert!(d.depth(d.root()) >= 5);
+    }
+
+    #[test]
+    fn delta_mode_black_boxes_are_conservative_but_terminate() {
+        use crate::forest::Forest;
+        use crate::service::BlackBoxService;
+        let mut naive = System::new();
+        naive
+            .add_document_text("d", r#"a{@bb}"#)
+            .unwrap();
+        let result = Forest::from_trees(vec![crate::parse::parse_tree("r{x}").unwrap()]);
+        naive
+            .add_black_box("bb", BlackBoxService::constant("c", result.clone()))
+            .unwrap();
+        let mut delta = naive.clone();
+        run(&mut naive, &EngineConfig::default()).unwrap();
+        let (status, _) =
+            run(&mut delta, &EngineConfig::with_mode(EngineMode::Delta)).unwrap();
+        assert_eq!(status, RunStatus::Terminated);
+        assert_eq!(naive.canonical_key(), delta.canonical_key());
     }
 
     #[test]

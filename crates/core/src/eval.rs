@@ -11,21 +11,41 @@ use crate::forest::Forest;
 use crate::matcher::{match_pattern, Binding, Bound};
 use crate::pattern::{PItem, Pattern, PNodeId};
 use crate::query::{Operand, Query};
+use crate::system::{context_sym, input_sym, System};
 use crate::sym::{FxHashMap, Sym};
 use crate::tree::{Marking, NodeId, Tree};
+use std::rc::Rc;
 
 /// The evaluation environment: named documents visible to a query (the
 /// system's documents plus, during a service call, the reserved `input`
 /// and `context` documents).
+///
+/// Explicitly inserted documents shadow the optional [`System`] backing;
+/// the backing lets [`Env::for_invocation`] be O(1) instead of copying
+/// every document reference into a map on each service call.
 #[derive(Default)]
 pub struct Env<'a> {
     docs: FxHashMap<Sym, &'a Tree>,
+    sys: Option<&'a System>,
 }
 
 impl<'a> Env<'a> {
     /// Empty environment.
     pub fn new() -> Env<'a> {
         Env::default()
+    }
+
+    /// The environment a service call evaluates under: every stored
+    /// document of `sys`, plus the reserved `input` and `context` trees.
+    /// Constant-time — stored documents are resolved lazily via `sys`.
+    pub fn for_invocation(sys: &'a System, input: &'a Tree, context: &'a Tree) -> Env<'a> {
+        let mut docs = FxHashMap::default();
+        docs.insert(input_sym(), input);
+        docs.insert(context_sym(), context);
+        Env {
+            docs,
+            sys: Some(sys),
+        }
     }
 
     /// Register document `name`.
@@ -35,12 +55,20 @@ impl<'a> Env<'a> {
 
     /// Look up a document.
     pub fn get(&self, name: Sym) -> Option<&'a Tree> {
-        self.docs.get(&name).copied()
+        self.docs
+            .get(&name)
+            .copied()
+            .or_else(|| self.sys.and_then(|s| s.doc(name)))
     }
 
-    /// Names registered.
+    /// Names visible (explicit entries, then any backing system's docs).
     pub fn names(&self) -> impl Iterator<Item = Sym> + '_ {
-        self.docs.keys().copied()
+        self.docs.keys().copied().chain(
+            self.sys
+                .into_iter()
+                .flat_map(|s| s.doc_names().iter().copied())
+                .filter(|n| !self.docs.contains_key(n)),
+        )
     }
 }
 
@@ -56,6 +84,48 @@ pub struct EvalStats {
     pub raw_results: usize,
 }
 
+/// A cache of per-atom pattern matches, keyed by `(service, atom index)`
+/// and validated against the matched document's `(id, version)` pair.
+///
+/// Stored documents only mutate monotonically under the engine, and
+/// [`crate::tree::Tree::version`] changes on every mutation, so an entry
+/// whose id and version still match is exact — not merely sound. The
+/// reserved `input`/`context` documents are never cached: they are fresh
+/// trees on every invocation.
+#[derive(Default)]
+pub struct MatchCache {
+    entries: FxHashMap<(Sym, usize), (u64, u64, Rc<Vec<Binding>>)>,
+    hits: usize,
+    misses: usize,
+}
+
+impl MatchCache {
+    /// Fresh, empty cache.
+    pub fn new() -> MatchCache {
+        MatchCache::default()
+    }
+
+    /// Atom evaluations answered from cache.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// Atom evaluations that had to run the matcher.
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+
+    /// Cached atom entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
 /// Evaluate the snapshot result `q(env)`: the reduced forest of all
 /// `µ(head)` for assignments µ satisfying every body atom and inequality.
 pub fn snapshot(q: &Query, env: &Env<'_>) -> Result<Forest> {
@@ -64,28 +134,78 @@ pub fn snapshot(q: &Query, env: &Env<'_>) -> Result<Forest> {
 
 /// [`snapshot`], also reporting evaluation statistics.
 pub fn snapshot_with_stats(q: &Query, env: &Env<'_>) -> Result<(Forest, EvalStats)> {
+    snapshot_inner(q, env, None)
+}
+
+/// [`snapshot_with_stats`] with per-atom match caching for the service
+/// named `svc`: body atoms over stored documents reuse the bindings of
+/// the previous evaluation whenever the document is unchanged (same
+/// tree id and version).
+pub fn snapshot_with_cache(
+    q: &Query,
+    env: &Env<'_>,
+    svc: Sym,
+    cache: &mut MatchCache,
+) -> Result<(Forest, EvalStats)> {
+    snapshot_inner(q, env, Some((svc, cache)))
+}
+
+fn snapshot_inner(
+    q: &Query,
+    env: &Env<'_>,
+    mut cache: Option<(Sym, &mut MatchCache)>,
+) -> Result<(Forest, EvalStats)> {
     let mut stats = EvalStats::default();
     let mut combined: Vec<Binding> = vec![Binding::new()];
-    for atom in &q.body {
+    for (i, atom) in q.body.iter().enumerate() {
         let doc = env
             .get(atom.doc)
             .ok_or(AxmlError::UnknownDocument(atom.doc))?;
-        let matches = match_pattern(&atom.pattern, doc);
+        let cacheable = atom.doc != input_sym() && atom.doc != context_sym();
+        let matches: Rc<Vec<Binding>> = match cache.as_mut() {
+            Some((svc, c)) if cacheable => {
+                let key = (*svc, i);
+                match c.entries.get(&key) {
+                    Some((id, ver, m)) if *id == doc.id() && *ver == doc.version() => {
+                        c.hits += 1;
+                        Rc::clone(m)
+                    }
+                    _ => {
+                        c.misses += 1;
+                        let m = Rc::new(match_pattern(&atom.pattern, doc));
+                        c.entries
+                            .insert(key, (doc.id(), doc.version(), Rc::clone(&m)));
+                        m
+                    }
+                }
+            }
+            _ => Rc::new(match_pattern(&atom.pattern, doc)),
+        };
         stats.atom_bindings += matches.len();
         if matches.is_empty() {
             return Ok((Forest::new(), stats));
         }
         let mut next: Vec<Binding> = Vec::new();
         for base in &combined {
-            for m in &matches {
+            for m in matches.iter() {
                 if let Some(merged) = base.merge(m) {
                     next.push(merged);
                 }
             }
         }
         // Deduplicate: distinct matches can merge into identical joins.
-        let mut seen = crate::sym::FxHashSet::default();
-        next.retain(|b| seen.insert(b.clone()));
+        // Two passes over references avoid cloning every binding into
+        // the seen-set; order (hence engine determinism) is preserved.
+        let keep: Vec<bool> = {
+            let mut seen = crate::sym::FxHashSet::default();
+            next.iter().map(|b| seen.insert(b)).collect()
+        };
+        let mut idx = 0;
+        next.retain(|_| {
+            let k = keep[idx];
+            idx += 1;
+            k
+        });
         if next.is_empty() {
             return Ok((Forest::new(), stats));
         }
@@ -309,6 +429,66 @@ mod tests {
         );
         assert_eq!(f.len(), 1);
         assert_eq!(f.trees()[0].to_string(), "r{b{c},copy{b{c}}}");
+    }
+
+    #[test]
+    fn match_cache_hits_on_unchanged_docs_and_invalidates_on_change() {
+        let mut sys = System::new();
+        sys.add_document_text("d", r#"r{t{"1"},t{"2"}}"#).unwrap();
+        let q = parse_query("r{$x} :- d/r{t{$x}}").unwrap();
+        let svc = Sym::intern("f");
+        let mut cache = MatchCache::new();
+
+        let input = parse_tree("input").unwrap();
+        let context = parse_tree("c").unwrap();
+        let env = Env::for_invocation(&sys, &input, &context);
+        let (f1, _) = snapshot_with_cache(&q, &env, svc, &mut cache).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (0, 1));
+        let (f2, _) = snapshot_with_cache(&q, &env, svc, &mut cache).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert!(f1.subsumed_by(&f2) && f2.subsumed_by(&f1));
+        drop(env);
+
+        // Mutating the document invalidates the entry.
+        let extra = parse_tree(r#"t{"3"}"#).unwrap();
+        let doc = sys.doc_mut(Sym::intern("d")).unwrap();
+        let root = doc.root();
+        doc.graft(root, &extra).unwrap();
+        let env = Env::for_invocation(&sys, &input, &context);
+        let (f3, _) = snapshot_with_cache(&q, &env, svc, &mut cache).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (1, 2));
+        assert_eq!(f3.len(), 3);
+    }
+
+    #[test]
+    fn input_and_context_atoms_are_never_cached() {
+        let mut sys = System::new();
+        sys.add_document_text("d", "a").unwrap();
+        let q = parse_query("r{$x} :- input/input{p{$x}}").unwrap();
+        let svc = Sym::intern("f");
+        let mut cache = MatchCache::new();
+        let context = parse_tree("c").unwrap();
+        let input = parse_tree(r#"input{p{"1"}}"#).unwrap();
+        let env = Env::for_invocation(&sys, &input, &context);
+        snapshot_with_cache(&q, &env, svc, &mut cache).unwrap();
+        snapshot_with_cache(&q, &env, svc, &mut cache).unwrap();
+        assert_eq!((cache.hits(), cache.misses()), (0, 0));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn env_for_invocation_resolves_system_and_reserved_docs() {
+        let mut sys = System::new();
+        sys.add_document_text("d", "a{b}").unwrap();
+        let input = parse_tree("input{x}").unwrap();
+        let context = parse_tree("ctx").unwrap();
+        let env = Env::for_invocation(&sys, &input, &context);
+        assert!(env.get(Sym::intern("d")).is_some());
+        assert!(env.get(crate::system::input_sym()).is_some());
+        assert!(env.get(crate::system::context_sym()).is_some());
+        assert!(env.get(Sym::intern("nosuch")).is_none());
+        let names: Vec<Sym> = env.names().collect();
+        assert_eq!(names.len(), 3);
     }
 
     #[test]

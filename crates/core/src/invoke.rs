@@ -16,10 +16,10 @@
 //! sibling subtree.
 
 use crate::error::{AxmlError, Result};
-use crate::eval::Env;
+use crate::eval::{snapshot_with_cache, Env, MatchCache};
 use crate::reduce::reduce_in_place;
 use crate::subsume::SubMemo;
-use crate::system::{context_sym, input_sym, System};
+use crate::system::System;
 use crate::sym::Sym;
 use crate::tree::{Marking, NodeId, Tree};
 
@@ -45,6 +45,19 @@ pub fn build_input(doc: &Tree, node: NodeId) -> Tree {
 
 /// Invoke the function node `node` of document `doc_name` in `sys`.
 pub fn invoke_node(sys: &mut System, doc_name: Sym, node: NodeId) -> Result<InvokeOutcome> {
+    invoke_node_cached(sys, doc_name, node, None)
+}
+
+/// [`invoke_node`] with an optional per-atom [`MatchCache`]: positive
+/// services evaluate through [`snapshot_with_cache`], reusing each body
+/// atom's bindings while the matched document is unchanged. Black-box
+/// services always run their closure.
+pub fn invoke_node_cached(
+    sys: &mut System,
+    doc_name: Sym,
+    node: NodeId,
+    cache: Option<&mut MatchCache>,
+) -> Result<InvokeOutcome> {
     // Phase 1 — evaluate the service against the current (immutable)
     // system state.
     let (forest, parent) = {
@@ -62,26 +75,28 @@ pub fn invoke_node(sys: &mut System, doc_name: Sym, node: NodeId) -> Result<Invo
         let parent = doc.parent(node).ok_or(AxmlError::FunctionRoot)?;
         let svc = sys
             .service(fname)
-            .ok_or(AxmlError::UnknownFunction(fname))?
-            .clone();
+            .ok_or(AxmlError::UnknownFunction(fname))?;
 
         let input = build_input(doc, node);
         let context = doc.subtree(parent);
-        let mut env = Env::new();
-        for d in sys.doc_names() {
-            env.insert(*d, sys.doc(*d).expect("doc_names are stored docs"));
-        }
-        env.insert(input_sym(), &input);
-        env.insert(context_sym(), &context);
-        (svc.invoke(&env)?, parent)
+        let env = Env::for_invocation(sys, &input, &context);
+        let forest = match (cache, svc.query()) {
+            (Some(c), Some(q)) => snapshot_with_cache(q, &env, fname, c)?.0,
+            _ => svc.invoke(&env)?,
+        };
+        (forest, parent)
     };
 
-    // Phase 2 — graft the new information and reduce.
+    // Phase 2 — graft the new information and reduce. One memo serves
+    // every (result tree, existing child) comparison: entries are keyed
+    // by tree identity, and grafting earlier result trees only *adds*
+    // children under `parent`, never mutating the subtrees already
+    // memoized.
     let result_trees = forest.len();
     let doc = sys.doc_mut(doc_name).expect("checked above");
     let mut grafted = 0usize;
+    let mut memo = SubMemo::new();
     for r in forest.trees() {
-        let mut memo = SubMemo::new();
         let already = doc
             .children(parent)
             .iter()

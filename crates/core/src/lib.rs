@@ -49,11 +49,12 @@ pub mod system;
 pub mod translate;
 pub mod tree;
 
+pub use depgraph::{read_set, ReadSet};
 pub use error::{AxmlError, Result};
 pub use forest::Forest;
-pub use engine::{run, EngineConfig, RunStatus, Strategy};
-pub use eval::{snapshot, Env};
-pub use invoke::invoke_node;
+pub use engine::{run, EngineConfig, EngineMode, RunStats, RunStatus, Strategy};
+pub use eval::{snapshot, snapshot_with_cache, Env, MatchCache};
+pub use invoke::{invoke_node, invoke_node_cached};
 pub use parse::{parse_document, parse_pattern, parse_tree};
 pub use query::{parse_query, Query};
 pub use system::System;

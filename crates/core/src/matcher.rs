@@ -130,15 +130,37 @@ impl Binding {
         }
     }
 
-    /// Merge two assignments; `None` on conflict.
+    /// Merge two assignments; `None` on conflict. Both sides are sorted,
+    /// so this is a linear two-way merge — it runs once per candidate
+    /// pair in every join level of snapshot evaluation.
     pub fn merge(&self, other: &Binding) -> Option<Binding> {
-        let mut out = self.clone();
-        for (v, b) in &other.entries {
-            if !out.bind(*v, b.clone()) {
-                return None;
+        use std::cmp::Ordering;
+        let (a, b) = (&self.entries, &other.entries);
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                Ordering::Less => {
+                    out.push(a[i].clone());
+                    i += 1;
+                }
+                Ordering::Greater => {
+                    out.push(b[j].clone());
+                    j += 1;
+                }
+                Ordering::Equal => {
+                    if a[i].1 != b[j].1 {
+                        return None;
+                    }
+                    out.push(a[i].clone());
+                    i += 1;
+                    j += 1;
+                }
             }
         }
-        Some(out)
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        Some(Binding { entries: out })
     }
 
     /// Variables bound.

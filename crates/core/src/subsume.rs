@@ -12,13 +12,17 @@ use crate::sym::FxHashMap;
 use crate::tree::{NodeId, Tree};
 use std::cmp::Ordering;
 
-/// Memoized subsumption checker between two trees (which may be the same
-/// tree, for sibling pruning during reduction).
+/// Memoized subsumption checker. Entries are keyed by tree identity
+/// ([`Tree::id`]) alongside node ids, so one memo may be shared across
+/// any number of tree pairs — e.g. checking every tree of a result
+/// forest against the same document's children during an invocation.
 ///
 /// Memo entries are valid as long as the compared subtrees do not change;
-/// [`crate::reduce`] guarantees this by working in post-order.
+/// [`crate::reduce`] guarantees this by working in post-order, and
+/// grafting preserves it because a graft only appends *new* children
+/// under the graft point.
 pub struct SubMemo {
-    memo: FxHashMap<(NodeId, NodeId), bool>,
+    memo: FxHashMap<((u64, NodeId), (u64, NodeId)), bool>,
 }
 
 impl SubMemo {
@@ -32,21 +36,20 @@ impl SubMemo {
     /// Does the subtree of `a` at `na` embed into the subtree of `b` at
     /// `nb` (i.e. `a|na ⊆ b|nb`)?
     pub fn subsumed_at(&mut self, a: &Tree, na: NodeId, b: &Tree, nb: NodeId) -> bool {
-        if let Some(&r) = self.memo.get(&(na, nb)) {
+        let key = ((a.id(), na), (b.id(), nb));
+        if let Some(&r) = self.memo.get(&key) {
             return r;
         }
         let result = if a.marking(na) != b.marking(nb) {
             false
         } else {
-            // Optimistically claim success to cut (impossible for trees,
-            // but harmless) self-reference; overwritten below.
             a.children(na).iter().all(|&ca| {
                 b.children(nb)
                     .iter()
                     .any(|&cb| self.subsumed_at(a, ca, b, cb))
             })
         };
-        self.memo.insert((na, nb), result);
+        self.memo.insert(key, result);
         result
     }
 

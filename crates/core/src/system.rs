@@ -104,6 +104,21 @@ impl System {
         self.docs.get_mut(&name)
     }
 
+    /// A document's mutation counter (see [`Tree::version`]): strictly
+    /// increases with every graft that survives reduction, so callers
+    /// can cheaply detect "has this document changed since I last
+    /// looked?" without diffing trees.
+    pub fn doc_version(&self, name: Sym) -> Option<u64> {
+        self.docs.get(&name).map(Tree::version)
+    }
+
+    /// A monotone version for the whole system: the sum of all document
+    /// versions. Any rewriting step strictly increases it; equality of
+    /// two observations means no document changed in between.
+    pub fn version(&self) -> u64 {
+        self.docs.values().map(Tree::version).sum()
+    }
+
     /// Fetch a service.
     pub fn service(&self, name: Sym) -> Option<&ServiceRef> {
         self.services.get(&name)
@@ -342,6 +357,28 @@ mod tests {
             .unwrap();
         assert!(!sys.is_simple());
         assert_eq!(sys.non_simple_witness(), Some(Sym::intern("h")));
+    }
+
+    #[test]
+    fn versions_track_rewriting_steps() {
+        let mut sys = example_3_2();
+        let d1 = Sym::intern("d1");
+        let before_doc = sys.doc_version(d1).unwrap();
+        let before_sys = sys.version();
+        let (d, n) = sys
+            .function_nodes()
+            .into_iter()
+            .find(|&(d, n)| {
+                d == d1 && sys.doc(d).unwrap().marking(n) == Marking::func("g")
+            })
+            .unwrap();
+        crate::invoke::invoke_node(&mut sys, d, n).unwrap();
+        assert!(sys.doc_version(d1).unwrap() > before_doc);
+        assert!(sys.version() > before_sys);
+        // A no-op re-invocation leaves every version unchanged.
+        let stable = sys.version();
+        crate::invoke::invoke_node(&mut sys, d, n).unwrap();
+        assert_eq!(sys.version(), stable);
     }
 
     #[test]

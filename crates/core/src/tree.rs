@@ -19,6 +19,14 @@
 use crate::error::{AxmlError, Result};
 use crate::sym::Sym;
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide tree-identity counter; see [`Tree::id`].
+static NEXT_TREE_ID: AtomicU64 = AtomicU64::new(0);
+
+fn fresh_tree_id() -> u64 {
+    NEXT_TREE_ID.fetch_add(1, Ordering::Relaxed)
+}
 
 /// The marking of a node: label, function name, or atomic value.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
@@ -95,10 +103,26 @@ struct Node {
 }
 
 /// An unordered AXML tree backed by a node arena.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct Tree {
     nodes: Vec<Node>,
     root: NodeId,
+    id: u64,
+    version: u64,
+}
+
+impl Clone for Tree {
+    fn clone(&self) -> Tree {
+        Tree {
+            nodes: self.nodes.clone(),
+            root: self.root,
+            // A clone is a *different* tree that may diverge from the
+            // original, so it gets its own identity (keeping subsumption
+            // memos and match caches keyed by (id, version) sound).
+            id: fresh_tree_id(),
+            version: self.version,
+        }
+    }
 }
 
 impl Tree {
@@ -115,6 +139,8 @@ impl Tree {
                 alive: true,
             }],
             root: NodeId(0),
+            id: fresh_tree_id(),
+            version: 0,
         }
     }
 
@@ -136,6 +162,25 @@ impl Tree {
     #[inline]
     pub fn root(&self) -> NodeId {
         self.root
+    }
+
+    /// A process-unique identity for this arena. Fresh on creation *and*
+    /// on clone, so `(id, version)` pairs never collide between trees —
+    /// the key property behind cross-tree subsumption memos and the
+    /// engine's per-atom match cache.
+    #[inline]
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Monotonically increasing mutation counter: bumped by every
+    /// [`Tree::add_child`] and [`Tree::remove_subtree`] (hence by grafts
+    /// and in-place reduction). Equal versions of the same [`Tree::id`]
+    /// guarantee identical content, which is what the delta engine's
+    /// read-set skipping relies on.
+    #[inline]
+    pub fn version(&self) -> u64 {
+        self.version
     }
 
     /// The marking of node `n`.
@@ -179,6 +224,7 @@ impl Tree {
             alive: true,
         });
         self.nodes[parent.idx()].children.push(id);
+        self.version += 1;
         Ok(id)
     }
 
@@ -200,6 +246,7 @@ impl Tree {
             stack.extend(self.nodes[x.idx()].children.iter().copied());
             self.nodes[x.idx()].children.clear();
         }
+        self.version += 1;
         Ok(())
     }
 
@@ -395,6 +442,30 @@ mod tests {
         assert_eq!(c.node_count(), 3);
         assert_eq!(c.arena_len(), 3);
         assert!(t.arena_len() > c.arena_len());
+    }
+
+    #[test]
+    fn identity_fresh_on_clone_and_version_counts_mutations() {
+        let mut t = sample();
+        let v0 = t.version();
+        let dup = t.clone();
+        assert_ne!(t.id(), dup.id(), "clones get a fresh identity");
+        assert_eq!(dup.version(), v0);
+        t.add_child(t.root(), Marking::label("x")).unwrap();
+        assert_eq!(t.version(), v0 + 1);
+        assert_eq!(dup.version(), v0, "clone is unaffected");
+        let f = t.function_nodes()[0];
+        t.remove_subtree(f).unwrap();
+        assert_eq!(t.version(), v0 + 2);
+    }
+
+    #[test]
+    fn graft_bumps_version() {
+        let mut t = sample();
+        let v0 = t.version();
+        let extra = Tree::with_label("z");
+        t.graft(t.root(), &extra).unwrap();
+        assert!(t.version() > v0);
     }
 
     #[test]
