@@ -7,9 +7,15 @@
 //! evaluations, same fixpoint); on the TM workload nearly every call
 //! reads its own growing document, so delta degenerates gracefully to
 //! naive cost plus bookkeeping.
+//!
+//! The `delta-traced` entries run the same delta workload with a
+//! [`Journal`] attached, quantifying the observability overhead against
+//! the plain `delta` rows (the disabled-tracer rows must stay within
+//! noise of PR 1's numbers — events cost nothing unless a sink is on).
 
 use axml_bench::tc_random_digraph;
-use axml_core::engine::{run, EngineConfig, EngineMode};
+use axml_core::engine::{run, run_traced, EngineConfig, EngineMode};
+use axml_core::trace::{Journal, Tracer};
 use axml_tm::encode::encode_tm;
 use axml_tm::samples;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -30,6 +36,19 @@ fn bench_tc(c: &mut Criterion) {
             b.iter(|| {
                 let mut runner = s.clone();
                 run(&mut runner, &EngineConfig::with_mode(EngineMode::Delta)).unwrap()
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("delta-traced", n), &sys, |b, s| {
+            b.iter(|| {
+                let mut runner = s.clone();
+                let journal = Journal::new();
+                let out = run_traced(
+                    &mut runner,
+                    &EngineConfig::with_mode(EngineMode::Delta),
+                    Tracer::new(&journal),
+                )
+                .unwrap();
+                (out, journal.len())
             })
         });
     }

@@ -11,7 +11,7 @@ use axml_bench::{
     catalog, pipeline_system, poisoned_portal, random_tree, rating_query, star_network,
     tc_random_digraph, tc_system,
 };
-use axml_core::engine::{run, EngineConfig, EngineMode, RunStatus, Strategy};
+use axml_core::engine::{run, run_traced, EngineConfig, EngineMode, RunStatus, Strategy};
 use axml_core::eval::{snapshot, snapshot_with_stats, Env};
 use axml_core::fireonce::run_fire_once;
 use axml_core::forest::Forest;
@@ -22,6 +22,9 @@ use axml_core::query::parse_query;
 use axml_core::reduce::{canonical_key, reduce};
 use axml_core::subsume::subsumed;
 use axml_core::system::System;
+use axml_core::trace::{
+    chrome_trace, validate_chrome_trace, Fanout, Journal, MetricsRegistry, Tracer,
+};
 use axml_core::translate::{strip_annotations, translate};
 use axml_core::tree::Marking;
 use axml_datalog::workload::{chain_tc, random_tc};
@@ -540,6 +543,36 @@ fn x14() {
     println!("(claim: ≥5x fewer snapshot evaluations on tc-digraph-64, same fixpoint;");
     println!(" soundness: monotone services re-fed unchanged read sets produce only");
     println!(" already-subsumed output, so skipping preserves Thm 2.1 confluence)");
+
+    // Observability pass: re-run the delta engine on the large workload
+    // with a journal + metrics attached, print the run report, and
+    // export a Chrome trace (docs/observability.md walks through it).
+    let journal = Journal::new();
+    let metrics = MetricsRegistry::new();
+    let fan = Fanout::new(vec![&journal, &metrics]);
+    let mut traced = tc_random_digraph(64, 6, 12);
+    let (status, _) = run_traced(
+        &mut traced,
+        &EngineConfig::with_mode(EngineMode::Delta),
+        Tracer::new(&fan),
+    )
+    .unwrap();
+    assert_eq!(status, RunStatus::Terminated);
+    let events = journal.snapshot();
+    print!("\n{}", metrics.render_report("x14 tc-digraph-64 (delta)"));
+    let json = chrome_trace(&events);
+    let n = validate_chrome_trace(&json).expect("chrome trace must validate");
+    assert_eq!(n, events.len());
+    let path = std::path::Path::new("target").join("x14_trace.json");
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!(
+            "chrome trace: {} events -> {} ({} KiB); open in chrome://tracing or ui.perfetto.dev",
+            n,
+            path.display(),
+            json.len() / 1024
+        ),
+        Err(e) => println!("chrome trace: {n} events (not written: {e})"),
+    }
 }
 
 fn main() {

@@ -12,7 +12,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 /// A deterministic random tree with `n` nodes over `labels` distinct
-/// labels and `values` distinct values; `redundancy` ∈ [0,1] is the
+/// labels and `values` distinct values; `redundancy` ∈ \[0,1\] is the
 /// probability that a new node duplicates an existing sibling subtree
 /// shape (what reduction prunes).
 pub fn random_tree(n: usize, labels: usize, values: usize, redundancy: f64, seed: u64) -> Tree {

@@ -18,10 +18,12 @@
 use crate::depgraph::{read_set, ReadSet};
 use crate::error::Result;
 use crate::eval::MatchCache;
-use crate::invoke::invoke_node_cached;
+use crate::invoke::invoke_node_traced;
 use crate::sym::{FxHashMap, Sym};
 use crate::system::System;
+use crate::trace::{EventKind, Tracer};
 use crate::tree::NodeId;
+use std::time::Instant;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -151,6 +153,17 @@ pub fn run(sys: &mut System, cfg: &EngineConfig) -> Result<(RunStatus, RunStats)
     run_restricted(sys, cfg, |_, _| true)
 }
 
+/// [`run`], emitting the structured event stream of the run into
+/// `tracer` (see [`crate::trace`]). With `Tracer::disabled()` this is
+/// exactly [`run`]: every event site is one untaken branch.
+pub fn run_traced(
+    sys: &mut System,
+    cfg: &EngineConfig,
+    tracer: Tracer<'_>,
+) -> Result<(RunStatus, RunStats)> {
+    run_restricted_traced(sys, cfg, |_, _| true, tracer)
+}
+
 /// Run a fair rewriting that never invokes calls for which `allow`
 /// returns `false` — the paper's `[I↓N]` with
 /// `N = {v : !allow(doc, v)}`. Fair for all other nodes.
@@ -158,6 +171,16 @@ pub fn run_restricted(
     sys: &mut System,
     cfg: &EngineConfig,
     allow: impl Fn(Sym, NodeId) -> bool,
+) -> Result<(RunStatus, RunStats)> {
+    run_restricted_traced(sys, cfg, allow, Tracer::disabled())
+}
+
+/// [`run_restricted`] with tracing (see [`crate::trace`]).
+pub fn run_restricted_traced(
+    sys: &mut System,
+    cfg: &EngineConfig,
+    allow: impl Fn(Sym, NodeId) -> bool,
+    tracer: Tracer<'_>,
 ) -> Result<(RunStatus, RunStats)> {
     let mut stats = RunStats::default();
     let mut rng = match cfg.strategy {
@@ -197,6 +220,8 @@ pub fn run_restricted(
         if pending.is_empty() {
             break 'run RunStatus::Terminated;
         }
+        let round = stats.rounds as u64;
+        tracer.emit(|| EventKind::RoundStart { round });
         let mut any_change = false;
         for (d, n) in pending {
             // Reduction during an earlier invocation of this round may
@@ -225,6 +250,11 @@ pub fn run_restricted(
                     };
                     if unchanged {
                         stats.skipped += 1;
+                        tracer.emit(|| EventKind::CallSkipped {
+                            doc: d,
+                            node: n,
+                            service: fname,
+                        });
                         continue;
                     }
                 }
@@ -232,8 +262,26 @@ pub fn run_restricted(
             if stats.invocations >= cfg.max_invocations {
                 break 'run RunStatus::InvocationBudget;
             }
+            tracer.emit(|| EventKind::CallSelected {
+                doc: d,
+                node: n,
+                service: fname,
+            });
+            let started = tracer.enabled().then(Instant::now);
             let outcome =
-                invoke_node_cached(sys, d, n, delta.then_some(&mut cache))?;
+                invoke_node_traced(sys, d, n, delta.then_some(&mut cache), tracer)?;
+            tracer.emit(|| EventKind::Invoke {
+                doc: d,
+                node: n,
+                service: fname,
+                changed: outcome.changed,
+                grafted: outcome.grafted as u32,
+                result_trees: outcome.result_trees as u32,
+                doc_version: sys.doc(d).map(|t| t.version()).unwrap_or(0),
+                dur_ns: started
+                    .map(|t| t.elapsed().as_nanos() as u64)
+                    .unwrap_or(0),
+            });
             stats.invocations += 1;
             *stats.per_function.entry(fname).or_insert(0) += 1;
             if delta {
@@ -255,6 +303,10 @@ pub fn run_restricted(
             }
         }
         stats.rounds += 1;
+        tracer.emit(|| EventKind::RoundEnd {
+            round,
+            changed: any_change,
+        });
         if !any_change {
             break 'run RunStatus::Terminated;
         }
@@ -542,6 +594,57 @@ mod tests {
             run(&mut delta, &EngineConfig::with_mode(EngineMode::Delta)).unwrap();
         assert_eq!(status, RunStatus::Terminated);
         assert_eq!(naive.canonical_key(), delta.canonical_key());
+    }
+
+    #[test]
+    fn traced_run_journals_the_full_taxonomy() {
+        use crate::trace::{
+            chrome_trace, validate_chrome_trace, Fanout, Journal, MetricsRegistry,
+        };
+        let journal = Journal::new();
+        let metrics = MetricsRegistry::new();
+        let fan = Fanout::new(vec![&journal, &metrics]);
+        let mut sys = tc_system();
+        let (status, stats) = run_traced(
+            &mut sys,
+            &EngineConfig::with_mode(EngineMode::Delta),
+            Tracer::new(&fan),
+        )
+        .unwrap();
+        assert_eq!(status, RunStatus::Terminated);
+
+        let events = journal.snapshot();
+        // One Invoke event per evaluated invocation, one CallSkipped per
+        // skip: the journal and RunStats agree exactly.
+        let invokes = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::Invoke { .. }))
+            .count();
+        let skips = events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::CallSkipped { .. }))
+            .count();
+        assert_eq!(invokes, stats.invocations);
+        assert_eq!(skips, stats.skipped);
+        let g = metrics.globals();
+        assert_eq!(g.rounds as usize, stats.rounds);
+        assert_eq!(g.calls_selected as usize, stats.invocations);
+        // Delta mode routed evaluation through the cache.
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::CacheMiss { .. })));
+        // Productive invocations grafted and reduced.
+        assert!(events.iter().any(|e| matches!(e.kind, EventKind::Graft { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Reduce { .. })));
+        // The journal exports to valid Chrome trace JSON.
+        let json = chrome_trace(&events);
+        assert_eq!(validate_chrome_trace(&json).unwrap(), events.len());
+        // Traced and untraced runs compute the same fixpoint.
+        let mut plain = tc_system();
+        run(&mut plain, &EngineConfig::with_mode(EngineMode::Delta)).unwrap();
+        assert_eq!(plain.canonical_key(), sys.canonical_key());
     }
 
     #[test]

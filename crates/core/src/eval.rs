@@ -13,6 +13,7 @@ use crate::pattern::{PItem, Pattern, PNodeId};
 use crate::query::{Operand, Query};
 use crate::system::{context_sym, input_sym, System};
 use crate::sym::{FxHashMap, Sym};
+use crate::trace::{EventKind, Tracer};
 use crate::tree::{Marking, NodeId, Tree};
 use std::rc::Rc;
 
@@ -134,7 +135,7 @@ pub fn snapshot(q: &Query, env: &Env<'_>) -> Result<Forest> {
 
 /// [`snapshot`], also reporting evaluation statistics.
 pub fn snapshot_with_stats(q: &Query, env: &Env<'_>) -> Result<(Forest, EvalStats)> {
-    snapshot_inner(q, env, None)
+    snapshot_inner(q, env, None, Tracer::disabled())
 }
 
 /// [`snapshot_with_stats`] with per-atom match caching for the service
@@ -147,13 +148,27 @@ pub fn snapshot_with_cache(
     svc: Sym,
     cache: &mut MatchCache,
 ) -> Result<(Forest, EvalStats)> {
-    snapshot_inner(q, env, Some((svc, cache)))
+    snapshot_inner(q, env, Some((svc, cache)), Tracer::disabled())
+}
+
+/// [`snapshot_with_cache`], emitting a [`EventKind::CacheHit`] /
+/// [`EventKind::CacheMiss`] event per cacheable body atom (see
+/// [`crate::trace`]).
+pub fn snapshot_with_cache_traced(
+    q: &Query,
+    env: &Env<'_>,
+    svc: Sym,
+    cache: &mut MatchCache,
+    tracer: Tracer<'_>,
+) -> Result<(Forest, EvalStats)> {
+    snapshot_inner(q, env, Some((svc, cache)), tracer)
 }
 
 fn snapshot_inner(
     q: &Query,
     env: &Env<'_>,
     mut cache: Option<(Sym, &mut MatchCache)>,
+    tracer: Tracer<'_>,
 ) -> Result<(Forest, EvalStats)> {
     let mut stats = EvalStats::default();
     let mut combined: Vec<Binding> = vec![Binding::new()];
@@ -168,10 +183,18 @@ fn snapshot_inner(
                 match c.entries.get(&key) {
                     Some((id, ver, m)) if *id == doc.id() && *ver == doc.version() => {
                         c.hits += 1;
+                        tracer.emit(|| EventKind::CacheHit {
+                            service: *svc,
+                            atom: i as u32,
+                        });
                         Rc::clone(m)
                     }
                     _ => {
                         c.misses += 1;
+                        tracer.emit(|| EventKind::CacheMiss {
+                            service: *svc,
+                            atom: i as u32,
+                        });
                         let m = Rc::new(match_pattern(&atom.pattern, doc));
                         c.entries
                             .insert(key, (doc.id(), doc.version(), Rc::clone(&m)));

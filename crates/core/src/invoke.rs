@@ -16,11 +16,12 @@
 //! sibling subtree.
 
 use crate::error::{AxmlError, Result};
-use crate::eval::{snapshot_with_cache, Env, MatchCache};
+use crate::eval::{snapshot_with_cache_traced, Env, MatchCache};
 use crate::reduce::reduce_in_place;
 use crate::subsume::SubMemo;
 use crate::system::System;
 use crate::sym::Sym;
+use crate::trace::{EventKind, Tracer};
 use crate::tree::{Marking, NodeId, Tree};
 
 /// What one invocation did.
@@ -49,7 +50,8 @@ pub fn invoke_node(sys: &mut System, doc_name: Sym, node: NodeId) -> Result<Invo
 }
 
 /// [`invoke_node`] with an optional per-atom [`MatchCache`]: positive
-/// services evaluate through [`snapshot_with_cache`], reusing each body
+/// services evaluate through [`crate::eval::snapshot_with_cache`],
+/// reusing each body
 /// atom's bindings while the matched document is unchanged. Black-box
 /// services always run their closure.
 pub fn invoke_node_cached(
@@ -57,6 +59,18 @@ pub fn invoke_node_cached(
     doc_name: Sym,
     node: NodeId,
     cache: Option<&mut MatchCache>,
+) -> Result<InvokeOutcome> {
+    invoke_node_traced(sys, doc_name, node, cache, Tracer::disabled())
+}
+
+/// [`invoke_node_cached`] emitting graft/reduce/subsumption events into
+/// `tracer` (see [`crate::trace`]).
+pub fn invoke_node_traced(
+    sys: &mut System,
+    doc_name: Sym,
+    node: NodeId,
+    cache: Option<&mut MatchCache>,
+    tracer: Tracer<'_>,
 ) -> Result<InvokeOutcome> {
     // Phase 1 — evaluate the service against the current (immutable)
     // system state.
@@ -81,7 +95,9 @@ pub fn invoke_node_cached(
         let context = doc.subtree(parent);
         let env = Env::for_invocation(sys, &input, &context);
         let forest = match (cache, svc.query()) {
-            (Some(c), Some(q)) => snapshot_with_cache(q, &env, fname, c)?.0,
+            (Some(c), Some(q)) => {
+                snapshot_with_cache_traced(q, &env, fname, c, tracer)?.0
+            }
             _ => svc.invoke(&env)?,
         };
         (forest, parent)
@@ -101,13 +117,30 @@ pub fn invoke_node_cached(
             .children(parent)
             .iter()
             .any(|&c| memo.subsumed_at(r, r.root(), doc, c));
+        tracer.emit(|| EventKind::SubsumeCheck {
+            doc: doc_name,
+            subsumed: already,
+        });
         if !already {
             doc.graft(parent, r)?;
             grafted += 1;
         }
     }
     if grafted > 0 {
+        tracer.emit(|| EventKind::Graft {
+            doc: doc_name,
+            doc_version: doc.version(),
+            trees: grafted as u32,
+        });
+        // Node counts are O(live nodes); only pay for them when a sink
+        // is attached.
+        let before = tracer.enabled().then(|| doc.node_count() as u32);
         reduce_in_place(doc);
+        tracer.emit(|| EventKind::Reduce {
+            doc: doc_name,
+            nodes_before: before.unwrap_or(0),
+            nodes_after: doc.node_count() as u32,
+        });
     }
     Ok(InvokeOutcome {
         changed: grafted > 0,

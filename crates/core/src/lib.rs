@@ -7,7 +7,7 @@
 //!   with *function nodes* — embedded calls to (Web) services —
 //!   [`tree`], [`forest`], [`parse`], [`display`];
 //! * **subsumption, equivalence, reduction** (Def 2.2, Prop 2.1):
-//!   [`subsume`], [`reduce`];
+//!   [`subsume`], [`mod@reduce`];
 //! * **monotone systems and fair rewriting** (Def 2.3–2.5, Thm 2.1):
 //!   [`system`], [`service`], [`invoke`], [`engine`];
 //! * **positive queries** (Def 3.1, Prop 3.1): [`pattern`], [`query`],
@@ -18,7 +18,37 @@
 //! * **fire-once semantics** (§4): [`fireonce`];
 //! * **lazy query evaluation** (§4): [`lazy`];
 //! * **regular path expressions and the ψ translation** (§5, Prop 5.1):
-//!   [`pathexpr`], [`translate`].
+//!   [`pathexpr`], [`translate`];
+//! * **observability** (implementation-level, not from the paper):
+//!   structured trace journal, per-service metrics, Chrome-trace export —
+//!   [`trace`].
+//!
+//! # Quickstart
+//!
+//! ```
+//! use axml_core::engine::{run, EngineConfig};
+//! use axml_core::system::System;
+//! use axml_core::Sym;
+//!
+//! // Example 3.2 of the paper: transitive closure via an AXML service.
+//! let mut sys = System::new();
+//! sys.add_document_text(
+//!     "edges",
+//!     r#"r{t{from{"1"},to{"2"}}, t{from{"2"},to{"3"}}, @tc}"#,
+//! )?;
+//! sys.add_service_text(
+//!     "tc",
+//!     "t{from{$x},to{$y}} :- edges/r{t{from{$x},to{$z}}, t{from{$z},to{$y}}}",
+//! )?;
+//!
+//! let (status, stats) = run(&mut sys, &EngineConfig::default())?;
+//! assert_eq!(status, axml_core::engine::RunStatus::Terminated);
+//! assert!(stats.productive > 0);
+//! // The closure edge 1 → 3 was derived into the document.
+//! let doc = sys.doc(Sym::intern("edges")).unwrap();
+//! assert!(doc.to_string().contains(r#"to{"3"}"#));
+//! # Ok::<(), axml_core::AxmlError>(())
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -46,15 +76,22 @@ pub mod service;
 pub mod subsume;
 pub mod sym;
 pub mod system;
+pub mod trace;
 pub mod translate;
 pub mod tree;
 
 pub use depgraph::{read_set, ReadSet};
 pub use error::{AxmlError, Result};
 pub use forest::Forest;
-pub use engine::{run, EngineConfig, EngineMode, RunStats, RunStatus, Strategy};
+pub use engine::{
+    run, run_traced, EngineConfig, EngineMode, RunStats, RunStatus, Strategy,
+};
 pub use eval::{snapshot, snapshot_with_cache, Env, MatchCache};
 pub use invoke::{invoke_node, invoke_node_cached};
+pub use trace::{
+    chrome_trace, validate_chrome_trace, EventKind, Journal, MetricsRegistry,
+    TraceEvent, TraceSink, Tracer,
+};
 pub use parse::{parse_document, parse_pattern, parse_tree};
 pub use query::{parse_query, Query};
 pub use system::System;

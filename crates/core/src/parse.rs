@@ -22,8 +22,8 @@
 //! * `$x`  — value variable (leaf),
 //! * `#X`  — tree variable (leaf).
 //!
-//! Queries are parsed by [`crate::query::parse_query`] using
-//! [`parse_pattern_at`] for their head and body patterns.
+//! Queries are parsed by [`crate::query::parse_query`] using the
+//! crate-internal `parse_pattern_at` for their head and body patterns.
 
 use crate::error::{AxmlError, Result};
 use crate::pattern::{PItem, Pattern};

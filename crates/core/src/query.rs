@@ -221,6 +221,23 @@ impl fmt::Display for Query {
 ///
 /// Inequality operands may be variables (`$x`, `?l`, `@?f`), quoted value
 /// constants, bare label constants, or `@func` constants.
+///
+/// ```
+/// use axml_core::eval::{snapshot, Env};
+/// use axml_core::parse::parse_tree;
+/// use axml_core::query::parse_query;
+/// use axml_core::Sym;
+///
+/// // Example 3.1's first query, evaluated as a snapshot (Prop 3.1).
+/// let q = parse_query("?z :- d/r{t{a{$x},b{?z}}}")?;
+/// assert!(q.is_simple());
+/// let doc = parse_tree(r#"r{t{a{"1"},b{c{"2"},d{"3"}}}}"#)?;
+/// let mut env = Env::new();
+/// env.insert(Sym::intern("d"), &doc);
+/// let result = snapshot(&q, &env)?;
+/// assert_eq!(result.len(), 2); // heads c and d
+/// # Ok::<(), axml_core::AxmlError>(())
+/// ```
 pub fn parse_query(src: &str) -> Result<Query> {
     let mut lx = Lexer::new(src);
     let head = parse_pattern_at(&mut lx)?;

@@ -70,6 +70,25 @@ impl Service for QueryService {
 /// The implementation trusts the closure to be monotone; the engine's
 /// confluence guarantees only hold if it is. Property tests in the suite
 /// check monotonicity of the provided combinators.
+///
+/// ```
+/// use axml_core::engine::{run, EngineConfig};
+/// use axml_core::forest::Forest;
+/// use axml_core::parse::parse_tree;
+/// use axml_core::service::BlackBoxService;
+/// use axml_core::system::System;
+///
+/// // The paper's §1 GetRating example as a constant black box.
+/// let rating = Forest::from_trees(vec![parse_tree(r#"rating{"****"}"#)?]);
+/// let mut sys = System::new();
+/// sys.add_document_text("dir", r#"directory{cd{title{"Body and Soul"}, @GetRating}}"#)?;
+/// sys.add_black_box("GetRating", BlackBoxService::constant("ratings", rating))?;
+/// run(&mut sys, &EngineConfig::default())?;
+///
+/// let dir = sys.doc(axml_core::Sym::intern("dir")).unwrap();
+/// assert!(dir.to_string().contains(r#"rating{"****"}"#));
+/// # Ok::<(), axml_core::AxmlError>(())
+/// ```
 pub struct BlackBoxService {
     f: Box<dyn Fn(&Env<'_>) -> Result<Forest> + Send + Sync>,
     description: String,

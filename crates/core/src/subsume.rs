@@ -18,7 +18,7 @@ use std::cmp::Ordering;
 /// forest against the same document's children during an invocation.
 ///
 /// Memo entries are valid as long as the compared subtrees do not change;
-/// [`crate::reduce`] guarantees this by working in post-order, and
+/// [`mod@crate::reduce`] guarantees this by working in post-order, and
 /// grafting preserves it because a graft only appends *new* children
 /// under the graft point.
 pub struct SubMemo {

@@ -21,7 +21,24 @@ pub fn context_sym() -> Sym {
     Sym::intern("context")
 }
 
-/// A monotone AXML system `(D, F, I)`.
+/// A monotone AXML system `(D, F, I)`: the named documents `I`, the
+/// function names `F`, and their service definitions.
+///
+/// ```
+/// use axml_core::system::System;
+/// use axml_core::Sym;
+///
+/// let mut sys = System::new();
+/// sys.add_document_text("store", r#"catalog{cd{title{"Kind of Blue"}}, @reviews}"#)?;
+/// sys.add_service_text("reviews", "review{$t} :- store/catalog{cd{title{$t}}}")?;
+///
+/// // One live function node: the @reviews call in `store`.
+/// let calls = sys.function_nodes();
+/// assert_eq!(calls.len(), 1);
+/// assert_eq!(calls[0].0, Sym::intern("store"));
+/// assert_eq!(sys.doc_names(), [Sym::intern("store")]);
+/// # Ok::<(), axml_core::AxmlError>(())
+/// ```
 #[derive(Clone, Default)]
 pub struct System {
     doc_order: Vec<Sym>,

@@ -1,0 +1,1436 @@
+//! Structured observability: a trace journal, per-service metrics, and
+//! exporters — the instrumentation layer behind the engine's claims.
+//!
+//! The paper's central results (Theorem 2.1 confluence, Proposition 3.1
+//! monotonicity, the §4 lazy-evaluation analyses) are statements about
+//! *invocation sequences*: which call fired when, what it read, and what
+//! it grafted. [`crate::engine::RunStats`] only reports aggregate
+//! counters; this module records the sequence itself.
+//!
+//! * [`EventKind`] / [`TraceEvent`] — the event taxonomy: engine phases
+//!   (round start/end), call selection and delta-skips, match-cache
+//!   traffic, grafts, reductions, subsumption checks, and p2p message
+//!   send/receive. Every recorded event carries a strictly increasing
+//!   sequence number and a monotone nanosecond timestamp.
+//! * [`TraceSink`] — where events go. Implementations: [`Journal`]
+//!   (an in-memory ordered log, the basis for exporters and for tests
+//!   asserting on event streams), [`MetricsRegistry`] (aggregation into
+//!   counters and log-scale [`Histogram`]s, no event storage), and
+//!   [`Fanout`] (both at once).
+//! * [`Tracer`] — the cheap handle threaded through
+//!   [`crate::engine::run_traced`], [`crate::invoke::invoke_node_traced`]
+//!   and the p2p backends. A disabled tracer is a `None` check per event
+//!   site; event construction closures never run, so tracing costs
+//!   nothing when off.
+//! * [`chrome_trace`] — export a journal as Chrome `trace_event` JSON,
+//!   loadable in `chrome://tracing` or <https://ui.perfetto.dev>;
+//!   [`validate_chrome_trace`] checks an export without a browser.
+//! * [`MetricsRegistry::render_report`] — a human-readable run report
+//!   (the format behind the `EXPERIMENTS.md` tables).
+//!
+//! See `docs/observability.md` for the guide (taxonomy, capturing a
+//! trace of an experiment, overhead measurements).
+//!
+//! # Example
+//!
+//! ```
+//! use axml_core::engine::{run_traced, EngineConfig};
+//! use axml_core::trace::{EventKind, Journal, Tracer};
+//! use axml_core::system::System;
+//!
+//! let mut sys = System::new();
+//! sys.add_document_text("d", "out{@hello}").unwrap();
+//! sys.add_service_text("hello", r#"greeting{"hi"} :-"#).unwrap();
+//!
+//! let journal = Journal::new();
+//! run_traced(&mut sys, &EngineConfig::default(), Tracer::new(&journal)).unwrap();
+//!
+//! let events = journal.snapshot();
+//! assert!(events.iter().any(|e| matches!(e.kind, EventKind::Invoke { .. })));
+//! // Sequence numbers order the journal strictly.
+//! assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+//! ```
+
+use crate::sym::{FxHashMap, Sym};
+use crate::tree::NodeId;
+use std::cell::RefCell;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// The kind of a p2p message, for [`EventKind::MsgSend`] /
+/// [`EventKind::MsgRecv`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MsgKind {
+    /// A service invocation request (caller → provider).
+    Call,
+    /// A result forest (provider → caller).
+    Response,
+    /// A change notification ("my documents moved; re-pull me").
+    Changed,
+    /// A coordinator poll.
+    Poll,
+}
+
+impl MsgKind {
+    /// Short lowercase name (used by exporters).
+    pub fn name(self) -> &'static str {
+        match self {
+            MsgKind::Call => "call",
+            MsgKind::Response => "response",
+            MsgKind::Changed => "changed",
+            MsgKind::Poll => "poll",
+        }
+    }
+}
+
+/// What happened. Each variant is one point in the engine's (or the p2p
+/// network's) execution; see the module docs for the taxonomy.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A fair round began (engine) — `round` counts from 0.
+    RoundStart {
+        /// Round index, counting from 0.
+        round: u64,
+    },
+    /// The round ended; `changed` is false exactly at a fixpoint round.
+    RoundEnd {
+        /// Round index, matching the corresponding [`EventKind::RoundStart`].
+        round: u64,
+        /// Did any invocation of this round strictly grow a document?
+        changed: bool,
+    },
+    /// The scheduler selected a live call for invocation.
+    CallSelected {
+        /// Host document.
+        doc: Sym,
+        /// The function node inside `doc`.
+        node: NodeId,
+        /// The service the node calls.
+        service: Sym,
+    },
+    /// The delta scheduler skipped a call whose read set is unchanged
+    /// since its previous invocation ([`crate::engine::EngineMode::Delta`]).
+    CallSkipped {
+        /// Host document.
+        doc: Sym,
+        /// The function node inside `doc`.
+        node: NodeId,
+        /// The service the node calls.
+        service: Sym,
+    },
+    /// One completed invocation (the engine's unit of work). The
+    /// `(doc, doc_version)` pair identifies the host document state
+    /// *after* the step; `dur_ns` is the wall-clock invocation latency.
+    Invoke {
+        /// Host document.
+        doc: Sym,
+        /// The invoked function node.
+        node: NodeId,
+        /// The invoked service.
+        service: Sym,
+        /// Did the document strictly grow (a real rewriting step)?
+        changed: bool,
+        /// Result trees grafted (not subsumed by existing siblings).
+        grafted: u32,
+        /// Trees in the service's result forest.
+        result_trees: u32,
+        /// The host document's version counter after the step.
+        doc_version: u64,
+        /// Wall-clock latency of the invocation, in nanoseconds.
+        dur_ns: u64,
+    },
+    /// A per-atom match-cache hit ([`crate::eval::MatchCache`]).
+    CacheHit {
+        /// The service whose body is being evaluated.
+        service: Sym,
+        /// Index of the body atom answered from cache.
+        atom: u32,
+    },
+    /// A per-atom match-cache miss: the matcher ran.
+    CacheMiss {
+        /// The service whose body is being evaluated.
+        service: Sym,
+        /// Index of the body atom that had to be matched.
+        atom: u32,
+    },
+    /// One result tree was checked for subsumption against the call
+    /// node's existing siblings (invocation phase 2).
+    SubsumeCheck {
+        /// Host document.
+        doc: Sym,
+        /// Was the result tree already subsumed (hence not grafted)?
+        subsumed: bool,
+    },
+    /// Result trees were grafted beside a call node.
+    Graft {
+        /// Host document.
+        doc: Sym,
+        /// The document's version counter after the grafts.
+        doc_version: u64,
+        /// Number of trees grafted.
+        trees: u32,
+    },
+    /// The host document was reduced after grafting.
+    Reduce {
+        /// Host document.
+        doc: Sym,
+        /// Live nodes before reduction.
+        nodes_before: u32,
+        /// Live nodes after reduction.
+        nodes_after: u32,
+    },
+    /// A p2p message left a peer.
+    MsgSend {
+        /// Sending peer.
+        from: Sym,
+        /// Receiving peer.
+        to: Sym,
+        /// Message kind.
+        kind: MsgKind,
+    },
+    /// A p2p message was processed by a peer.
+    MsgRecv {
+        /// Receiving (processing) peer.
+        peer: Sym,
+        /// Message kind.
+        kind: MsgKind,
+    },
+    /// A provider evaluated one of its services for a remote caller.
+    PeerEval {
+        /// The provider peer.
+        peer: Sym,
+        /// The evaluated service (unqualified name).
+        service: Sym,
+        /// Wall-clock latency of the evaluation, in nanoseconds.
+        dur_ns: u64,
+    },
+}
+
+/// One journal entry: an [`EventKind`] stamped by the recording sink
+/// with a strictly increasing sequence number and a monotone timestamp
+/// (nanoseconds since the sink's epoch).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Strictly increasing per-sink sequence number (journal order).
+    pub seq: u64,
+    /// Monotone nanoseconds since the sink was created.
+    pub ts_ns: u64,
+    /// The event itself.
+    pub kind: EventKind,
+}
+
+/// Where trace events go. Implementations stamp and store (or
+/// aggregate) events; the instrumented code only constructs
+/// [`EventKind`]s, and only when a sink is attached.
+///
+/// `record` takes `&self` so one sink can be shared by every
+/// instrumentation site of a single-threaded run without threading
+/// `&mut` borrows through the engine; implementations use interior
+/// mutability.
+pub trait TraceSink {
+    /// Record one event.
+    fn record(&self, kind: EventKind);
+}
+
+/// The cheap tracing handle threaded through the engine. Copyable;
+/// either disabled (no sink — every `emit` is one branch, the
+/// event-constructing closure never runs) or bound to a [`TraceSink`].
+#[derive(Clone, Copy, Default)]
+pub struct Tracer<'a> {
+    sink: Option<&'a dyn TraceSink>,
+}
+
+impl<'a> Tracer<'a> {
+    /// A tracer bound to `sink`.
+    pub fn new(sink: &'a dyn TraceSink) -> Tracer<'a> {
+        Tracer { sink: Some(sink) }
+    }
+
+    /// The no-op tracer: every emission is a predictable-false branch.
+    pub fn disabled() -> Tracer<'a> {
+        Tracer { sink: None }
+    }
+
+    /// Is a sink attached? Use to guard measurement work (e.g. an
+    /// `Instant::now` pair) that only exists to enrich events.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Record the event produced by `f` — `f` runs only when enabled.
+    #[inline]
+    pub fn emit(&self, f: impl FnOnce() -> EventKind) {
+        if let Some(sink) = self.sink {
+            sink.record(f());
+        }
+    }
+}
+
+struct JournalInner {
+    seq: u64,
+    events: Vec<TraceEvent>,
+}
+
+/// An in-memory ordered event log. The canonical [`TraceSink`]: stamps
+/// each event with a sequence number and a monotone timestamp, keeps
+/// everything, and feeds the exporters ([`chrome_trace`]) and the
+/// event-stream assertions in tests.
+pub struct Journal {
+    epoch: Instant,
+    inner: RefCell<JournalInner>,
+}
+
+impl Default for Journal {
+    fn default() -> Journal {
+        Journal::new()
+    }
+}
+
+impl Journal {
+    /// An empty journal; timestamps count from now.
+    pub fn new() -> Journal {
+        Journal {
+            epoch: Instant::now(),
+            inner: RefCell::new(JournalInner {
+                seq: 0,
+                events: Vec::new(),
+            }),
+        }
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.inner.borrow().events.len()
+    }
+
+    /// Is the journal empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// A copy of the recorded events, in journal order.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.inner.borrow().events.clone()
+    }
+
+    /// Consume the journal, returning the events.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.inner.into_inner().events
+    }
+}
+
+impl TraceSink for Journal {
+    fn record(&self, kind: EventKind) {
+        let ts_ns = self.epoch.elapsed().as_nanos() as u64;
+        let mut inner = self.inner.borrow_mut();
+        let seq = inner.seq;
+        inner.seq += 1;
+        inner.events.push(TraceEvent { seq, ts_ns, kind });
+    }
+}
+
+/// Fan one event stream out to several sinks (e.g. a [`Journal`] for
+/// export *and* a [`MetricsRegistry`] for the run report).
+pub struct Fanout<'a> {
+    sinks: Vec<&'a dyn TraceSink>,
+}
+
+impl<'a> Fanout<'a> {
+    /// A fanout over the given sinks, notified in order.
+    pub fn new(sinks: Vec<&'a dyn TraceSink>) -> Fanout<'a> {
+        Fanout { sinks }
+    }
+}
+
+impl TraceSink for Fanout<'_> {
+    fn record(&self, kind: EventKind) {
+        for s in &self.sinks {
+            s.record(kind);
+        }
+    }
+}
+
+/// A log-scale (power-of-two buckets) histogram of `u64` samples. No
+/// external deps: 65 buckets cover the full `u64` range; bucket `i > 0`
+/// holds values `v` with `floor(log2(v)) == i - 1` (bucket 0 holds 0).
+///
+/// ```
+/// use axml_core::trace::Histogram;
+/// let mut h = Histogram::new();
+/// for v in [1u64, 2, 3, 900, 1_000, 1_100] {
+///     h.record(v);
+/// }
+/// assert_eq!(h.count(), 6);
+/// assert_eq!(h.max(), 1_100);
+/// // The median falls in the bucket covering 512..=1023.
+/// assert!(h.quantile(0.5) >= 3 && h.quantile(0.5) <= 1023);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// The bucket index for value `v`: 0 for 0, else `floor(log2 v) + 1`.
+    pub fn bucket_index(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        }
+    }
+
+    /// The largest value a bucket holds (its inclusive upper bound).
+    pub fn bucket_upper_bound(i: usize) -> u64 {
+        if i == 0 {
+            0
+        } else if i >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << i) - 1
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded sample (0 when empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded sample.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded samples (0 when empty).
+    pub fn mean(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.sum / self.count
+        }
+    }
+
+    /// An upper bound on the `q`-quantile (0 ≤ q ≤ 1): the upper bound
+    /// of the first bucket whose cumulative count reaches `q·count`,
+    /// clamped to the recorded maximum. Exact to within one power of
+    /// two — the usual latency-histogram trade.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                return Self::bucket_upper_bound(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+}
+
+/// Per-service aggregates maintained by a [`MetricsRegistry`].
+#[derive(Clone, Debug, Default)]
+pub struct ServiceMetrics {
+    /// Completed invocations ([`EventKind::Invoke`]).
+    pub invocations: u64,
+    /// Invocations that strictly grew a document.
+    pub productive: u64,
+    /// Delta-scheduler skips ([`EventKind::CallSkipped`]).
+    pub skipped: u64,
+    /// Match-cache hits while evaluating this service's body.
+    pub cache_hits: u64,
+    /// Match-cache misses while evaluating this service's body.
+    pub cache_misses: u64,
+    /// Result trees grafted across invocations.
+    pub grafted: u64,
+    /// Result trees returned across invocations.
+    pub result_trees: u64,
+    /// Invocation latency distribution, nanoseconds
+    /// (p2p: provider-side evaluation latency).
+    pub latency_ns: Histogram,
+}
+
+impl ServiceMetrics {
+    fn new() -> ServiceMetrics {
+        ServiceMetrics {
+            latency_ns: Histogram::new(),
+            ..ServiceMetrics::default()
+        }
+    }
+}
+
+/// Global (service-independent) counters maintained by a
+/// [`MetricsRegistry`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GlobalMetrics {
+    /// Engine/network rounds completed.
+    pub rounds: u64,
+    /// Calls selected for invocation.
+    pub calls_selected: u64,
+    /// Calls skipped by the delta scheduler.
+    pub calls_skipped: u64,
+    /// Subsumption checks performed while grafting.
+    pub subsume_checks: u64,
+    /// Result trees found already subsumed (not grafted).
+    pub subsumed_results: u64,
+    /// Graft batches.
+    pub grafts: u64,
+    /// In-place reductions.
+    pub reduces: u64,
+    /// Live nodes removed by reductions, total.
+    pub nodes_pruned: u64,
+    /// P2p messages sent.
+    pub msgs_sent: u64,
+    /// P2p messages received/processed.
+    pub msgs_recv: u64,
+}
+
+struct MetricsInner {
+    services: FxHashMap<Sym, ServiceMetrics>,
+    globals: GlobalMetrics,
+}
+
+/// A [`TraceSink`] that aggregates the event stream into per-service
+/// metrics and global counters instead of storing it. Attach alone for
+/// cheap always-on metrics, or behind a [`Fanout`] next to a
+/// [`Journal`].
+pub struct MetricsRegistry {
+    inner: RefCell<MetricsInner>,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> MetricsRegistry {
+        MetricsRegistry::new()
+    }
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry {
+            inner: RefCell::new(MetricsInner {
+                services: FxHashMap::default(),
+                globals: GlobalMetrics::default(),
+            }),
+        }
+    }
+
+    /// The aggregates for one service, if it appeared in the stream.
+    pub fn service(&self, name: Sym) -> Option<ServiceMetrics> {
+        self.inner.borrow().services.get(&name).cloned()
+    }
+
+    /// Names of all services seen, sorted by name.
+    pub fn service_names(&self) -> Vec<Sym> {
+        let mut names: Vec<Sym> = self.inner.borrow().services.keys().copied().collect();
+        names.sort_unstable_by_key(|s| s.as_str());
+        names
+    }
+
+    /// The global counters.
+    pub fn globals(&self) -> GlobalMetrics {
+        self.inner.borrow().globals
+    }
+
+    /// Render the human-readable run report: global counters followed by
+    /// one row per service with invocation counts and latency quantiles
+    /// (µs). This is the format the `EXPERIMENTS.md` observability
+    /// tables are generated from.
+    pub fn render_report(&self, title: &str) -> String {
+        let inner = self.inner.borrow();
+        let g = &inner.globals;
+        let mut out = String::new();
+        let _ = writeln!(out, "== run report: {title} ==");
+        let _ = writeln!(
+            out,
+            "rounds {}  selected {}  skipped {}  grafts {}  reduces {} (pruned {})  \
+             subsume-checks {} (subsumed {})  msgs {}/{}",
+            g.rounds,
+            g.calls_selected,
+            g.calls_skipped,
+            g.grafts,
+            g.reduces,
+            g.nodes_pruned,
+            g.subsume_checks,
+            g.subsumed_results,
+            g.msgs_sent,
+            g.msgs_recv,
+        );
+        let _ = writeln!(
+            out,
+            "{:<16} {:>7} {:>10} {:>8} {:>6} {:>7} {:>8} {:>9} {:>9} {:>9}",
+            "service",
+            "invocs",
+            "productive",
+            "skipped",
+            "hits",
+            "misses",
+            "grafted",
+            "p50(us)",
+            "p99(us)",
+            "max(us)"
+        );
+        let mut names: Vec<Sym> = inner.services.keys().copied().collect();
+        names.sort_unstable_by_key(|s| s.as_str());
+        for name in names {
+            let m = &inner.services[&name];
+            let _ = writeln!(
+                out,
+                "{:<16} {:>7} {:>10} {:>8} {:>6} {:>7} {:>8} {:>9} {:>9} {:>9}",
+                name.as_str(),
+                m.invocations,
+                m.productive,
+                m.skipped,
+                m.cache_hits,
+                m.cache_misses,
+                m.grafted,
+                m.latency_ns.quantile(0.5) / 1_000,
+                m.latency_ns.quantile(0.99) / 1_000,
+                m.latency_ns.max() / 1_000,
+            );
+        }
+        out
+    }
+}
+
+impl TraceSink for MetricsRegistry {
+    fn record(&self, kind: EventKind) {
+        let mut inner = self.inner.borrow_mut();
+        match kind {
+            EventKind::RoundStart { .. } => {}
+            EventKind::RoundEnd { .. } => inner.globals.rounds += 1,
+            EventKind::CallSelected { .. } => inner.globals.calls_selected += 1,
+            EventKind::CallSkipped { service, .. } => {
+                inner.globals.calls_skipped += 1;
+                inner
+                    .services
+                    .entry(service)
+                    .or_insert_with(ServiceMetrics::new)
+                    .skipped += 1;
+            }
+            EventKind::Invoke {
+                service,
+                changed,
+                grafted,
+                result_trees,
+                dur_ns,
+                ..
+            } => {
+                let m = inner
+                    .services
+                    .entry(service)
+                    .or_insert_with(ServiceMetrics::new);
+                m.invocations += 1;
+                m.productive += u64::from(changed);
+                m.grafted += u64::from(grafted);
+                m.result_trees += u64::from(result_trees);
+                m.latency_ns.record(dur_ns);
+            }
+            EventKind::CacheHit { service, .. } => {
+                inner
+                    .services
+                    .entry(service)
+                    .or_insert_with(ServiceMetrics::new)
+                    .cache_hits += 1;
+            }
+            EventKind::CacheMiss { service, .. } => {
+                inner
+                    .services
+                    .entry(service)
+                    .or_insert_with(ServiceMetrics::new)
+                    .cache_misses += 1;
+            }
+            EventKind::SubsumeCheck { subsumed, .. } => {
+                inner.globals.subsume_checks += 1;
+                inner.globals.subsumed_results += u64::from(subsumed);
+            }
+            EventKind::Graft { .. } => inner.globals.grafts += 1,
+            EventKind::Reduce {
+                nodes_before,
+                nodes_after,
+                ..
+            } => {
+                inner.globals.reduces += 1;
+                inner.globals.nodes_pruned +=
+                    u64::from(nodes_before.saturating_sub(nodes_after));
+            }
+            EventKind::MsgSend { .. } => inner.globals.msgs_sent += 1,
+            EventKind::MsgRecv { .. } => inner.globals.msgs_recv += 1,
+            EventKind::PeerEval {
+                service, dur_ns, ..
+            } => {
+                let m = inner
+                    .services
+                    .entry(service)
+                    .or_insert_with(ServiceMetrics::new);
+                m.invocations += 1;
+                m.latency_ns.record(dur_ns);
+            }
+        }
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn us(ts_ns: u64) -> f64 {
+    ts_ns as f64 / 1_000.0
+}
+
+/// Export a journal as Chrome `trace_event` JSON (the
+/// `{"traceEvents": [...]}` object format). Load the result in
+/// `chrome://tracing` or <https://ui.perfetto.dev>:
+///
+/// * rounds become nested `B`/`E` duration slices;
+/// * invocations and peer evaluations become `X` complete slices with
+///   their measured latency and `(doc, version)` / outcome args;
+/// * skips, cache traffic, grafts, reductions, subsumption checks and
+///   p2p messages become instant (`i`) events on the same timeline.
+///
+/// All engine events share `pid` 1 / `tid` 1 (the engine is
+/// single-threaded); p2p events are keyed by peer name in `args`.
+pub fn chrome_trace(events: &[TraceEvent]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
+    let mut first = true;
+    for ev in events {
+        let row = chrome_row(ev);
+        if row.is_empty() {
+            continue;
+        }
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&row);
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+fn chrome_row(ev: &TraceEvent) -> String {
+    let common = |name: &str, ph: &str, cat: &str, ts: f64| {
+        format!(
+            "{{\"name\":\"{}\",\"ph\":\"{ph}\",\"cat\":\"{cat}\",\"ts\":{ts:.3},\"pid\":1,\"tid\":1",
+            json_escape(name)
+        )
+    };
+    let instant = |name: &str, cat: &str, args: String| {
+        format!(
+            "{},\"s\":\"t\",\"args\":{{{args}}}}}",
+            common(name, "i", cat, us(ev.ts_ns))
+        )
+    };
+    match ev.kind {
+        EventKind::RoundStart { round } => {
+            format!("{}}}", common(&format!("round {round}"), "B", "engine", us(ev.ts_ns)))
+        }
+        EventKind::RoundEnd { round, changed } => format!(
+            "{},\"args\":{{\"round\":{round},\"changed\":{changed}}}}}",
+            common(&format!("round {round}"), "E", "engine", us(ev.ts_ns))
+        ),
+        EventKind::CallSelected { doc, node, service } => instant(
+            &format!("select {service}"),
+            "schedule",
+            format!("\"doc\":\"{}\",\"node\":{}", json_escape(doc.as_str()), node.0),
+        ),
+        EventKind::CallSkipped { doc, node, service } => instant(
+            &format!("skip {service}"),
+            "schedule",
+            format!("\"doc\":\"{}\",\"node\":{}", json_escape(doc.as_str()), node.0),
+        ),
+        EventKind::Invoke {
+            doc,
+            node,
+            service,
+            changed,
+            grafted,
+            result_trees,
+            doc_version,
+            dur_ns,
+        } => {
+            let start = us(ev.ts_ns.saturating_sub(dur_ns));
+            format!(
+                "{},\"dur\":{:.3},\"args\":{{\"doc\":\"{}\",\"version\":{doc_version},\
+                 \"node\":{},\"changed\":{changed},\"grafted\":{grafted},\"results\":{result_trees}}}}}",
+                common(&format!("invoke {service}"), "X", "invoke", start),
+                us(dur_ns),
+                json_escape(doc.as_str()),
+                node.0,
+            )
+        }
+        EventKind::CacheHit { service, atom } => instant(
+            &format!("hit {service}#{atom}"),
+            "cache",
+            format!("\"atom\":{atom}"),
+        ),
+        EventKind::CacheMiss { service, atom } => instant(
+            &format!("miss {service}#{atom}"),
+            "cache",
+            format!("\"atom\":{atom}"),
+        ),
+        EventKind::SubsumeCheck { doc, subsumed } => instant(
+            "subsume-check",
+            "graft",
+            format!("\"doc\":\"{}\",\"subsumed\":{subsumed}", json_escape(doc.as_str())),
+        ),
+        EventKind::Graft { doc, doc_version, trees } => instant(
+            "graft",
+            "graft",
+            format!(
+                "\"doc\":\"{}\",\"version\":{doc_version},\"trees\":{trees}",
+                json_escape(doc.as_str())
+            ),
+        ),
+        EventKind::Reduce {
+            doc,
+            nodes_before,
+            nodes_after,
+        } => instant(
+            "reduce",
+            "reduce",
+            format!(
+                "\"doc\":\"{}\",\"before\":{nodes_before},\"after\":{nodes_after}",
+                json_escape(doc.as_str())
+            ),
+        ),
+        EventKind::MsgSend { from, to, kind } => instant(
+            &format!("send {}", kind.name()),
+            "p2p",
+            format!(
+                "\"from\":\"{}\",\"to\":\"{}\"",
+                json_escape(from.as_str()),
+                json_escape(to.as_str())
+            ),
+        ),
+        EventKind::MsgRecv { peer, kind } => instant(
+            &format!("recv {}", kind.name()),
+            "p2p",
+            format!("\"peer\":\"{}\"", json_escape(peer.as_str())),
+        ),
+        EventKind::PeerEval { peer, service, dur_ns } => {
+            let start = us(ev.ts_ns.saturating_sub(dur_ns));
+            format!(
+                "{},\"dur\":{:.3},\"args\":{{\"peer\":\"{}\"}}}}",
+                common(&format!("eval {service}"), "X", "p2p", start),
+                us(dur_ns),
+                json_escape(peer.as_str()),
+            )
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Chrome-trace validation: a minimal JSON parser (no external deps)
+// plus the structural checks chrome://tracing / Perfetto rely on.
+// ---------------------------------------------------------------------
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonParser<'a> {
+    fn new(s: &'a str) -> JsonParser<'a> {
+        JsonParser {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'u') => {
+                            self.pos += 1;
+                            for _ in 0..4 {
+                                match self.peek() {
+                                    Some(h) if h.is_ascii_hexdigit() => self.pos += 1,
+                                    _ => return Err(self.err("bad \\u escape")),
+                                }
+                            }
+                            out.push('?');
+                        }
+                        Some(e @ (b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't')) => {
+                            self.pos += 1;
+                            out.push(e as char);
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                }
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Non-ASCII scalar: advance over the UTF-8 sequence.
+                    // Key comparisons only need ASCII fidelity.
+                    out.push('?');
+                    self.pos += 1;
+                    while matches!(self.peek(), Some(b) if b & 0xC0 == 0x80) {
+                        self.pos += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<(), String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if self.pos == start {
+            Err(self.err("expected number"))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Parse any value; when it is an object, return its keys.
+    fn parse_value(&mut self) -> Result<JsonShape, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => {
+                self.pos += 1;
+                let mut keys = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(JsonShape::Object { keys, items: 0 });
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    keys.push(key);
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    self.parse_value()?;
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            let items = keys.len();
+                            return Ok(JsonShape::Object { keys, items });
+                        }
+                        _ => return Err(self.err("expected ',' or '}'")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = 0usize;
+                let mut elem_keys: Vec<Vec<String>> = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(JsonShape::Array { items, elem_keys });
+                }
+                loop {
+                    let shape = self.parse_value()?;
+                    if let JsonShape::Object { keys, .. } = shape {
+                        elem_keys.push(keys);
+                    }
+                    items += 1;
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(JsonShape::Array { items, elem_keys });
+                        }
+                        _ => return Err(self.err("expected ',' or ']'")),
+                    }
+                }
+            }
+            Some(b'"') => {
+                self.parse_string()?;
+                Ok(JsonShape::Scalar)
+            }
+            Some(b't') => self.literal("true"),
+            Some(b'f') => self.literal("false"),
+            Some(b'n') => self.literal("null"),
+            Some(_) => {
+                self.parse_number()?;
+                Ok(JsonShape::Scalar)
+            }
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str) -> Result<JsonShape, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(JsonShape::Scalar)
+        } else {
+            Err(self.err("bad literal"))
+        }
+    }
+}
+
+enum JsonShape {
+    Scalar,
+    Object {
+        keys: Vec<String>,
+        #[allow(dead_code)]
+        items: usize,
+    },
+    Array {
+        items: usize,
+        elem_keys: Vec<Vec<String>>,
+    },
+}
+
+/// Validate a [`chrome_trace`] export without a browser: the string must
+/// be well-formed JSON, a top-level object with a `traceEvents` array,
+/// and every event object must carry the `name`/`ph`/`ts`/`pid`/`tid`
+/// keys the trace viewers require. Returns the number of events.
+pub fn validate_chrome_trace(json: &str) -> Result<usize, String> {
+    let mut p = JsonParser::new(json);
+    // The top level must be an object; remember its keys, then locate
+    // and re-parse the traceEvents array for per-event checks. One pass
+    // suffices: parse_value validates the whole document, and we keep
+    // the element key lists of every array we see.
+    let shape = p.parse_value()?;
+    p.skip_ws();
+    if p.peek().is_some() {
+        return Err(p.err("trailing content after JSON document"));
+    }
+    let JsonShape::Object { keys, .. } = shape else {
+        return Err("top level is not an object".to_string());
+    };
+    if !keys.iter().any(|k| k == "traceEvents") {
+        return Err("missing \"traceEvents\" key".to_string());
+    }
+    // Re-parse to grab the traceEvents array shape (the first pass only
+    // kept the top-level keys).
+    let idx = json
+        .find("\"traceEvents\"")
+        .expect("key presence checked above");
+    let after = &json[idx + "\"traceEvents\"".len()..];
+    let colon = after.find(':').ok_or("malformed traceEvents entry")?;
+    let mut q = JsonParser::new(&after[colon + 1..]);
+    let JsonShape::Array { items, elem_keys } = q.parse_value()? else {
+        return Err("traceEvents is not an array".to_string());
+    };
+    if elem_keys.len() != items {
+        return Err("traceEvents contains non-object elements".to_string());
+    }
+    for (i, keys) in elem_keys.iter().enumerate() {
+        for required in ["name", "ph", "ts", "pid", "tid"] {
+            if !keys.iter().any(|k| k == required) {
+                return Err(format!("event {i} is missing key \"{required}\""));
+            }
+        }
+    }
+    Ok(items)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sym(s: &str) -> Sym {
+        Sym::intern(s)
+    }
+
+    #[test]
+    fn histogram_bucketing_is_log2() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(1023), 10);
+        assert_eq!(Histogram::bucket_index(1024), 11);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        // Upper bounds are inclusive and aligned with the index map.
+        for v in [0u64, 1, 2, 3, 7, 8, 1023, 1024, u64::MAX] {
+            let i = Histogram::bucket_index(v);
+            assert!(v <= Histogram::bucket_upper_bound(i), "v={v} i={i}");
+            if i > 0 {
+                assert!(v > Histogram::bucket_upper_bound(i - 1), "v={v} i={i}");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_stats_and_quantiles() {
+        let mut h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!((h.count(), h.min(), h.max(), h.mean()), (0, 0, 0, 0));
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 100);
+        assert_eq!(h.sum(), 5050);
+        assert_eq!(h.mean(), 50);
+        // The true median is 50; the log bucket answer is its bucket's
+        // upper bound (63), clamped within [median, 2*median).
+        let p50 = h.quantile(0.5);
+        assert!((50..100).contains(&p50), "p50={p50}");
+        // p100 is exactly the max.
+        assert_eq!(h.quantile(1.0), 100);
+        // Quantiles are monotone in q.
+        assert!(h.quantile(0.1) <= h.quantile(0.9));
+    }
+
+    #[test]
+    fn histogram_merge_accumulates() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(4);
+        a.record(5);
+        b.record(1_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), 4);
+        assert_eq!(a.max(), 1_000);
+        assert_eq!(a.sum(), 1_009);
+        let empty = Histogram::new();
+        a.merge(&empty);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), 4);
+    }
+
+    #[test]
+    fn journal_orders_events_strictly() {
+        let j = Journal::new();
+        for i in 0..100u64 {
+            j.record(EventKind::RoundStart { round: i });
+        }
+        let events = j.snapshot();
+        assert_eq!(events.len(), 100);
+        for w in events.windows(2) {
+            assert!(w[0].seq < w[1].seq, "seq must strictly increase");
+            assert!(w[0].ts_ns <= w[1].ts_ns, "timestamps must be monotone");
+        }
+        assert_eq!(events[0].seq, 0);
+        assert_eq!(events[99].seq, 99);
+        assert_eq!(j.len(), 100);
+        assert_eq!(j.into_events().len(), 100);
+    }
+
+    #[test]
+    fn disabled_tracer_never_constructs_events() {
+        let t = Tracer::disabled();
+        assert!(!t.enabled());
+        t.emit(|| panic!("closure must not run when disabled"));
+    }
+
+    #[test]
+    fn fanout_feeds_every_sink() {
+        let j = Journal::new();
+        let m = MetricsRegistry::new();
+        let fan = Fanout::new(vec![&j, &m]);
+        let t = Tracer::new(&fan);
+        assert!(t.enabled());
+        t.emit(|| EventKind::Invoke {
+            doc: sym("d"),
+            node: NodeId(1),
+            service: sym("f"),
+            changed: true,
+            grafted: 2,
+            result_trees: 3,
+            doc_version: 7,
+            dur_ns: 1_500,
+        });
+        assert_eq!(j.len(), 1);
+        let sm = m.service(sym("f")).unwrap();
+        assert_eq!(sm.invocations, 1);
+        assert_eq!(sm.productive, 1);
+        assert_eq!(sm.grafted, 2);
+        assert_eq!(sm.result_trees, 3);
+        assert_eq!(sm.latency_ns.count(), 1);
+    }
+
+    #[test]
+    fn metrics_aggregate_the_taxonomy() {
+        let m = MetricsRegistry::new();
+        m.record(EventKind::RoundStart { round: 0 });
+        m.record(EventKind::CallSelected {
+            doc: sym("d"),
+            node: NodeId(0),
+            service: sym("f"),
+        });
+        m.record(EventKind::CacheMiss {
+            service: sym("f"),
+            atom: 0,
+        });
+        m.record(EventKind::CacheHit {
+            service: sym("f"),
+            atom: 1,
+        });
+        m.record(EventKind::SubsumeCheck {
+            doc: sym("d"),
+            subsumed: false,
+        });
+        m.record(EventKind::Graft {
+            doc: sym("d"),
+            doc_version: 3,
+            trees: 2,
+        });
+        m.record(EventKind::Reduce {
+            doc: sym("d"),
+            nodes_before: 10,
+            nodes_after: 8,
+        });
+        m.record(EventKind::Invoke {
+            doc: sym("d"),
+            node: NodeId(0),
+            service: sym("f"),
+            changed: false,
+            grafted: 0,
+            result_trees: 1,
+            doc_version: 3,
+            dur_ns: 10,
+        });
+        m.record(EventKind::CallSkipped {
+            doc: sym("d"),
+            node: NodeId(0),
+            service: sym("f"),
+        });
+        m.record(EventKind::MsgSend {
+            from: sym("a"),
+            to: sym("b"),
+            kind: MsgKind::Call,
+        });
+        m.record(EventKind::MsgRecv {
+            peer: sym("b"),
+            kind: MsgKind::Call,
+        });
+        m.record(EventKind::PeerEval {
+            peer: sym("b"),
+            service: sym("g"),
+            dur_ns: 99,
+        });
+        m.record(EventKind::RoundEnd {
+            round: 0,
+            changed: true,
+        });
+        let g = m.globals();
+        assert_eq!(g.rounds, 1);
+        assert_eq!(g.calls_selected, 1);
+        assert_eq!(g.calls_skipped, 1);
+        assert_eq!(g.subsume_checks, 1);
+        assert_eq!(g.subsumed_results, 0);
+        assert_eq!(g.grafts, 1);
+        assert_eq!(g.reduces, 1);
+        assert_eq!(g.nodes_pruned, 2);
+        assert_eq!(g.msgs_sent, 1);
+        assert_eq!(g.msgs_recv, 1);
+        let f = m.service(sym("f")).unwrap();
+        assert_eq!(f.invocations, 1);
+        assert_eq!(f.skipped, 1);
+        assert_eq!(f.cache_hits, 1);
+        assert_eq!(f.cache_misses, 1);
+        let report = m.render_report("test");
+        assert!(report.contains("run report: test"));
+        assert!(report.contains("f"));
+        assert!(report.contains("g"));
+        assert_eq!(m.service_names(), vec![sym("f"), sym("g")]);
+    }
+
+    #[test]
+    fn chrome_export_validates_and_counts() {
+        let j = Journal::new();
+        let t = Tracer::new(&j);
+        t.emit(|| EventKind::RoundStart { round: 0 });
+        t.emit(|| EventKind::CallSelected {
+            doc: sym("d\"quoted\""),
+            node: NodeId(4),
+            service: sym("f"),
+        });
+        t.emit(|| EventKind::Invoke {
+            doc: sym("d\"quoted\""),
+            node: NodeId(4),
+            service: sym("f"),
+            changed: true,
+            grafted: 1,
+            result_trees: 1,
+            doc_version: 1,
+            dur_ns: 2_000,
+        });
+        t.emit(|| EventKind::CacheMiss {
+            service: sym("f"),
+            atom: 0,
+        });
+        t.emit(|| EventKind::Reduce {
+            doc: sym("d\"quoted\""),
+            nodes_before: 5,
+            nodes_after: 5,
+        });
+        t.emit(|| EventKind::MsgSend {
+            from: sym("a"),
+            to: sym("b"),
+            kind: MsgKind::Response,
+        });
+        t.emit(|| EventKind::RoundEnd {
+            round: 0,
+            changed: true,
+        });
+        let json = chrome_trace(&j.snapshot());
+        let n = validate_chrome_trace(&json).expect("export must validate");
+        assert_eq!(n, 7);
+    }
+
+    #[test]
+    fn validator_rejects_malformed_traces() {
+        assert!(validate_chrome_trace("").is_err());
+        assert!(validate_chrome_trace("[]").is_err(), "array at top level");
+        assert!(validate_chrome_trace("{\"foo\": 1}").is_err(), "no traceEvents");
+        assert!(
+            validate_chrome_trace("{\"traceEvents\": [{\"name\":\"x\"}]}").is_err(),
+            "event missing required keys"
+        );
+        assert!(
+            validate_chrome_trace("{\"traceEvents\": [1,2]}").is_err(),
+            "non-object events"
+        );
+        assert!(validate_chrome_trace("{\"traceEvents\": []}").unwrap() == 0);
+        let ok = "{\"traceEvents\": [{\"name\":\"x\",\"ph\":\"i\",\"ts\":0.5,\
+                  \"pid\":1,\"tid\":1,\"s\":\"t\",\"args\":{\"k\":\"v\"}}]}";
+        assert_eq!(validate_chrome_trace(ok).unwrap(), 1);
+        assert!(validate_chrome_trace("{\"traceEvents\": []} trailing").is_err());
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("n\nl"), "n\\nl");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+}

@@ -14,7 +14,7 @@
 //! from its parent, but live node ids stay stable. The rewriting engine
 //! relies on this to keep function-node identities across invocation steps
 //! (reduction keeps the *oldest* of equivalent siblings; see
-//! [`crate::reduce`]).
+//! [`mod@crate::reduce`]).
 
 use crate::error::{AxmlError, Result};
 use crate::sym::Sym;
@@ -103,6 +103,24 @@ struct Node {
 }
 
 /// An unordered AXML tree backed by a node arena.
+///
+/// ```
+/// use axml_core::parse::parse_tree;
+/// use axml_core::tree::{Marking, Tree};
+///
+/// // Example 2.1's document: a{f} with f a function node.
+/// let mut doc = parse_tree("a{@f}")?;
+/// let root = doc.root();
+/// assert_eq!(doc.marking(root), Marking::label("a"));
+/// assert_eq!(doc.node_count(), 2);
+///
+/// // Mutation bumps the version counter; node ids stay stable.
+/// let v0 = doc.version();
+/// doc.add_child(root, Marking::value("42"))?;
+/// assert!(doc.version() > v0);
+/// assert!(doc.is_alive(root));
+/// # Ok::<(), axml_core::AxmlError>(())
+/// ```
 #[derive(Debug)]
 pub struct Tree {
     nodes: Vec<Node>,

@@ -16,7 +16,13 @@
 //!   propagation, with randomizable delivery order for the confluence
 //!   experiments;
 //! * [`termination`] — a polling-based distributed quiescence detector
-//!   validated against the simulator's global oracle.
+//!   validated against the simulator's global oracle;
+//! * [`threaded`] — truly concurrent peers on OS threads, with a
+//!   double-wave quiescence coordinator.
+//!
+//! Both backends can record structured trace journals of their message
+//! traffic and provider evaluations — see [`axml_core::trace`],
+//! [`Network::enable_tracing`] and [`threaded::run_threaded_traced`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,4 +32,6 @@ pub mod termination;
 pub mod threaded;
 
 pub use network::{Mode, Network, NetworkStats, Peer};
-pub use threaded::{run_threaded, standalone_peer, ThreadedOutcome};
+pub use threaded::{
+    run_threaded, run_threaded_traced, standalone_peer, ThreadedOutcome,
+};

@@ -24,10 +24,12 @@ use axml_core::reduce::{canonical_key, reduce_in_place, CanonKey};
 use axml_core::subsume::SubMemo;
 use axml_core::sym::{FxHashMap, Sym};
 use axml_core::system::{context_sym, input_sym};
+use axml_core::trace::{EventKind, Journal, MsgKind, TraceEvent, Tracer};
 use axml_core::tree::{Marking, NodeId, Tree};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::time::Instant;
 
 /// One peer: named documents plus locally-hosted positive services.
 #[derive(Clone)]
@@ -205,6 +207,8 @@ pub struct Network {
     subs: Vec<Subscription>,
     /// Canonical keys of each peer's docs at the last push round.
     last_keys: FxHashMap<Sym, Vec<(Sym, CanonKey)>>,
+    /// Attached trace journal (see [`enable_tracing`](Network::enable_tracing)).
+    journal: Option<Journal>,
     /// Global stats.
     pub stats: NetworkStats,
 }
@@ -220,8 +224,25 @@ impl Network {
             rng: seed.map(StdRng::seed_from_u64),
             subs: Vec::new(),
             last_keys: FxHashMap::default(),
+            journal: None,
             stats: NetworkStats::default(),
         }
+    }
+
+    /// Start recording a structured event journal of every subsequent
+    /// round: message send/recv, provider evaluations (with latency),
+    /// round boundaries. See [`axml_core::trace`].
+    pub fn enable_tracing(&mut self) {
+        self.journal = Some(Journal::new());
+    }
+
+    /// Detach and return the recorded events (empty if tracing was
+    /// never enabled). Tracing stops.
+    pub fn take_journal(&mut self) -> Vec<TraceEvent> {
+        self.journal
+            .take()
+            .map(Journal::into_events)
+            .unwrap_or_default()
     }
 
     /// Add a peer and get a handle to populate it.
@@ -271,6 +292,22 @@ impl Network {
 
     /// One fair round. Returns true if any document changed.
     fn round(&mut self) -> Result<bool> {
+        // The journal is taken out for the duration of the round so the
+        // tracer's shared borrow cannot conflict with `&mut self` calls
+        // (and survives `?` early returns in the inner body).
+        let journal = self.journal.take();
+        let tracer = match journal.as_ref() {
+            Some(j) => Tracer::new(j),
+            None => Tracer::disabled(),
+        };
+        let out = self.round_inner(tracer);
+        self.journal = journal;
+        out
+    }
+
+    fn round_inner(&mut self, tracer: Tracer<'_>) -> Result<bool> {
+        let round = self.stats.rounds as u64;
+        tracer.emit(|| EventKind::RoundStart { round });
         self.stats.rounds += 1;
         let mut changed = false;
 
@@ -330,9 +367,36 @@ impl Network {
                 continue;
             };
             let (pidx, svc) = self.resolve(qualified)?;
+            let provider = self.peers[pidx].name;
             self.stats.calls_sent += 1;
+            tracer.emit(|| EventKind::MsgSend {
+                from: caller,
+                to: provider,
+                kind: MsgKind::Call,
+            });
+            tracer.emit(|| EventKind::MsgRecv {
+                peer: provider,
+                kind: MsgKind::Call,
+            });
+            let started = tracer.enabled().then(Instant::now);
             let forest = self.evaluate(pidx, svc, &input, &context)?;
+            tracer.emit(|| EventKind::PeerEval {
+                peer: provider,
+                service: svc,
+                dur_ns: started
+                    .map(|t| t.elapsed().as_nanos() as u64)
+                    .unwrap_or(0),
+            });
             self.stats.responses += 1;
+            tracer.emit(|| EventKind::MsgSend {
+                from: provider,
+                to: caller,
+                kind: MsgKind::Response,
+            });
+            tracer.emit(|| EventKind::MsgRecv {
+                peer: caller,
+                kind: MsgKind::Response,
+            });
             if self.mode == Mode::Push {
                 let sub = Subscription {
                     caller,
@@ -350,6 +414,7 @@ impl Network {
                 changed = true;
             }
         }
+        tracer.emit(|| EventKind::RoundEnd { round, changed });
         Ok(changed)
     }
 
@@ -539,6 +604,52 @@ mod tests {
             .filter(|&&n| acc.marking(n) == Marking::label("t"))
             .count();
         assert_eq!(tuples, 6);
+    }
+
+    #[test]
+    fn journal_records_message_traffic() {
+        let mut net = portal_network(Mode::Pull, None);
+        net.enable_tracing();
+        assert!(net.run(100).unwrap());
+        let events = net.take_journal();
+        assert!(!events.is_empty());
+        let store = Sym::intern("store");
+        let portal = Sym::intern("portal");
+        // The portal called the store and got a response back.
+        assert!(events.iter().any(|e| matches!(
+            e.kind,
+            EventKind::MsgSend { from, to, kind: MsgKind::Call }
+                if from == portal && to == store
+        )));
+        assert!(events.iter().any(|e| matches!(
+            e.kind,
+            EventKind::MsgSend { from, to, kind: MsgKind::Response }
+                if from == store && to == portal
+        )));
+        assert!(events.iter().any(|e| matches!(
+            e.kind,
+            EventKind::PeerEval { peer, .. } if peer == store
+        )));
+        // Rounds bracket the traffic, and the final round is quiet.
+        assert!(matches!(events[0].kind, EventKind::RoundStart { round: 0 }));
+        let last_end = events
+            .iter()
+            .rev()
+            .find_map(|e| match e.kind {
+                EventKind::RoundEnd { changed, .. } => Some(changed),
+                _ => None,
+            })
+            .unwrap();
+        assert!(!last_end);
+        // Tracing detaches with the journal.
+        assert!(net.take_journal().is_empty());
+    }
+
+    #[test]
+    fn untraced_network_has_no_journal() {
+        let mut net = portal_network(Mode::Pull, None);
+        net.run(100).unwrap();
+        assert!(net.take_journal().is_empty());
     }
 
     #[test]

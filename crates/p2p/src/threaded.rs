@@ -16,10 +16,11 @@ use axml_core::error::{AxmlError, Result};
 use axml_core::forest::Forest;
 use axml_core::reduce::CanonKey;
 use axml_core::sym::{FxHashMap, Sym};
+use axml_core::trace::{EventKind, Journal, MsgKind, TraceEvent, Tracer};
 use axml_core::tree::{NodeId, Tree};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A message between peer threads.
 enum Msg {
@@ -49,8 +50,9 @@ enum Msg {
     Changed,
     /// Coordinator poll: report a digest and the message counters.
     Poll(Sender<PollReply>),
-    /// Stop and ship the final peer state back.
-    Shutdown(Sender<Peer>),
+    /// Stop and ship the final peer state (plus the peer's trace
+    /// journal, when tracing) back.
+    Shutdown(Sender<(Peer, Option<Journal>)>),
 }
 
 struct PollReply {
@@ -77,6 +79,10 @@ pub struct ThreadedOutcome {
     pub peers: FxHashMap<Sym, Peer>,
     /// Run statistics.
     pub stats: ThreadedStats,
+    /// Per-peer event journals ([`run_threaded_traced`] with tracing
+    /// on; empty otherwise). Each peer stamps its own events, so
+    /// ordering is meaningful per peer, not across peers.
+    pub journals: FxHashMap<Sym, Vec<TraceEvent>>,
 }
 
 impl ThreadedOutcome {
@@ -97,6 +103,19 @@ impl ThreadedOutcome {
 /// Run the given peers concurrently (pull mode) until the coordinator
 /// detects global quiescence or `max_waves` polls pass.
 pub fn run_threaded(peers: Vec<Peer>, max_waves: usize) -> Result<ThreadedOutcome> {
+    run_threaded_traced(peers, max_waves, false)
+}
+
+/// [`run_threaded`] with optional tracing: when `trace` is on, each
+/// peer thread keeps a local [`Journal`] of its message traffic and
+/// service evaluations, shipped back in
+/// [`ThreadedOutcome::journals`] at shutdown (journals are per-peer —
+/// no cross-thread sink, no contention on the hot path).
+pub fn run_threaded_traced(
+    peers: Vec<Peer>,
+    max_waves: usize,
+    trace: bool,
+) -> Result<ThreadedOutcome> {
     let names: Vec<Sym> = peers.iter().map(|p| p.name).collect();
     let mut senders: FxHashMap<Sym, Sender<Msg>> = FxHashMap::default();
     let mut receivers: Vec<(Peer, Receiver<Msg>)> = Vec::new();
@@ -109,7 +128,8 @@ pub fn run_threaded(peers: Vec<Peer>, max_waves: usize) -> Result<ThreadedOutcom
     let mut handles = Vec::new();
     for (peer, rx) in receivers {
         let peers_tx = senders.clone();
-        handles.push(thread::spawn(move || peer_loop(peer, rx, peers_tx)));
+        let journal = trace.then(Journal::new);
+        handles.push(thread::spawn(move || peer_loop(peer, rx, peers_tx, journal)));
     }
 
     // Coordinator: two consecutive waves where every peer is idle, the
@@ -166,13 +186,17 @@ pub fn run_threaded(peers: Vec<Peer>, max_waves: usize) -> Result<ThreadedOutcom
         }
     }
 
-    // Shut everything down and collect final states.
+    // Shut everything down and collect final states (and journals).
     let mut final_peers: FxHashMap<Sym, Peer> = FxHashMap::default();
+    let mut journals: FxHashMap<Sym, Vec<TraceEvent>> = FxHashMap::default();
     for name in &names {
         let (rtx, rrx) = unbounded();
         let _ = senders[name].send(Msg::Shutdown(rtx));
-        if let Ok(peer) = rrx.recv_timeout(Duration::from_secs(5)) {
+        if let Ok((peer, journal)) = rrx.recv_timeout(Duration::from_secs(5)) {
             final_peers.insert(*name, peer);
+            if let Some(j) = journal {
+                journals.insert(*name, j.into_events());
+            }
         }
     }
     for h in handles {
@@ -184,11 +208,17 @@ pub fn run_threaded(peers: Vec<Peer>, max_waves: usize) -> Result<ThreadedOutcom
     Ok(ThreadedOutcome {
         peers: final_peers,
         stats,
+        journals,
     })
 }
 
 /// The peer's event loop: serve calls, absorb responses, keep pulling.
-fn peer_loop(mut peer: Peer, rx: Receiver<Msg>, peers_tx: FxHashMap<Sym, Sender<Msg>>) {
+fn peer_loop(
+    mut peer: Peer,
+    rx: Receiver<Msg>,
+    peers_tx: FxHashMap<Sym, Sender<Msg>>,
+    mut journal: Option<Journal>,
+) {
     let myname = peer.name;
     let mut sent = 0u64;
     let mut received = 0u64;
@@ -198,6 +228,10 @@ fn peer_loop(mut peer: Peer, rx: Receiver<Msg>, peers_tx: FxHashMap<Sym, Sender<
     let mut provider_digests: FxHashMap<Sym, Vec<(Sym, CanonKey)>> = FxHashMap::default();
     let mut callers_seen: Vec<Sym> = Vec::new();
     loop {
+        let tracer = match journal.as_ref() {
+            Some(j) => Tracer::new(j),
+            None => Tracer::disabled(),
+        };
         match rx.recv_timeout(Duration::from_millis(2)) {
             Ok(Msg::Call {
                 caller,
@@ -208,12 +242,29 @@ fn peer_loop(mut peer: Peer, rx: Receiver<Msg>, peers_tx: FxHashMap<Sym, Sender<
                 context,
             }) => {
                 received += 1;
+                tracer.emit(|| EventKind::MsgRecv {
+                    peer: myname,
+                    kind: MsgKind::Call,
+                });
                 if !callers_seen.contains(&caller) {
                     callers_seen.push(caller);
                 }
+                let started = tracer.enabled().then(Instant::now);
                 if let Ok(forest) = peer.evaluate(service, &input, &context) {
+                    tracer.emit(|| EventKind::PeerEval {
+                        peer: myname,
+                        service,
+                        dur_ns: started
+                            .map(|t| t.elapsed().as_nanos() as u64)
+                            .unwrap_or(0),
+                    });
                     if let Some(tx) = peers_tx.get(&caller) {
                         sent += 1;
+                        tracer.emit(|| EventKind::MsgSend {
+                            from: myname,
+                            to: caller,
+                            kind: MsgKind::Response,
+                        });
                         let _ = tx.send(Msg::Response {
                             doc,
                             node,
@@ -232,6 +283,10 @@ fn peer_loop(mut peer: Peer, rx: Receiver<Msg>, peers_tx: FxHashMap<Sym, Sender<
                 provider_digest,
             }) => {
                 received += 1;
+                tracer.emit(|| EventKind::MsgRecv {
+                    peer: myname,
+                    kind: MsgKind::Response,
+                });
                 let changed = peer.deliver(doc, node, &forest);
                 let known = provider_digests.insert(provider, provider_digest.clone());
                 if changed || known.as_ref() != Some(&provider_digest) {
@@ -242,6 +297,11 @@ fn peer_loop(mut peer: Peer, rx: Receiver<Msg>, peers_tx: FxHashMap<Sym, Sender<
                     for c in &callers_seen {
                         if let Some(tx) = peers_tx.get(c) {
                             sent += 1;
+                            tracer.emit(|| EventKind::MsgSend {
+                                from: myname,
+                                to: *c,
+                                kind: MsgKind::Changed,
+                            });
                             let _ = tx.send(Msg::Changed);
                         }
                     }
@@ -249,9 +309,17 @@ fn peer_loop(mut peer: Peer, rx: Receiver<Msg>, peers_tx: FxHashMap<Sym, Sender<
             }
             Ok(Msg::Changed) => {
                 received += 1;
+                tracer.emit(|| EventKind::MsgRecv {
+                    peer: myname,
+                    kind: MsgKind::Changed,
+                });
                 need_pull = true;
             }
             Ok(Msg::Poll(reply)) => {
+                tracer.emit(|| EventKind::MsgRecv {
+                    peer: myname,
+                    kind: MsgKind::Poll,
+                });
                 let _ = reply.send(PollReply {
                     digest: peer.digest(),
                     sent,
@@ -260,7 +328,7 @@ fn peer_loop(mut peer: Peer, rx: Receiver<Msg>, peers_tx: FxHashMap<Sym, Sender<
                 });
             }
             Ok(Msg::Shutdown(reply)) => {
-                let _ = reply.send(peer);
+                let _ = reply.send((peer, journal.take()));
                 return;
             }
             Err(RecvTimeoutError::Timeout) => {
@@ -274,6 +342,11 @@ fn peer_loop(mut peer: Peer, rx: Receiver<Msg>, peers_tx: FxHashMap<Sym, Sender<
                         };
                         if let Some(tx) = peers_tx.get(&provider) {
                             sent += 1;
+                            tracer.emit(|| EventKind::MsgSend {
+                                from: myname,
+                                to: provider,
+                                kind: MsgKind::Call,
+                            });
                             let _ = tx.send(Msg::Call {
                                 caller: myname,
                                 doc,
@@ -376,6 +449,34 @@ mod tests {
             );
             assert!(out.stats.messages >= 2);
         }
+    }
+
+    #[test]
+    fn traced_run_ships_per_peer_journals() {
+        let out = run_threaded_traced(build_peers(), 2_000, true).unwrap();
+        assert_eq!(out.canonical_key(), reference_key());
+        // Every peer shipped a journal; the provider logged evaluations
+        // and the callers logged their pulls.
+        assert_eq!(out.journals.len(), 3);
+        let store = &out.journals[&Sym::intern("store")];
+        assert!(store.iter().any(|e| matches!(
+            e.kind,
+            EventKind::PeerEval { service, .. }
+                if service == Sym::intern("titles")
+        )));
+        let portal = &out.journals[&Sym::intern("portal")];
+        assert!(portal.iter().any(|e| matches!(
+            e.kind,
+            EventKind::MsgSend { to, kind: MsgKind::Call, .. }
+                if to == Sym::intern("hub")
+        )));
+        // Per-peer ordering is strict.
+        for events in out.journals.values() {
+            assert!(events.windows(2).all(|w| w[0].seq < w[1].seq));
+        }
+        // Untraced runs ship no journals.
+        let plain = run_threaded(build_peers(), 2_000).unwrap();
+        assert!(plain.journals.is_empty());
     }
 
     #[test]
