@@ -12,9 +12,13 @@
 //! [`Journal`] attached, quantifying the observability overhead against
 //! the plain `delta` rows (the disabled-tracer rows must stay within
 //! noise of PR 1's numbers — events cost nothing unless a sink is on).
+//! The `delta-provenance` entries attach a [`ProvenanceStore`] instead:
+//! the plain `delta` rows exercise the disabled [`Provenance`] handle
+//! on every graft, so they must likewise stay within run-to-run noise.
 
 use axml_bench::tc_random_digraph;
-use axml_core::engine::{run, run_traced, EngineConfig, EngineMode};
+use axml_core::engine::{run, run_traced, run_with_provenance, EngineConfig, EngineMode};
+use axml_core::provenance::{Provenance, ProvenanceStore};
 use axml_core::trace::{Journal, Tracer};
 use axml_tm::encode::encode_tm;
 use axml_tm::samples;
@@ -49,6 +53,20 @@ fn bench_tc(c: &mut Criterion) {
                 )
                 .unwrap();
                 (out, journal.len())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("delta-provenance", n), &sys, |b, s| {
+            b.iter(|| {
+                let mut runner = s.clone();
+                let store = ProvenanceStore::new();
+                let out = run_with_provenance(
+                    &mut runner,
+                    &EngineConfig::with_mode(EngineMode::Delta),
+                    Tracer::disabled(),
+                    Provenance::new(&store),
+                )
+                .unwrap();
+                (out, store.origin_count())
             })
         });
     }

@@ -14,7 +14,7 @@ fn bench_parity(c: &mut Criterion) {
     let mut g = c.benchmark_group("x6/parity");
     g.sample_size(10).measurement_time(Duration::from_secs(2));
     for &len in &[2usize, 6, 10] {
-        let input: Vec<&str> = std::iter::repeat("one").take(len).collect();
+        let input: Vec<&str> = std::iter::repeat_n("one", len).collect();
         g.bench_with_input(BenchmarkId::new("native", len), &input, |b, inp| {
             b.iter(|| tm_run(&tm, inp, 100_000))
         });
@@ -30,9 +30,8 @@ fn bench_anbn(c: &mut Criterion) {
     let mut g = c.benchmark_group("x6/anbn");
     g.sample_size(10).measurement_time(Duration::from_secs(3));
     for &n in &[1usize, 2, 3] {
-        let input: Vec<&str> = std::iter::repeat("a")
-            .take(n)
-            .chain(std::iter::repeat("b").take(n))
+        let input: Vec<&str> = std::iter::repeat_n("a", n)
+            .chain(std::iter::repeat_n("b", n))
             .collect();
         g.bench_with_input(BenchmarkId::new("native", n), &input, |b, inp| {
             b.iter(|| tm_run(&tm, inp, 100_000))

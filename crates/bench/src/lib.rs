@@ -92,7 +92,7 @@ pub fn pipeline_system(k: usize, w: usize) -> System {
     sys.add_document_text("out", &doc).unwrap();
     for s in 0..k {
         let (src_doc, src_pat) = if s == 0 {
-            ("base", format!("r{{v0{{$x}}}}"))
+            ("base", "r{v0{$x}}".to_string())
         } else {
             ("out", format!("out{{v{s}{{$x}}}}"))
         };
@@ -202,7 +202,7 @@ pub fn catalog(width: usize, depth: usize) -> String {
         if depth == 0 {
             return format!(r#"cd{{title{{"t{idx}"}}}}"#);
         }
-        let mut s = format!("shelf{{");
+        let mut s = "shelf{".to_string();
         for i in 0..width {
             s.push_str(&level(width, depth - 1, idx * width + i));
             s.push(',');

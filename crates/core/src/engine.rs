@@ -18,7 +18,8 @@
 use crate::depgraph::{read_set, ReadSet};
 use crate::error::Result;
 use crate::eval::MatchCache;
-use crate::invoke::invoke_node_traced;
+use crate::invoke::invoke_node_with_provenance;
+use crate::provenance::{Provenance, SkipRecord};
 use crate::sym::{FxHashMap, Sym};
 use crate::system::System;
 use crate::trace::{EventKind, Tracer};
@@ -175,6 +176,21 @@ pub fn run_restricted(
     run_restricted_traced(sys, cfg, allow, Tracer::disabled())
 }
 
+/// [`run_traced`] additionally recording per-node lineage into `prov`
+/// (see [`crate::provenance`]): seed nodes are stamped up front, every
+/// grafting invocation logs an `InvocationRecord` and stamps its new
+/// nodes, and every delta-mode skip logs its read-set evidence for
+/// `explain_skip`. With `Provenance::disabled()` this is exactly
+/// [`run_traced`].
+pub fn run_with_provenance(
+    sys: &mut System,
+    cfg: &EngineConfig,
+    tracer: Tracer<'_>,
+    prov: Provenance<'_>,
+) -> Result<(RunStatus, RunStats)> {
+    run_restricted_with_provenance(sys, cfg, |_, _| true, tracer, prov)
+}
+
 /// [`run_restricted`] with tracing (see [`crate::trace`]).
 pub fn run_restricted_traced(
     sys: &mut System,
@@ -182,6 +198,19 @@ pub fn run_restricted_traced(
     allow: impl Fn(Sym, NodeId) -> bool,
     tracer: Tracer<'_>,
 ) -> Result<(RunStatus, RunStats)> {
+    run_restricted_with_provenance(sys, cfg, allow, tracer, Provenance::disabled())
+}
+
+/// [`run_restricted_traced`] with provenance recording (see
+/// [`run_with_provenance`]).
+pub fn run_restricted_with_provenance(
+    sys: &mut System,
+    cfg: &EngineConfig,
+    allow: impl Fn(Sym, NodeId) -> bool,
+    tracer: Tracer<'_>,
+    prov: Provenance<'_>,
+) -> Result<(RunStatus, RunStats)> {
+    prov.with(|st| st.seed_system(sys));
     let mut stats = RunStats::default();
     let mut rng = match cfg.strategy {
         Strategy::Random(seed) => Some(StdRng::seed_from_u64(seed)),
@@ -255,6 +284,32 @@ pub fn run_restricted_traced(
                             node: n,
                             service: fname,
                         });
+                        prov.with(|st| {
+                            // The evidence that justifies the skip: each
+                            // read document's last-change stamp is ≤ the
+                            // call's last-invocation stamp.
+                            let evidence: Vec<(Sym, u64)> =
+                                match read_sets.get(&fname) {
+                                    Some(ReadSet::Docs { docs, own_doc }) => docs
+                                        .iter()
+                                        .chain(own_doc.then_some(&d))
+                                        .map(|e| (*e, changed_at(e)))
+                                        .collect(),
+                                    _ => sys
+                                        .doc_names()
+                                        .iter()
+                                        .map(|e| (*e, changed_at(e)))
+                                        .collect(),
+                                };
+                            st.record_skip(SkipRecord {
+                                doc: d,
+                                node: n,
+                                service: fname,
+                                round,
+                                invoked_at: at,
+                                evidence,
+                            });
+                        });
                         continue;
                     }
                 }
@@ -268,8 +323,15 @@ pub fn run_restricted_traced(
                 service: fname,
             });
             let started = tracer.enabled().then(Instant::now);
-            let outcome =
-                invoke_node_traced(sys, d, n, delta.then_some(&mut cache), tracer)?;
+            let outcome = invoke_node_with_provenance(
+                sys,
+                d,
+                n,
+                delta.then_some(&mut cache),
+                tracer,
+                prov,
+                round,
+            )?;
             tracer.emit(|| EventKind::Invoke {
                 doc: d,
                 node: n,

@@ -95,10 +95,13 @@ pub struct EvalStats {
 /// trees on every invocation.
 #[derive(Default)]
 pub struct MatchCache {
-    entries: FxHashMap<(Sym, usize), (u64, u64, Rc<Vec<Binding>>)>,
+    entries: FxHashMap<(Sym, usize), CacheEntry>,
     hits: usize,
     misses: usize,
 }
+
+/// `(doc id, doc version, bindings)` — exact while id+version match.
+type CacheEntry = (u64, u64, Rc<Vec<Binding>>);
 
 impl MatchCache {
     /// Fresh, empty cache.

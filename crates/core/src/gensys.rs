@@ -162,9 +162,10 @@ mod tests {
         let a = random_simple_system(&GenConfig::default(), 7);
         let b = random_simple_system(&GenConfig::default(), 7);
         assert_eq!(a.canonical_key(), b.canonical_key());
+        // A different seed must still generate a valid system; its key
+        // usually (but not provably) differs, so only build it.
         let c = random_simple_system(&GenConfig::default(), 8);
-        assert!(a.canonical_key() != c.canonical_key() || true); // seeds differ, usually keys do
-        let _ = c;
+        c.validate().expect("seed 8 generates a valid system");
     }
 
     #[test]

@@ -17,9 +17,10 @@
 
 use crate::error::{AxmlError, Result};
 use crate::eval::{snapshot_with_cache_traced, Env, MatchCache};
+use crate::provenance::{query_witnesses, InvocationRecord, Origin, Provenance};
 use crate::reduce::reduce_in_place;
 use crate::subsume::SubMemo;
-use crate::system::System;
+use crate::system::{context_sym, input_sym, System};
 use crate::sym::Sym;
 use crate::trace::{EventKind, Tracer};
 use crate::tree::{Marking, NodeId, Tree};
@@ -72,9 +73,27 @@ pub fn invoke_node_traced(
     cache: Option<&mut MatchCache>,
     tracer: Tracer<'_>,
 ) -> Result<InvokeOutcome> {
+    invoke_node_with_provenance(sys, doc_name, node, cache, tracer, Provenance::disabled(), 0)
+}
+
+/// [`invoke_node_traced`] additionally stamping every grafted node's
+/// lineage into `prov` (see [`crate::provenance`]): when a store is
+/// attached, the service's witness nodes are collected before
+/// evaluation, an [`InvocationRecord`] is logged on the first graft,
+/// and each freshly copied node gets an [`Origin::Local`] stamp.
+/// `round` is the engine round recorded in the invocation record.
+pub fn invoke_node_with_provenance(
+    sys: &mut System,
+    doc_name: Sym,
+    node: NodeId,
+    cache: Option<&mut MatchCache>,
+    tracer: Tracer<'_>,
+    prov: Provenance<'_>,
+    round: u64,
+) -> Result<InvokeOutcome> {
     // Phase 1 — evaluate the service against the current (immutable)
     // system state.
-    let (forest, parent) = {
+    let (forest, parent, fname, witnesses) = {
         let doc = sys
             .doc(doc_name)
             .ok_or(AxmlError::UnknownDocument(doc_name))?;
@@ -91,6 +110,29 @@ pub fn invoke_node_traced(
             .service(fname)
             .ok_or(AxmlError::UnknownFunction(fname))?;
 
+        // Witnesses are only matched when a provenance store is
+        // attached — the disabled path pays one branch.
+        let witnesses = if prov.enabled() {
+            match svc.query() {
+                Some(q) => {
+                    let mut w = query_witnesses(q, |d| sys.doc(d));
+                    if q.body
+                        .iter()
+                        .any(|a| a.doc == input_sym() || a.doc == context_sym())
+                    {
+                        // input/context data comes from the call site.
+                        w.push((doc_name, node));
+                    }
+                    w
+                }
+                // Black boxes read nothing we can see; the call site is
+                // the only visible input.
+                None => vec![(doc_name, node)],
+            }
+        } else {
+            Vec::new()
+        };
+
         let input = build_input(doc, node);
         let context = doc.subtree(parent);
         let env = Env::for_invocation(sys, &input, &context);
@@ -100,7 +142,7 @@ pub fn invoke_node_traced(
             }
             _ => svc.invoke(&env)?,
         };
-        (forest, parent)
+        (forest, parent, fname, witnesses)
     };
 
     // Phase 2 — graft the new information and reduce. One memo serves
@@ -110,8 +152,10 @@ pub fn invoke_node_traced(
     // memoized.
     let result_trees = forest.len();
     let doc = sys.doc_mut(doc_name).expect("checked above");
+    let pre_version = doc.version();
     let mut grafted = 0usize;
     let mut memo = SubMemo::new();
+    let mut seq: Option<u64> = None;
     for r in forest.trees() {
         let already = doc
             .children(parent)
@@ -122,8 +166,34 @@ pub fn invoke_node_traced(
             subsumed: already,
         });
         if !already {
-            doc.graft(parent, r)?;
+            let new_root = doc.graft(parent, r)?;
             grafted += 1;
+            if prov.enabled() {
+                // One invocation record per invocation that grafts,
+                // logged lazily at the first graft so no-op invocations
+                // leave no record.
+                let s = *seq.get_or_insert_with(|| {
+                    prov.with(|st| {
+                        st.begin_invocation(InvocationRecord {
+                            seq: 0,
+                            service: fname,
+                            doc: doc_name,
+                            node,
+                            round,
+                            doc_version: pre_version,
+                            peer: None,
+                            inputs: witnesses.clone(),
+                        })
+                    })
+                    .expect("enabled")
+                });
+                let fresh: Vec<NodeId> = doc.iter_live(new_root).collect();
+                prov.with(|st| {
+                    for nid in fresh {
+                        st.stamp(doc_name, nid, Origin::Local { seq: s });
+                    }
+                });
+            }
         }
     }
     if grafted > 0 {

@@ -44,6 +44,21 @@ impl Relevance {
     pub fn is_relevant(&self, doc: Sym, node: NodeId) -> bool {
         self.relevant_calls.contains(&(doc, node))
     }
+
+    /// The live calls of `sys` this analysis proves q-unneeded: every
+    /// function node *not* in [`Relevance::relevant_calls`]. Sorted by
+    /// document name then node id so explanations render
+    /// deterministically (the provenance layer's `explain_answer`
+    /// surfaces this list per answer).
+    pub fn unneeded_calls(&self, sys: &System) -> Vec<(Sym, NodeId)> {
+        let mut out: Vec<(Sym, NodeId)> = sys
+            .function_nodes()
+            .into_iter()
+            .filter(|&(d, n)| !self.is_relevant(d, n))
+            .collect();
+        out.sort_by(|a, b| a.0.as_str().cmp(b.0.as_str()).then(a.1 .0.cmp(&b.1 .0)));
+        out
+    }
 }
 
 /// Can pattern item `it` match marking `m`?
@@ -260,11 +275,10 @@ pub fn weak_relevance(sys: &System, q: &Query) -> Relevance {
             // (their fresh calls will be fired by the lazy evaluator).
             for n in fq.head.node_ids() {
                 match fq.head.item(n) {
-                    PItem::Const(Marking::Func(g)) => {
-                        if rel.relevant_functions.insert(*g) {
+                    PItem::Const(Marking::Func(g))
+                        if rel.relevant_functions.insert(*g) => {
                             changed = true;
                         }
-                    }
                     PItem::FuncVar(_) => {
                         for &g in sys.service_names() {
                             if rel.relevant_functions.insert(g) {

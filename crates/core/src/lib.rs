@@ -21,7 +21,8 @@
 //!   [`pathexpr`], [`translate`];
 //! * **observability** (implementation-level, not from the paper):
 //!   structured trace journal, per-service metrics, Chrome-trace export —
-//!   [`trace`].
+//!   [`trace`]; per-node data lineage and derivation explanations —
+//!   [`provenance`].
 //!
 //! # Quickstart
 //!
@@ -65,6 +66,7 @@ pub mod matcher;
 pub mod parse;
 pub mod pathexpr;
 pub mod pattern;
+pub mod provenance;
 pub mod file;
 pub mod fireonce;
 pub mod graphrepr;
@@ -89,8 +91,11 @@ pub use engine::{
 pub use eval::{snapshot, snapshot_with_cache, Env, MatchCache};
 pub use invoke::{invoke_node, invoke_node_cached};
 pub use trace::{
-    chrome_trace, validate_chrome_trace, EventKind, Journal, MetricsRegistry,
-    TraceEvent, TraceSink, Tracer,
+    chrome_trace, parse_chrome_trace, validate_chrome_trace, ChromeEvent,
+    EventKind, Journal, MetricsRegistry, TraceEvent, TraceSink, Tracer,
+};
+pub use provenance::{
+    DerivationDag, InvocationRecord, Origin, Provenance, ProvenanceStore, SkipRecord,
 };
 pub use parse::{parse_document, parse_pattern, parse_tree};
 pub use query::{parse_query, Query};

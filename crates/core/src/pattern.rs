@@ -207,6 +207,23 @@ impl Pattern {
         Ok(t)
     }
 
+    /// Copy the subtree of this pattern rooted at `n` into a fresh
+    /// pattern. Used by the provenance layer to locate the document
+    /// nodes each top-level body-atom conjunct embedded into.
+    pub fn subpattern(&self, n: PNodeId) -> Pattern {
+        let mut p = Pattern::new(self.item(n).clone());
+        let mut stack = vec![(n, p.root())];
+        while let Some((sn, dn)) = stack.pop() {
+            for &sc in self.children(sn) {
+                let dc = p
+                    .add_child(dn, self.item(sc).clone())
+                    .expect("subtree of a valid pattern is valid");
+                stack.push((sc, dc));
+            }
+        }
+        p
+    }
+
     /// Build a pattern that matches a tree exactly (all constants).
     pub fn from_tree(t: &Tree) -> Pattern {
         let mut p = Pattern::new(PItem::Const(t.marking(t.root())));

@@ -90,9 +90,12 @@ impl Service for QueryService {
 /// # Ok::<(), axml_core::AxmlError>(())
 /// ```
 pub struct BlackBoxService {
-    f: Box<dyn Fn(&Env<'_>) -> Result<Forest> + Send + Sync>,
+    f: BlackBoxFn,
     description: String,
 }
+
+/// The boxed closure behind a [`BlackBoxService`].
+type BlackBoxFn = Box<dyn Fn(&Env<'_>) -> Result<Forest> + Send + Sync>;
 
 impl BlackBoxService {
     /// Wrap a monotone closure.

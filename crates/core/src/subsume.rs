@@ -22,8 +22,11 @@ use std::cmp::Ordering;
 /// grafting preserves it because a graft only appends *new* children
 /// under the graft point.
 pub struct SubMemo {
-    memo: FxHashMap<((u64, NodeId), (u64, NodeId)), bool>,
+    memo: FxHashMap<(TreeNode, TreeNode), bool>,
 }
+
+/// A node addressed across trees: `(tree id, node id)`.
+type TreeNode = (u64, NodeId);
 
 impl SubMemo {
     /// Fresh, empty memo.

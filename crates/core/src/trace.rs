@@ -448,11 +448,7 @@ impl Histogram {
 
     /// Mean of recorded samples (0 when empty).
     pub fn mean(&self) -> u64 {
-        if self.count == 0 {
-            0
-        } else {
-            self.sum / self.count
-        }
+        self.sum.checked_div(self.count).unwrap_or(0)
     }
 
     /// An upper bound on the `q`-quantile (0 ≤ q ≤ 1): the upper bound
@@ -508,15 +504,6 @@ pub struct ServiceMetrics {
     /// Invocation latency distribution, nanoseconds
     /// (p2p: provider-side evaluation latency).
     pub latency_ns: Histogram,
-}
-
-impl ServiceMetrics {
-    fn new() -> ServiceMetrics {
-        ServiceMetrics {
-            latency_ns: Histogram::new(),
-            ..ServiceMetrics::default()
-        }
-    }
 }
 
 /// Global (service-independent) counters maintained by a
@@ -665,7 +652,7 @@ impl TraceSink for MetricsRegistry {
                 inner
                     .services
                     .entry(service)
-                    .or_insert_with(ServiceMetrics::new)
+                    .or_default()
                     .skipped += 1;
             }
             EventKind::Invoke {
@@ -679,7 +666,7 @@ impl TraceSink for MetricsRegistry {
                 let m = inner
                     .services
                     .entry(service)
-                    .or_insert_with(ServiceMetrics::new);
+                    .or_default();
                 m.invocations += 1;
                 m.productive += u64::from(changed);
                 m.grafted += u64::from(grafted);
@@ -690,14 +677,14 @@ impl TraceSink for MetricsRegistry {
                 inner
                     .services
                     .entry(service)
-                    .or_insert_with(ServiceMetrics::new)
+                    .or_default()
                     .cache_hits += 1;
             }
             EventKind::CacheMiss { service, .. } => {
                 inner
                     .services
                     .entry(service)
-                    .or_insert_with(ServiceMetrics::new)
+                    .or_default()
                     .cache_misses += 1;
             }
             EventKind::SubsumeCheck { subsumed, .. } => {
@@ -722,7 +709,7 @@ impl TraceSink for MetricsRegistry {
                 let m = inner
                     .services
                     .entry(service)
-                    .or_insert_with(ServiceMetrics::new);
+                    .or_default();
                 m.invocations += 1;
                 m.latency_ns.record(dur_ns);
             }
@@ -763,29 +750,65 @@ fn us(ts_ns: u64) -> f64 {
 ///   p2p messages become instant (`i`) events on the same timeline.
 ///
 /// All engine events share `pid` 1 / `tid` 1 (the engine is
-/// single-threaded); p2p events are keyed by peer name in `args`.
+/// single-threaded); p2p events get one `tid` lane per peer (assigned
+/// in order of first appearance), so message traffic and provider
+/// evaluations render as parallel swimlanes. The export leads with
+/// `ph:"M"` metadata events naming the process and every thread lane.
 pub fn chrome_trace(events: &[TraceEvent]) -> String {
+    // Lane assignment: tid 1 is the engine; each peer acting in an
+    // event (sender, receiver, or evaluator) gets its own tid.
+    let mut lanes: Vec<(Sym, u64)> = Vec::new();
+    let lane = |lanes: &mut Vec<(Sym, u64)>, peer: Sym| -> u64 {
+        if let Some(&(_, t)) = lanes.iter().find(|(p, _)| *p == peer) {
+            return t;
+        }
+        let t = lanes.len() as u64 + 2;
+        lanes.push((peer, t));
+        t
+    };
+    let rows: Vec<String> = events
+        .iter()
+        .map(|ev| {
+            let tid = match ev.kind {
+                EventKind::MsgSend { from, .. } => lane(&mut lanes, from),
+                EventKind::MsgRecv { peer, .. }
+                | EventKind::PeerEval { peer, .. } => lane(&mut lanes, peer),
+                _ => 1,
+            };
+            chrome_row(ev, tid)
+        })
+        .collect();
+
     let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
-    let mut first = true;
-    for ev in events {
-        let row = chrome_row(ev);
+    out.push_str(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\
+         \"args\":{\"name\":\"positive-axml\"}},\n\
+         {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\
+         \"args\":{\"name\":\"engine\"}}",
+    );
+    for (peer, tid) in &lanes {
+        let _ = write!(
+            out,
+            ",\n{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\
+             \"tid\":{tid},\"args\":{{\"name\":\"{}\"}}}}",
+            json_escape(peer.as_str())
+        );
+    }
+    for row in rows {
         if row.is_empty() {
             continue;
         }
-        if !first {
-            out.push_str(",\n");
-        }
-        first = false;
+        out.push_str(",\n");
         out.push_str(&row);
     }
     out.push_str("\n]}\n");
     out
 }
 
-fn chrome_row(ev: &TraceEvent) -> String {
+fn chrome_row(ev: &TraceEvent, tid: u64) -> String {
     let common = |name: &str, ph: &str, cat: &str, ts: f64| {
         format!(
-            "{{\"name\":\"{}\",\"ph\":\"{ph}\",\"cat\":\"{cat}\",\"ts\":{ts:.3},\"pid\":1,\"tid\":1",
+            "{{\"name\":\"{}\",\"ph\":\"{ph}\",\"cat\":\"{cat}\",\"ts\":{ts:.3},\"pid\":1,\"tid\":{tid}",
             json_escape(name)
         )
     };
@@ -939,6 +962,20 @@ impl<'a> JsonParser<'a> {
         }
     }
 
+    fn hex4(&mut self) -> Result<u32, String> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            match self.peek().and_then(|h| (h as char).to_digit(16)) {
+                Some(d) => {
+                    v = v * 16 + d;
+                    self.pos += 1;
+                }
+                None => return Err(self.err("bad \\u escape")),
+            }
+        }
+        Ok(v)
+    }
+
     fn parse_string(&mut self) -> Result<String, String> {
         self.expect(b'"')?;
         let mut out = String::new();
@@ -954,17 +991,53 @@ impl<'a> JsonParser<'a> {
                     match self.peek() {
                         Some(b'u') => {
                             self.pos += 1;
-                            for _ in 0..4 {
-                                match self.peek() {
-                                    Some(h) if h.is_ascii_hexdigit() => self.pos += 1,
-                                    _ => return Err(self.err("bad \\u escape")),
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // High surrogate: a \uXXXX low surrogate
+                                // must follow to complete the pair.
+                                self.expect(b'\\').and_then(|()| {
+                                    self.expect(b'u')
+                                })?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("bad low surrogate"));
                                 }
-                            }
-                            out.push('?');
+                                let cp = 0x10000
+                                    + ((hi - 0xD800) << 10)
+                                    + (lo - 0xDC00);
+                                char::from_u32(cp)
+                                    .expect("paired surrogates are valid")
+                            } else if (0xDC00..0xE000).contains(&hi) {
+                                return Err(self.err("lone low surrogate"));
+                            } else {
+                                char::from_u32(hi)
+                                    .expect("non-surrogate BMP scalar")
+                            };
+                            out.push(c);
                         }
-                        Some(e @ (b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't')) => {
+                        Some(e @ (b'"' | b'\\' | b'/')) => {
                             self.pos += 1;
                             out.push(e as char);
+                        }
+                        Some(b'b') => {
+                            self.pos += 1;
+                            out.push('\u{0008}');
+                        }
+                        Some(b'f') => {
+                            self.pos += 1;
+                            out.push('\u{000C}');
+                        }
+                        Some(b'n') => {
+                            self.pos += 1;
+                            out.push('\n');
+                        }
+                        Some(b'r') => {
+                            self.pos += 1;
+                            out.push('\r');
+                        }
+                        Some(b't') => {
+                            self.pos += 1;
+                            out.push('\t');
                         }
                         _ => return Err(self.err("bad escape")),
                     }
@@ -974,19 +1047,23 @@ impl<'a> JsonParser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Non-ASCII scalar: advance over the UTF-8 sequence.
-                    // Key comparisons only need ASCII fidelity.
-                    out.push('?');
+                    // Multi-byte UTF-8 scalar: the input came in as a
+                    // &str, so the sequence is valid — copy it through.
+                    let start = self.pos;
                     self.pos += 1;
                     while matches!(self.peek(), Some(b) if b & 0xC0 == 0x80) {
                         self.pos += 1;
                     }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .expect("input is a str"),
+                    );
                 }
             }
         }
     }
 
-    fn parse_number(&mut self) -> Result<(), String> {
+    fn parse_number(&mut self) -> Result<f64, String> {
         let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
@@ -1010,38 +1087,39 @@ impl<'a> JsonParser<'a> {
             }
         }
         if self.pos == start {
-            Err(self.err("expected number"))
-        } else {
-            Ok(())
+            return Err(self.err("expected number"));
         }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("digits are ASCII")
+            .parse::<f64>()
+            .map_err(|_| self.err("bad number"))
     }
 
-    /// Parse any value; when it is an object, return its keys.
-    fn parse_value(&mut self) -> Result<JsonShape, String> {
+    /// Parse any JSON value into a [`JsonValue`] tree.
+    fn parse_value(&mut self) -> Result<JsonValue, String> {
         self.skip_ws();
         match self.peek() {
             Some(b'{') => {
                 self.pos += 1;
-                let mut keys = Vec::new();
+                let mut fields = Vec::new();
                 self.skip_ws();
                 if self.peek() == Some(b'}') {
                     self.pos += 1;
-                    return Ok(JsonShape::Object { keys, items: 0 });
+                    return Ok(JsonValue::Obj(fields));
                 }
                 loop {
                     self.skip_ws();
                     let key = self.parse_string()?;
-                    keys.push(key);
                     self.skip_ws();
                     self.expect(b':')?;
-                    self.parse_value()?;
+                    let value = self.parse_value()?;
+                    fields.push((key, value));
                     self.skip_ws();
                     match self.peek() {
                         Some(b',') => self.pos += 1,
                         Some(b'}') => {
                             self.pos += 1;
-                            let items = keys.len();
-                            return Ok(JsonShape::Object { keys, items });
+                            return Ok(JsonValue::Obj(fields));
                         }
                         _ => return Err(self.err("expected ',' or '}'")),
                     }
@@ -1049,111 +1127,189 @@ impl<'a> JsonParser<'a> {
             }
             Some(b'[') => {
                 self.pos += 1;
-                let mut items = 0usize;
-                let mut elem_keys: Vec<Vec<String>> = Vec::new();
+                let mut items = Vec::new();
                 self.skip_ws();
                 if self.peek() == Some(b']') {
                     self.pos += 1;
-                    return Ok(JsonShape::Array { items, elem_keys });
+                    return Ok(JsonValue::Arr(items));
                 }
                 loop {
-                    let shape = self.parse_value()?;
-                    if let JsonShape::Object { keys, .. } = shape {
-                        elem_keys.push(keys);
-                    }
-                    items += 1;
+                    items.push(self.parse_value()?);
                     self.skip_ws();
                     match self.peek() {
                         Some(b',') => self.pos += 1,
                         Some(b']') => {
                             self.pos += 1;
-                            return Ok(JsonShape::Array { items, elem_keys });
+                            return Ok(JsonValue::Arr(items));
                         }
                         _ => return Err(self.err("expected ',' or ']'")),
                     }
                 }
             }
-            Some(b'"') => {
-                self.parse_string()?;
-                Ok(JsonShape::Scalar)
-            }
-            Some(b't') => self.literal("true"),
-            Some(b'f') => self.literal("false"),
-            Some(b'n') => self.literal("null"),
-            Some(_) => {
-                self.parse_number()?;
-                Ok(JsonShape::Scalar)
-            }
+            Some(b'"') => Ok(JsonValue::Str(self.parse_string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(_) => Ok(JsonValue::Num(self.parse_number()?)),
             None => Err(self.err("unexpected end of input")),
         }
     }
 
-    fn literal(&mut self, lit: &str) -> Result<JsonShape, String> {
+    fn literal(&mut self, lit: &str, v: JsonValue) -> Result<JsonValue, String> {
         if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
             self.pos += lit.len();
-            Ok(JsonShape::Scalar)
+            Ok(v)
         } else {
             Err(self.err("bad literal"))
         }
     }
 }
 
-enum JsonShape {
-    Scalar,
-    Object {
-        keys: Vec<String>,
-        #[allow(dead_code)]
-        items: usize,
-    },
-    Array {
-        items: usize,
-        elem_keys: Vec<Vec<String>>,
-    },
+/// A fully-decoded JSON value (strings with their escapes resolved,
+/// including `\uXXXX` surrogate pairs).
+#[derive(Clone, Debug, PartialEq)]
+enum JsonValue {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<JsonValue>),
+    Obj(Vec<(String, JsonValue)>),
 }
 
-/// Validate a [`chrome_trace`] export without a browser: the string must
-/// be well-formed JSON, a top-level object with a `traceEvents` array,
-/// and every event object must carry the `name`/`ph`/`ts`/`pid`/`tid`
-/// keys the trace viewers require. Returns the number of events.
-pub fn validate_chrome_trace(json: &str) -> Result<usize, String> {
+impl JsonValue {
+    /// Render a scalar for [`ChromeEvent::args`]; containers summarize.
+    fn render(&self) -> String {
+        match self {
+            JsonValue::Null => "null".to_string(),
+            JsonValue::Bool(b) => b.to_string(),
+            JsonValue::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 9.0e15 {
+                    format!("{}", *n as i64)
+                } else {
+                    n.to_string()
+                }
+            }
+            JsonValue::Str(s) => s.clone(),
+            JsonValue::Arr(items) => format!("[{} items]", items.len()),
+            JsonValue::Obj(fields) => format!("{{{} keys}}", fields.len()),
+        }
+    }
+}
+
+/// One event parsed back from a [`chrome_trace`] export.
+///
+/// Metadata events (`ph == "M"`) carry no timestamp; their `ts` reads
+/// as `0.0` and `tid` defaults to `0` when absent (`process_name`).
+/// `args` values are scalars rendered to strings.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ChromeEvent {
+    /// Event name (e.g. `invoke f`, `send call`, `thread_name`).
+    pub name: String,
+    /// Phase: `B`/`E` durations, `X` complete, `i` instant, `M` metadata.
+    pub ph: String,
+    /// Category (`engine`, `schedule`, `invoke`, `cache`, `graft`,
+    /// `reduce`, `p2p`); empty when absent (metadata events).
+    pub cat: String,
+    /// Timestamp in microseconds (0.0 for metadata events).
+    pub ts: f64,
+    /// Process id lane.
+    pub pid: i64,
+    /// Thread id lane (tid 1 = engine, 2+ = one per peer).
+    pub tid: i64,
+    /// The event's `args` object, with scalar values stringified.
+    pub args: Vec<(String, String)>,
+}
+
+impl ChromeEvent {
+    /// Look up an `args` entry by key.
+    pub fn arg(&self, key: &str) -> Option<&str> {
+        self.args
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Parse a [`chrome_trace`] export back into its events, decoding all
+/// string escapes — the round-trip counterpart of the exporter. Every
+/// event must carry the keys the trace viewers require: `name`/`ph`/
+/// `pid` always, plus `ts`/`tid` for non-metadata phases.
+pub fn parse_chrome_trace(json: &str) -> Result<Vec<ChromeEvent>, String> {
     let mut p = JsonParser::new(json);
-    // The top level must be an object; remember its keys, then locate
-    // and re-parse the traceEvents array for per-event checks. One pass
-    // suffices: parse_value validates the whole document, and we keep
-    // the element key lists of every array we see.
-    let shape = p.parse_value()?;
+    let top = p.parse_value()?;
     p.skip_ws();
     if p.peek().is_some() {
         return Err(p.err("trailing content after JSON document"));
     }
-    let JsonShape::Object { keys, .. } = shape else {
+    let JsonValue::Obj(fields) = top else {
         return Err("top level is not an object".to_string());
     };
-    if !keys.iter().any(|k| k == "traceEvents") {
+    let Some((_, events)) = fields.iter().find(|(k, _)| k == "traceEvents")
+    else {
         return Err("missing \"traceEvents\" key".to_string());
-    }
-    // Re-parse to grab the traceEvents array shape (the first pass only
-    // kept the top-level keys).
-    let idx = json
-        .find("\"traceEvents\"")
-        .expect("key presence checked above");
-    let after = &json[idx + "\"traceEvents\"".len()..];
-    let colon = after.find(':').ok_or("malformed traceEvents entry")?;
-    let mut q = JsonParser::new(&after[colon + 1..]);
-    let JsonShape::Array { items, elem_keys } = q.parse_value()? else {
+    };
+    let JsonValue::Arr(items) = events else {
         return Err("traceEvents is not an array".to_string());
     };
-    if elem_keys.len() != items {
-        return Err("traceEvents contains non-object elements".to_string());
+    let mut out = Vec::with_capacity(items.len());
+    for (i, item) in items.iter().enumerate() {
+        let JsonValue::Obj(fields) = item else {
+            return Err("traceEvents contains non-object elements".to_string());
+        };
+        let get = |k: &str| {
+            fields.iter().find(|(f, _)| f == k).map(|(_, v)| v)
+        };
+        let str_field = |k: &str| match get(k) {
+            Some(JsonValue::Str(s)) => Ok(s.clone()),
+            Some(_) => Err(format!("event {i}: key \"{k}\" is not a string")),
+            None => Err(format!("event {i} is missing key \"{k}\"")),
+        };
+        let num_field = |k: &str| match get(k) {
+            Some(JsonValue::Num(n)) => Ok(*n),
+            Some(_) => Err(format!("event {i}: key \"{k}\" is not a number")),
+            None => Err(format!("event {i} is missing key \"{k}\"")),
+        };
+        let name = str_field("name")?;
+        let ph = str_field("ph")?;
+        let cat = str_field("cat").unwrap_or_default();
+        let pid = num_field("pid")? as i64;
+        let (ts, tid) = if ph == "M" {
+            // Metadata events have no timeline position; tid is
+            // optional (process_name applies to the whole process).
+            (0.0, num_field("tid").unwrap_or(0.0) as i64)
+        } else {
+            (num_field("ts")?, num_field("tid")? as i64)
+        };
+        let args = match get("args") {
+            Some(JsonValue::Obj(kvs)) => kvs
+                .iter()
+                .map(|(k, v)| (k.clone(), v.render()))
+                .collect(),
+            _ => Vec::new(),
+        };
+        out.push(ChromeEvent {
+            name,
+            ph,
+            cat,
+            ts,
+            pid,
+            tid,
+            args,
+        });
     }
-    for (i, keys) in elem_keys.iter().enumerate() {
-        for required in ["name", "ph", "ts", "pid", "tid"] {
-            if !keys.iter().any(|k| k == required) {
-                return Err(format!("event {i} is missing key \"{required}\""));
-            }
-        }
-    }
-    Ok(items)
+    Ok(out)
+}
+
+/// Validate a [`chrome_trace`] export without a browser: the string must
+/// be well-formed JSON, a top-level object with a `traceEvents` array,
+/// and every event object must carry the keys the trace viewers
+/// require (`name`/`ph`/`ts`/`pid`/`tid`; metadata events only
+/// `name`/`ph`/`pid`). Returns the number of non-metadata events, i.e.
+/// the number of journal events the export represents.
+pub fn validate_chrome_trace(json: &str) -> Result<usize, String> {
+    let events = parse_chrome_trace(json)?;
+    Ok(events.iter().filter(|e| e.ph != "M").count())
 }
 
 #[cfg(test)]
@@ -1223,6 +1379,88 @@ mod tests {
         a.merge(&empty);
         assert_eq!(a.count(), 3);
         assert_eq!(a.min(), 4);
+    }
+
+    #[test]
+    fn histogram_empty_is_all_zeros() {
+        let h = Histogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.min(), 0, "empty min reads 0, not the u64::MAX sentinel");
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0);
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0, "q={q}");
+        }
+    }
+
+    #[test]
+    fn histogram_single_sample_pins_every_stat() {
+        let mut h = Histogram::new();
+        h.record(42);
+        assert_eq!((h.count(), h.min(), h.max()), (1, 42, 42));
+        assert_eq!(h.mean(), 42);
+        // Every quantile of a one-sample distribution is that sample
+        // (the bucket bound 63 is clamped to the recorded max).
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), 42, "q={q}");
+        }
+        // A zero-valued sample exercises bucket 0 exactly.
+        let mut z = Histogram::new();
+        z.record(0);
+        assert_eq!((z.count(), z.min(), z.max(), z.quantile(0.5)), (1, 0, 0, 0));
+    }
+
+    #[test]
+    fn histogram_saturates_at_the_top_bucket() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+        assert_eq!(Histogram::bucket_upper_bound(64), u64::MAX);
+        assert_eq!(h.max(), u64::MAX);
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        // The sum saturates instead of wrapping, so the mean stays an
+        // upper bound rather than garbage.
+        assert_eq!(h.sum(), u64::MAX);
+        assert_eq!(h.mean(), u64::MAX / 2);
+    }
+
+    #[test]
+    fn histogram_merge_of_disjoint_ranges() {
+        // a holds only tiny samples, b only huge ones: the merge must
+        // keep both tails intact.
+        let mut a = Histogram::new();
+        for v in [0u64, 1, 2, 3] {
+            a.record(v);
+        }
+        let mut b = Histogram::new();
+        for v in [1u64 << 40, (1 << 40) + 1, u64::MAX] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 7);
+        assert_eq!(a.min(), 0);
+        assert_eq!(a.max(), u64::MAX);
+        assert_eq!(a.quantile(0.0), 0);
+        assert_eq!(a.quantile(1.0), u64::MAX);
+        // The low quantiles still resolve inside the small buckets.
+        assert!(a.quantile(0.5) <= 3, "p50={}", a.quantile(0.5));
+        // Merging the other way agrees on the aggregate stats.
+        let mut c = Histogram::new();
+        for v in [1u64 << 40, (1 << 40) + 1, u64::MAX] {
+            c.record(v);
+        }
+        let mut d = Histogram::new();
+        for v in [0u64, 1, 2, 3] {
+            c.record(v);
+            d.record(v);
+        }
+        d.merge(&b);
+        assert_eq!(c.count(), d.count());
+        assert_eq!(c.min(), d.min());
+        assert_eq!(c.max(), d.max());
+        assert_eq!(c.sum(), d.sum());
     }
 
     #[test]
@@ -1432,5 +1670,145 @@ mod tests {
         assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
         assert_eq!(json_escape("n\nl"), "n\\nl");
         assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn parser_decodes_escapes_and_unicode() {
+        let mut p = JsonParser::new(r#""a\"b\\c\/d\n\tAé""#);
+        assert_eq!(p.parse_string().unwrap(), "a\"b\\c/d\n\tAé");
+        // Surrogate pair: U+1F600.
+        let mut p = JsonParser::new(r#""😀""#);
+        assert_eq!(p.parse_string().unwrap(), "😀");
+        // Raw (unescaped) multi-byte UTF-8 passes through verbatim.
+        let mut p = JsonParser::new("\"héllo — 日本語\"");
+        assert_eq!(p.parse_string().unwrap(), "héllo — 日本語");
+        // Lone surrogates are rejected.
+        assert!(JsonParser::new(r#""\ud83d""#).parse_string().is_err());
+        assert!(JsonParser::new(r#""\ude00""#).parse_string().is_err());
+        assert!(JsonParser::new(r#""\ud83dx""#).parse_string().is_err());
+    }
+
+    /// Build a journal around a doc/peer name and export it.
+    fn trace_with_names(doc: &str, peer: &str) -> (String, usize) {
+        let j = Journal::new();
+        let t = Tracer::new(&j);
+        t.emit(|| EventKind::RoundStart { round: 0 });
+        t.emit(|| EventKind::CallSelected {
+            doc: sym(doc),
+            node: NodeId(3),
+            service: sym("f"),
+        });
+        t.emit(|| EventKind::MsgSend {
+            from: sym(peer),
+            to: sym("other"),
+            kind: MsgKind::Call,
+        });
+        t.emit(|| EventKind::RoundEnd {
+            round: 0,
+            changed: false,
+        });
+        let n = j.len();
+        (chrome_trace(&j.snapshot()), n)
+    }
+
+    #[test]
+    fn chrome_trace_round_trips_hostile_names() {
+        // Doc and peer names bearing quotes, backslashes, control
+        // characters, and non-ASCII must survive export → parse intact.
+        for name in [
+            "doc \"quoted\" \\slashed\\",
+            "tab\there\nnewline",
+            "héllo — 日本語 😀",
+            "ctrl\u{1}\u{1f}end",
+        ] {
+            let (json, n) = trace_with_names(name, name);
+            assert_eq!(
+                validate_chrome_trace(&json).unwrap(),
+                n,
+                "name={name:?}"
+            );
+            let events = parse_chrome_trace(&json).unwrap();
+            let select = events
+                .iter()
+                .find(|e| e.name == "select f")
+                .expect("CallSelected row survives");
+            assert_eq!(select.arg("doc"), Some(name), "doc arg round-trips");
+            let send = events
+                .iter()
+                .find(|e| e.name == "send call")
+                .expect("MsgSend row survives");
+            assert_eq!(send.arg("from"), Some(name), "peer arg round-trips");
+            // The peer's thread_name metadata carries the same name.
+            let lane = events
+                .iter()
+                .find(|e| {
+                    e.ph == "M"
+                        && e.name == "thread_name"
+                        && e.tid == send.tid
+                })
+                .expect("peer lane is named");
+            assert_eq!(lane.arg("name"), Some(name));
+        }
+    }
+
+    #[test]
+    fn chrome_trace_gives_each_peer_its_own_lane() {
+        let j = Journal::new();
+        let t = Tracer::new(&j);
+        t.emit(|| EventKind::RoundStart { round: 0 });
+        for (a, b) in [("p1", "p2"), ("p2", "p1"), ("p3", "p1")] {
+            t.emit(|| EventKind::MsgSend {
+                from: sym(a),
+                to: sym(b),
+                kind: MsgKind::Call,
+            });
+            t.emit(|| EventKind::MsgRecv {
+                peer: sym(b),
+                kind: MsgKind::Call,
+            });
+        }
+        t.emit(|| EventKind::PeerEval {
+            peer: sym("p2"),
+            service: sym("f"),
+            dur_ns: 10,
+        });
+        t.emit(|| EventKind::RoundEnd {
+            round: 0,
+            changed: false,
+        });
+        let json = chrome_trace(&j.snapshot());
+        let events = parse_chrome_trace(&json).unwrap();
+        // Engine events sit on tid 1; each peer has a distinct tid ≥ 2.
+        let tid_of = |name: &str| {
+            events
+                .iter()
+                .find(|e| {
+                    e.ph == "M"
+                        && e.name == "thread_name"
+                        && e.arg("name") == Some(name)
+                })
+                .map(|e| e.tid)
+        };
+        assert_eq!(tid_of("engine"), Some(1));
+        let tids: Vec<i64> = ["p1", "p2", "p3"]
+            .iter()
+            .map(|p| tid_of(p).expect("every peer gets a lane"))
+            .collect();
+        assert_eq!(tids, vec![2, 3, 4], "lanes in order of first appearance");
+        assert!(events
+            .iter()
+            .any(|e| e.ph == "M" && e.name == "process_name"));
+        for e in &events {
+            match e.name.as_str() {
+                "round 0" => assert_eq!(e.tid, 1),
+                n if n.starts_with("send") => {
+                    assert!(e.tid >= 2, "p2p events leave the engine lane")
+                }
+                _ => {}
+            }
+        }
+        // The eval slice sits on its evaluator's lane.
+        let eval = events.iter().find(|e| e.name == "eval f").unwrap();
+        assert_eq!(Some(eval.tid), tid_of("p2"));
     }
 }

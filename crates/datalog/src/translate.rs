@@ -107,7 +107,7 @@ pub fn axml_eval(prog: &Program) -> Result<(Database, usize)> {
 pub fn extract_database(sys: &System, prog: &Program) -> Database {
     let preds: BTreeMap<String, usize> = prog.predicates();
     let mut db = Database::new();
-    for (p, _) in &preds {
+    for p in preds.keys() {
         db.entry(p.clone()).or_default();
     }
     let doc = sys.doc(Sym::intern("db")).expect("db document");

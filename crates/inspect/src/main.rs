@@ -1,0 +1,153 @@
+//! `axml-inspect` — inspect the engine's observability artifacts.
+//!
+//! ```text
+//! axml-inspect report [--n N] [--shards S] [--seed X]
+//! axml-inspect events <trace.json> [--cat C] [--ph P] [--contains S] [--limit N]
+//! axml-inspect matrix [--peers K] [--rounds R]
+//! axml-inspect provenance [--n N] [--shards S] [--seed X] [--out FILE]
+//! ```
+//!
+//! * `report` runs the tc-digraph closure workload live on the delta
+//!   engine and prints the metrics report.
+//! * `events` parses a Chrome-trace JSON export (e.g. the X14 artifact)
+//!   back into events and prints a filtered listing.
+//! * `matrix` runs a live star network and prints the per-peer message
+//!   matrix from its journal.
+//! * `provenance` runs the closure workload with provenance enabled and
+//!   prints (or writes) the DOT derivation DAG of the deepest
+//!   explainable `path` answer — pipe it to `dot -Tsvg`.
+
+use std::process::ExitCode;
+
+use axml_inspect::{
+    deepest_provenance_dot, matrix_from_events, render_events,
+    run_metrics_report, EventFilter,
+};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  \
+         axml-inspect report [--n N] [--shards S] [--seed X]\n  \
+         axml-inspect events <trace.json> [--cat C] [--ph P] [--contains S] [--limit N]\n  \
+         axml-inspect matrix [--peers K] [--rounds R]\n  \
+         axml-inspect provenance [--n N] [--shards S] [--seed X] [--out FILE]"
+    );
+    ExitCode::from(2)
+}
+
+/// Pull `--flag value` out of `args`; removes both tokens when found.
+fn take_opt(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    if i + 1 >= args.len() {
+        return None;
+    }
+    let v = args.remove(i + 1);
+    args.remove(i);
+    Some(v)
+}
+
+fn take_num<T: std::str::FromStr>(
+    args: &mut Vec<String>,
+    flag: &str,
+    default: T,
+) -> Result<T, String> {
+    match take_opt(args, flag) {
+        None => Ok(default),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("{flag}: bad value {v:?}")),
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        return usage();
+    }
+    let cmd = args.remove(0);
+    let result = match cmd.as_str() {
+        "report" => cmd_report(&mut args),
+        "events" => cmd_events(&mut args),
+        "matrix" => cmd_matrix(&mut args),
+        "provenance" => cmd_provenance(&mut args),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("axml-inspect: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_report(args: &mut Vec<String>) -> Result<(), String> {
+    let n = take_num(args, "--n", 64usize)?;
+    let shards = take_num(args, "--shards", 4usize)?;
+    let seed = take_num(args, "--seed", 12u64)?;
+    reject_extra(args)?;
+    print!("{}", run_metrics_report(n, shards, seed));
+    Ok(())
+}
+
+fn cmd_events(args: &mut Vec<String>) -> Result<(), String> {
+    let filter = EventFilter {
+        cat: take_opt(args, "--cat"),
+        ph: take_opt(args, "--ph"),
+        contains: take_opt(args, "--contains"),
+        limit: take_num(args, "--limit", 0usize)?,
+    };
+    if args.len() != 1 {
+        return Err("events: expected exactly one <trace.json> path".into());
+    }
+    let path = args.remove(0);
+    let json = std::fs::read_to_string(&path)
+        .map_err(|e| format!("{path}: {e}"))?;
+    let events = axml_core::trace::parse_chrome_trace(&json)
+        .map_err(|e| format!("{path}: {e}"))?;
+    print!("{}", render_events(&events, &filter));
+    Ok(())
+}
+
+fn cmd_matrix(args: &mut Vec<String>) -> Result<(), String> {
+    let peers = take_num(args, "--peers", 4usize)?;
+    let rounds = take_num(args, "--rounds", 16usize)?;
+    reject_extra(args)?;
+    let mut net = axml_bench::star_network(
+        peers,
+        axml_p2p::network::Mode::Pull,
+        None,
+    );
+    net.enable_tracing();
+    net.run(rounds).map_err(|e| e.to_string())?;
+    print!("{}", matrix_from_events(&net.take_journal()));
+    Ok(())
+}
+
+fn cmd_provenance(args: &mut Vec<String>) -> Result<(), String> {
+    let n = take_num(args, "--n", 32usize)?;
+    let shards = take_num(args, "--shards", 3usize)?;
+    let seed = take_num(args, "--seed", 12u64)?;
+    let out = take_opt(args, "--out");
+    reject_extra(args)?;
+    let (dot, summary) = deepest_provenance_dot(n, shards, seed);
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &dot).map_err(|e| format!("{path}: {e}"))?;
+            eprintln!("wrote {path}: {summary}");
+        }
+        None => {
+            print!("{dot}");
+            eprintln!("{summary}");
+        }
+    }
+    Ok(())
+}
+
+fn reject_extra(args: &[String]) -> Result<(), String> {
+    if args.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("unexpected arguments: {args:?}"))
+    }
+}

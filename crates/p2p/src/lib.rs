@@ -22,7 +22,10 @@
 //!
 //! Both backends can record structured trace journals of their message
 //! traffic and provider evaluations — see [`axml_core::trace`],
-//! [`Network::enable_tracing`] and [`threaded::run_threaded_traced`].
+//! [`Network::enable_tracing`] and [`threaded::run_threaded_traced`] —
+//! and per-peer provenance stores that stamp cross-peer lineage onto
+//! delivered nodes — see [`axml_core::provenance`],
+//! [`Network::enable_provenance`] and [`threaded::run_threaded_full`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,5 +36,6 @@ pub mod threaded;
 
 pub use network::{Mode, Network, NetworkStats, Peer};
 pub use threaded::{
-    run_threaded, run_threaded_traced, standalone_peer, ThreadedOutcome,
+    run_threaded, run_threaded_full, run_threaded_traced, standalone_peer,
+    ThreadedOutcome,
 };

@@ -19,6 +19,9 @@
 use axml_core::error::{AxmlError, Result};
 use axml_core::eval::{snapshot, Env};
 use axml_core::forest::Forest;
+use axml_core::provenance::{
+    query_witnesses, InvocationRecord, Origin, Provenance, ProvenanceStore,
+};
 use axml_core::query::{parse_query, Query};
 use axml_core::reduce::{canonical_key, reduce_in_place, CanonKey};
 use axml_core::subsume::SubMemo;
@@ -97,9 +100,18 @@ impl Peer {
         snapshot(q, &env)
     }
 
-    /// Graft a response forest beside the call node; true if data was
-    /// added (the shared §2.2 delivery semantics).
-    pub(crate) fn deliver(&mut self, doc: Sym, node: NodeId, forest: &Forest) -> bool {
+    /// Graft a response forest beside the call node, and stamp every grafted node
+    /// with `origin` into `prov` — the caller-side half of cross-peer
+    /// lineage (the origin names the remote invocation that produced
+    /// the response).
+    pub(crate) fn deliver_with(
+        &mut self,
+        doc: Sym,
+        node: NodeId,
+        forest: &Forest,
+        prov: Provenance<'_>,
+        origin: Origin,
+    ) -> bool {
         let Some(tree) = self.docs.get_mut(&doc) else {
             return false;
         };
@@ -117,14 +129,39 @@ impl Peer {
                 .iter()
                 .any(|&c| memo.subsumed_at(r, r.root(), tree, c));
             if !already {
-                tree.graft(parent, r).expect("parent is alive");
+                let new_root = tree.graft(parent, r).expect("parent is alive");
                 grafted = true;
+                if prov.enabled() {
+                    let fresh: Vec<NodeId> = tree.iter_live(new_root).collect();
+                    prov.with(|st| {
+                        for nid in fresh {
+                            st.stamp(doc, nid, origin);
+                        }
+                    });
+                }
             }
         }
         if grafted {
             reduce_in_place(tree);
         }
         grafted
+    }
+
+    /// Provider-side witnesses of a hosted service: the nodes of this
+    /// peer's documents its body atoms embed into (see
+    /// [`axml_core::provenance::query_witnesses`]).
+    pub(crate) fn witnesses(&self, service: Sym) -> Vec<(Sym, NodeId)> {
+        match self.services.get(&service) {
+            Some(q) => query_witnesses(q, |d| self.docs.get(&d)),
+            None => Vec::new(),
+        }
+    }
+
+    /// Stamp all current nodes of this peer's documents as seed data.
+    pub(crate) fn seed_provenance(&self, store: &ProvenanceStore) {
+        for d in &self.doc_order {
+            store.seed_document(*d, &self.docs[d]);
+        }
     }
 
     /// Deterministic digest of this peer's documents.
@@ -209,6 +246,9 @@ pub struct Network {
     last_keys: FxHashMap<Sym, Vec<(Sym, CanonKey)>>,
     /// Attached trace journal (see [`enable_tracing`](Network::enable_tracing)).
     journal: Option<Journal>,
+    /// Per-peer provenance stores (see
+    /// [`enable_provenance`](Network::enable_provenance)).
+    provenance: Option<FxHashMap<Sym, ProvenanceStore>>,
     /// Global stats.
     pub stats: NetworkStats,
 }
@@ -225,6 +265,7 @@ impl Network {
             subs: Vec::new(),
             last_keys: FxHashMap::default(),
             journal: None,
+            provenance: None,
             stats: NetworkStats::default(),
         }
     }
@@ -243,6 +284,37 @@ impl Network {
             .take()
             .map(Journal::into_events)
             .unwrap_or_default()
+    }
+
+    /// Start recording per-node lineage: one [`ProvenanceStore`] per
+    /// peer (mirroring the per-peer journals of the threaded backend).
+    /// Current document contents are stamped as seed data; every
+    /// subsequently delivered response stamps its grafted nodes with an
+    /// [`Origin::Remote`] naming the provider invocation, which is
+    /// logged in the *provider's* store. Call **after** adding peers.
+    pub fn enable_provenance(&mut self) {
+        let stores: FxHashMap<Sym, ProvenanceStore> = self
+            .peers
+            .iter()
+            .map(|p| {
+                let store = ProvenanceStore::new();
+                p.seed_provenance(&store);
+                (p.name, store)
+            })
+            .collect();
+        self.provenance = Some(stores);
+    }
+
+    /// Access one peer's provenance store (None before
+    /// [`Network::enable_provenance`]).
+    pub fn provenance_store(&self, name: &str) -> Option<&ProvenanceStore> {
+        self.provenance.as_ref()?.get(&Sym::intern(name))
+    }
+
+    /// Detach and return the per-peer provenance stores (empty if
+    /// provenance was never enabled). Recording stops.
+    pub fn take_provenance(&mut self) -> FxHashMap<Sym, ProvenanceStore> {
+        self.provenance.take().unwrap_or_default()
     }
 
     /// Add a peer and get a handle to populate it.
@@ -284,28 +356,29 @@ impl Network {
         self.peers[pidx].evaluate(service, input, context)
     }
 
-    /// Deliver a response forest to a call site; true if data was added.
-    fn deliver(&mut self, caller: Sym, doc: Sym, node: NodeId, forest: &Forest) -> bool {
-        let cidx = self.index[&caller];
-        self.peers[cidx].deliver(doc, node, forest)
-    }
-
     /// One fair round. Returns true if any document changed.
     fn round(&mut self) -> Result<bool> {
-        // The journal is taken out for the duration of the round so the
-        // tracer's shared borrow cannot conflict with `&mut self` calls
-        // (and survives `?` early returns in the inner body).
+        // The journal (and the provenance stores) are taken out for the
+        // duration of the round so their shared borrows cannot conflict
+        // with `&mut self` calls (and survive `?` early returns in the
+        // inner body).
         let journal = self.journal.take();
         let tracer = match journal.as_ref() {
             Some(j) => Tracer::new(j),
             None => Tracer::disabled(),
         };
-        let out = self.round_inner(tracer);
+        let stores = self.provenance.take();
+        let out = self.round_inner(tracer, stores.as_ref());
         self.journal = journal;
+        self.provenance = stores;
         out
     }
 
-    fn round_inner(&mut self, tracer: Tracer<'_>) -> Result<bool> {
+    fn round_inner(
+        &mut self,
+        tracer: Tracer<'_>,
+        stores: Option<&FxHashMap<Sym, ProvenanceStore>>,
+    ) -> Result<bool> {
         let round = self.stats.rounds as u64;
         tracer.emit(|| EventKind::RoundStart { round });
         self.stats.rounds += 1;
@@ -387,6 +460,27 @@ impl Network {
                     .map(|t| t.elapsed().as_nanos() as u64)
                     .unwrap_or(0),
             });
+            // Provider-side lineage: log the remote invocation (with
+            // the witnesses it read from the provider's documents) in
+            // the provider's store; the response carries its seq.
+            let remote_seq = stores
+                .and_then(|m| m.get(&provider))
+                .map(|store| {
+                    store.begin_invocation(InvocationRecord {
+                        seq: 0,
+                        service: svc,
+                        doc,
+                        node,
+                        round,
+                        doc_version: self.peers[cidx]
+                            .docs
+                            .get(&doc)
+                            .map(|t| t.version())
+                            .unwrap_or(0),
+                        peer: Some(provider),
+                        inputs: self.peers[pidx].witnesses(svc),
+                    })
+                });
             self.stats.responses += 1;
             tracer.emit(|| EventKind::MsgSend {
                 from: provider,
@@ -409,7 +503,19 @@ impl Network {
                     self.subs.push(sub);
                 }
             }
-            if self.deliver(caller, doc, node, &forest) {
+            // Caller-side lineage: stamp every node grafted from the
+            // response with the remote invocation that produced it.
+            let caller_prov = stores
+                .and_then(|m| m.get(&caller))
+                .map(Provenance::new)
+                .unwrap_or_else(Provenance::disabled);
+            let origin = Origin::Remote {
+                provider,
+                service: svc,
+                seq: remote_seq.unwrap_or(0),
+                round,
+            };
+            if self.peers[cidx].deliver_with(doc, node, &forest, caller_prov, origin) {
                 self.stats.productive_responses += 1;
                 changed = true;
             }

@@ -41,17 +41,16 @@ fn poll_wave(net: &Network) -> Vec<(Sym, Vec<(Sym, CanonKey)>)> {
 /// Drive the network one round at a time, interleaving polling waves,
 /// until the detector announces termination or `max_rounds` pass.
 pub fn detect_termination(net: &mut Network, max_rounds: usize) -> Result<Verdict> {
-    let mut waves = 0usize;
     let mut prev_digest = None;
     for round in 0..max_rounds {
         let changed = net.step_round()?;
         let digest = poll_wave(net);
-        waves += 1;
         if !changed && prev_digest.as_ref() == Some(&digest) {
             // Second consecutive quiet wave with identical digests.
+            // One polling wave runs per round, so the counts coincide.
             return Ok(Verdict::Terminated {
                 rounds: round + 1,
-                waves,
+                waves: round + 1,
             });
         }
         prev_digest = if changed { None } else { Some(digest) };

@@ -14,6 +14,7 @@
 use crate::network::Peer;
 use axml_core::error::{AxmlError, Result};
 use axml_core::forest::Forest;
+use axml_core::provenance::{InvocationRecord, Origin, Provenance, ProvenanceStore};
 use axml_core::reduce::CanonKey;
 use axml_core::sym::{FxHashMap, Sym};
 use axml_core::trace::{EventKind, Journal, MsgKind, TraceEvent, Tracer};
@@ -41,7 +42,12 @@ enum Msg {
         node: NodeId,
         forest: Forest,
         provider: Sym,
+        service: Sym,
         provider_digest: Vec<(Sym, CanonKey)>,
+        /// Cross-peer lineage rides the response: the sequence number of
+        /// the provider-side [`InvocationRecord`] that produced the
+        /// forest (None when provenance is off).
+        prov_seq: Option<u64>,
     },
     /// A provider's documents changed: past callers should re-pull.
     /// (The §2.2 push view assisting the pull loop — without it, a
@@ -51,8 +57,8 @@ enum Msg {
     /// Coordinator poll: report a digest and the message counters.
     Poll(Sender<PollReply>),
     /// Stop and ship the final peer state (plus the peer's trace
-    /// journal, when tracing) back.
-    Shutdown(Sender<(Peer, Option<Journal>)>),
+    /// journal and provenance store, when enabled) back.
+    Shutdown(Sender<(Peer, Option<Journal>, Option<ProvenanceStore>)>),
 }
 
 struct PollReply {
@@ -83,6 +89,11 @@ pub struct ThreadedOutcome {
     /// on; empty otherwise). Each peer stamps its own events, so
     /// ordering is meaningful per peer, not across peers.
     pub journals: FxHashMap<Sym, Vec<TraceEvent>>,
+    /// Per-peer provenance stores ([`run_threaded_full`] with
+    /// provenance on; empty otherwise). A node stamped
+    /// [`Origin::Remote`] on one peer resolves through the *provider
+    /// peer's* store via the origin's `seq`.
+    pub provenance: FxHashMap<Sym, ProvenanceStore>,
 }
 
 impl ThreadedOutcome {
@@ -116,6 +127,21 @@ pub fn run_threaded_traced(
     max_waves: usize,
     trace: bool,
 ) -> Result<ThreadedOutcome> {
+    run_threaded_full(peers, max_waves, trace, false)
+}
+
+/// [`run_threaded_traced`] with optional provenance: when `provenance`
+/// is on, each peer thread keeps a local [`ProvenanceStore`] — its
+/// documents stamped as seed data up front, every served `Call` logged
+/// as an [`InvocationRecord`] whose seq rides the `Response`, and every
+/// delivered response's grafted nodes stamped [`Origin::Remote`] — all
+/// shipped back in [`ThreadedOutcome::provenance`] at shutdown.
+pub fn run_threaded_full(
+    peers: Vec<Peer>,
+    max_waves: usize,
+    trace: bool,
+    provenance: bool,
+) -> Result<ThreadedOutcome> {
     let names: Vec<Sym> = peers.iter().map(|p| p.name).collect();
     let mut senders: FxHashMap<Sym, Sender<Msg>> = FxHashMap::default();
     let mut receivers: Vec<(Peer, Receiver<Msg>)> = Vec::new();
@@ -129,7 +155,14 @@ pub fn run_threaded_traced(
     for (peer, rx) in receivers {
         let peers_tx = senders.clone();
         let journal = trace.then(Journal::new);
-        handles.push(thread::spawn(move || peer_loop(peer, rx, peers_tx, journal)));
+        let store = provenance.then(|| {
+            let store = ProvenanceStore::new();
+            peer.seed_provenance(&store);
+            store
+        });
+        handles.push(thread::spawn(move || {
+            peer_loop(peer, rx, peers_tx, journal, store)
+        }));
     }
 
     // Coordinator: two consecutive waves where every peer is idle, the
@@ -139,7 +172,9 @@ pub fn run_threaded_traced(
     // message or pending pull after a peer's poll bumps a counter and
     // voids the fire condition — race-free by monotonicity.
     let mut stats = ThreadedStats::default();
-    let mut prev: Option<(Vec<Vec<(Sym, CanonKey)>>, u64, u64)> = None;
+    // Per-wave snapshot: per-peer doc digests + (sent, received) counters.
+    type WaveSnapshot = (Vec<Vec<(Sym, CanonKey)>>, u64, u64);
+    let mut prev: Option<WaveSnapshot> = None;
     let mut quiesced = false;
     for _ in 0..max_waves {
         stats.waves += 1;
@@ -186,16 +221,20 @@ pub fn run_threaded_traced(
         }
     }
 
-    // Shut everything down and collect final states (and journals).
+    // Shut everything down and collect final states (journals, stores).
     let mut final_peers: FxHashMap<Sym, Peer> = FxHashMap::default();
     let mut journals: FxHashMap<Sym, Vec<TraceEvent>> = FxHashMap::default();
+    let mut stores: FxHashMap<Sym, ProvenanceStore> = FxHashMap::default();
     for name in &names {
         let (rtx, rrx) = unbounded();
         let _ = senders[name].send(Msg::Shutdown(rtx));
-        if let Ok((peer, journal)) = rrx.recv_timeout(Duration::from_secs(5)) {
+        if let Ok((peer, journal, store)) = rrx.recv_timeout(Duration::from_secs(5)) {
             final_peers.insert(*name, peer);
             if let Some(j) = journal {
                 journals.insert(*name, j.into_events());
+            }
+            if let Some(s) = store {
+                stores.insert(*name, s);
             }
         }
     }
@@ -209,6 +248,7 @@ pub fn run_threaded_traced(
         peers: final_peers,
         stats,
         journals,
+        provenance: stores,
     })
 }
 
@@ -218,6 +258,7 @@ fn peer_loop(
     rx: Receiver<Msg>,
     peers_tx: FxHashMap<Sym, Sender<Msg>>,
     mut journal: Option<Journal>,
+    mut store: Option<ProvenanceStore>,
 ) {
     let myname = peer.name;
     let mut sent = 0u64;
@@ -258,6 +299,21 @@ fn peer_loop(
                             .map(|t| t.elapsed().as_nanos() as u64)
                             .unwrap_or(0),
                     });
+                    // Provider-side lineage: record what this evaluation
+                    // read locally; the seq rides the response so the
+                    // caller can stamp the grafts with it.
+                    let prov_seq = store.as_ref().map(|st| {
+                        st.begin_invocation(InvocationRecord {
+                            seq: 0,
+                            service,
+                            doc,
+                            node,
+                            round: 0, // the threaded backend has no rounds
+                            doc_version: 0,
+                            peer: Some(myname),
+                            inputs: peer.witnesses(service),
+                        })
+                    });
                     if let Some(tx) = peers_tx.get(&caller) {
                         sent += 1;
                         tracer.emit(|| EventKind::MsgSend {
@@ -270,7 +326,9 @@ fn peer_loop(
                             node,
                             forest,
                             provider: myname,
+                            service,
                             provider_digest: peer.digest(),
+                            prov_seq,
                         });
                     }
                 }
@@ -280,14 +338,28 @@ fn peer_loop(
                 node,
                 forest,
                 provider,
+                service,
                 provider_digest,
+                prov_seq,
             }) => {
                 received += 1;
                 tracer.emit(|| EventKind::MsgRecv {
                     peer: myname,
                     kind: MsgKind::Response,
                 });
-                let changed = peer.deliver(doc, node, &forest);
+                // Caller-side lineage: grafted nodes name the remote
+                // invocation that produced them.
+                let prov = match store.as_ref() {
+                    Some(st) => Provenance::new(st),
+                    None => Provenance::disabled(),
+                };
+                let origin = Origin::Remote {
+                    provider,
+                    service,
+                    seq: prov_seq.unwrap_or(0),
+                    round: 0,
+                };
+                let changed = peer.deliver_with(doc, node, &forest, prov, origin);
                 let known = provider_digests.insert(provider, provider_digest.clone());
                 if changed || known.as_ref() != Some(&provider_digest) {
                     need_pull = true;
@@ -328,7 +400,7 @@ fn peer_loop(
                 });
             }
             Ok(Msg::Shutdown(reply)) => {
-                let _ = reply.send((peer, journal.take()));
+                let _ = reply.send((peer, journal.take(), store.take()));
                 return;
             }
             Err(RecvTimeoutError::Timeout) => {

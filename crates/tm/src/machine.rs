@@ -239,7 +239,7 @@ mod tests {
     fn parity_machine() {
         let tm = samples::even_parity();
         for (n, expect) in [(0, true), (1, false), (2, true), (5, false), (8, true)] {
-            let input: Vec<&str> = std::iter::repeat("one").take(n).collect();
+            let input: Vec<&str> = std::iter::repeat_n("one", n).collect();
             let (out, _) = run(&tm, &input, 1000);
             let accepted = matches!(out, Outcome::Accept(_));
             assert_eq!(accepted, expect, "parity of {n}");
@@ -250,9 +250,8 @@ mod tests {
     fn anbn_recognizer() {
         let tm = samples::anbn();
         let word = |a: usize, b: usize| -> Vec<&'static str> {
-            std::iter::repeat("a")
-                .take(a)
-                .chain(std::iter::repeat("b").take(b))
+            std::iter::repeat_n("a", a)
+                .chain(std::iter::repeat_n("b", b))
                 .collect()
         };
         for (a, b, expect) in [

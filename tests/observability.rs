@@ -1,6 +1,8 @@
-//! Integration tests for the observability layer (`axml_core::trace`):
-//! the X2 confluence experiment journaled under two fair schedules, and
-//! the X14 delta-engine workload exported as a validated Chrome trace.
+//! Integration tests for the observability layer (`axml_core::trace`
+//! and `axml_core::provenance`): the X2 confluence experiment journaled
+//! under two fair schedules, the X14 delta-engine workload exported as
+//! a validated Chrome trace, and cross-peer lineage on both p2p
+//! backends.
 
 use positive_axml::core::engine::{
     run_traced, EngineConfig, EngineMode, RunStatus, Strategy,
@@ -146,4 +148,106 @@ fn p2p_journal_exports_to_chrome_trace() {
         .any(|e| matches!(e.kind, EventKind::MsgSend { .. })));
     let json = chrome_trace(&events);
     assert_eq!(validate_chrome_trace(&json).unwrap(), events.len());
+}
+
+/// Cross-peer lineage, simulator backend: a node grafted from another
+/// peer's response is stamped [`Origin::Remote`], and the origin's seq
+/// resolves in the *provider's* store to an invocation record whose
+/// witnesses live in the provider's own documents.
+#[test]
+fn simulator_stamps_cross_peer_lineage() {
+    use positive_axml::core::provenance::Origin;
+    use positive_axml::p2p::network::{Mode, Network};
+    let mut net = Network::new(Mode::Pull, None);
+    let store = net.add_peer("store");
+    store
+        .add_document_text("cds", r#"catalog{cd{title{"Kind of Blue"}}}"#)
+        .unwrap();
+    store
+        .add_service_text("titles", "t{$x} :- cds/catalog{cd{title{$x}}}")
+        .unwrap();
+    let portal = net.add_peer("portal");
+    portal
+        .add_document_text("dir", "directory{@store.titles}")
+        .unwrap();
+    net.enable_provenance();
+    assert!(net.run(100).unwrap());
+
+    let dir = Sym::intern("dir");
+    let tree = net.peer("portal").unwrap().doc("dir").unwrap();
+    let portal_store = net.provenance_store("portal").unwrap();
+    let (_, origin) = tree
+        .iter_live(tree.root())
+        .filter_map(|n| match portal_store.origin(dir, n) {
+            Some(o @ Origin::Remote { .. }) => Some((n, o)),
+            _ => None,
+        })
+        .next()
+        .expect("a delivered node is stamped Origin::Remote");
+    let Origin::Remote { provider, service, seq, .. } = origin else {
+        unreachable!()
+    };
+    assert_eq!(provider.as_str(), "store");
+    assert_eq!(service.as_str(), "titles");
+
+    let provider_store = net.provenance_store("store").unwrap();
+    let rec = provider_store
+        .invocation(seq)
+        .expect("the provider logged the remote invocation");
+    assert_eq!(rec.service, service);
+    assert_eq!(rec.peer, Some(provider));
+    assert!(
+        rec.inputs.iter().any(|(d, _)| d.as_str() == "cds"),
+        "the record witnesses the provider's source document"
+    );
+}
+
+/// Cross-peer lineage, threaded backend: same contract as the
+/// simulator, with the stores shipped back in
+/// [`ThreadedOutcome::provenance`] at shutdown. The threaded run has no
+/// global rounds, so remote origins carry `round: 0`.
+#[test]
+fn threaded_run_ships_cross_peer_lineage() {
+    use positive_axml::core::provenance::Origin;
+    use positive_axml::p2p::{run_threaded_full, standalone_peer};
+    let mut store = standalone_peer("store");
+    store
+        .add_document_text("cds", r#"catalog{cd{title{"Kind of Blue"}}}"#)
+        .unwrap();
+    store
+        .add_service_text("titles", "t{$x} :- cds/catalog{cd{title{$x}}}")
+        .unwrap();
+    let mut portal = standalone_peer("portal");
+    portal
+        .add_document_text("dir", "directory{@store.titles}")
+        .unwrap();
+    let outcome =
+        run_threaded_full(vec![store, portal], 64, false, true).unwrap();
+    assert!(outcome.stats.messages > 0);
+
+    let dir = Sym::intern("dir");
+    let portal_name = Sym::intern("portal");
+    let tree = outcome.peers[&portal_name].doc("dir").unwrap();
+    let portal_store = &outcome.provenance[&portal_name];
+    let (_, origin) = tree
+        .iter_live(tree.root())
+        .filter_map(|n| match portal_store.origin(dir, n) {
+            Some(o @ Origin::Remote { .. }) => Some((n, o)),
+            _ => None,
+        })
+        .next()
+        .expect("a delivered node is stamped Origin::Remote");
+    let Origin::Remote { provider, service, seq, round } = origin else {
+        unreachable!()
+    };
+    assert_eq!(provider.as_str(), "store");
+    assert_eq!(service.as_str(), "titles");
+    assert_eq!(round, 0, "the threaded backend has no global rounds");
+
+    let rec = outcome.provenance[&provider]
+        .invocation(seq)
+        .expect("the provider logged the remote invocation");
+    assert_eq!(rec.service, service);
+    assert_eq!(rec.peer, Some(provider));
+    assert!(rec.inputs.iter().any(|(d, _)| d.as_str() == "cds"));
 }
