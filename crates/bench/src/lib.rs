@@ -1,6 +1,6 @@
 //! Shared workload generators for the criterion benches and the
 //! `experiments` harness (one experiment per formal claim of the paper —
-//! see DESIGN.md's per-experiment index X1–X13).
+//! see DESIGN.md's per-experiment index X1–X16).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -194,6 +194,61 @@ pub fn tc_random_digraph(n: usize, shards: usize, seed: u64) -> System {
     )
     .unwrap();
     sys
+}
+
+/// X16's wide-fanout document: a root with `fanout` children spread
+/// round-robin over `labels` distinct labels, each child holding one
+/// value leaf. An anchored probe for a single label must consider all
+/// `fanout` children under a scan but only `fanout / labels` bucket
+/// entries under the child-label index.
+pub fn wide_fanout_doc(fanout: usize, labels: usize) -> Tree {
+    assert!(labels >= 1);
+    let mut t = Tree::with_label("root");
+    for i in 0..fanout {
+        let c = t
+            .add_child(t.root(), Marking::label(&format!("l{}", i % labels)))
+            .unwrap();
+        t.add_child(c, Marking::value(&format!("{i}"))).unwrap();
+    }
+    t
+}
+
+/// The anchored pattern probing one label bucket of [`wide_fanout_doc`].
+pub fn wide_fanout_pattern(labels: usize) -> axml_core::pattern::Pattern {
+    axml_core::parse::parse_pattern(&format!("root{{l{}{{$x}}}}", labels - 1)).unwrap()
+}
+
+/// X16's deep-chain document: a `depth`-long spine of `s`-labeled nodes,
+/// each spine node also carrying `junk` distinct-labeled junk children.
+/// Matching the spine pattern takes one child probe per level: O(1) per
+/// level with the index, O(junk) per level scanning.
+pub fn deep_chain_doc(depth: usize, junk: usize) -> Tree {
+    let mut t = Tree::with_label("root");
+    let mut cur = t.root();
+    for d in 0..depth {
+        for j in 0..junk {
+            t.add_child(cur, Marking::label(&format!("j{d}x{j}")))
+                .unwrap();
+        }
+        cur = t.add_child(cur, Marking::label("s")).unwrap();
+    }
+    t.add_child(cur, Marking::value("end")).unwrap();
+    t
+}
+
+/// The anchored spine pattern for [`deep_chain_doc`], binding the value
+/// leaf at the chain's tip.
+pub fn deep_chain_pattern(depth: usize) -> axml_core::pattern::Pattern {
+    let mut s = String::from("root{");
+    for _ in 0..depth {
+        s.push_str("s{");
+    }
+    s.push_str("$x");
+    for _ in 0..depth {
+        s.push('}');
+    }
+    s.push('}');
+    axml_core::parse::parse_pattern(&s).unwrap()
 }
 
 /// A `depth`-deep catalog for the path-expression experiments (X10).

@@ -19,6 +19,7 @@ use crate::depgraph::{read_set, ReadSet};
 use crate::error::Result;
 use crate::eval::MatchCache;
 use crate::invoke::invoke_node_with_provenance;
+use crate::matcher::MatchStrategy;
 use crate::provenance::{Provenance, SkipRecord};
 use crate::sym::{FxHashMap, Sym};
 use crate::system::System;
@@ -72,6 +73,11 @@ pub struct EngineConfig {
     pub strategy: Strategy,
     /// Evaluation mode (naive or delta-driven).
     pub mode: EngineMode,
+    /// How positive services' bodies are matched
+    /// ([`MatchStrategy::Indexed`] by default; [`MatchStrategy::Scan`]
+    /// is the baseline of the X16 experiment). Observationally
+    /// equivalent either way.
+    pub match_strategy: MatchStrategy,
 }
 
 impl Default for EngineConfig {
@@ -81,6 +87,7 @@ impl Default for EngineConfig {
             max_nodes: 1_000_000,
             strategy: Strategy::RoundRobin,
             mode: EngineMode::Naive,
+            match_strategy: MatchStrategy::default(),
         }
     }
 }
@@ -106,6 +113,14 @@ impl EngineConfig {
     pub fn with_mode(mode: EngineMode) -> EngineConfig {
         EngineConfig {
             mode,
+            ..EngineConfig::default()
+        }
+    }
+
+    /// A config with the given match strategy, default elsewhere.
+    pub fn with_match_strategy(match_strategy: MatchStrategy) -> EngineConfig {
+        EngineConfig {
+            match_strategy,
             ..EngineConfig::default()
         }
     }
@@ -331,6 +346,7 @@ pub fn run_restricted_with_provenance(
                 tracer,
                 prov,
                 round,
+                cfg.match_strategy,
             )?;
             tracer.emit(|| EventKind::Invoke {
                 doc: d,

@@ -8,7 +8,7 @@
 
 use crate::error::{AxmlError, Result};
 use crate::forest::Forest;
-use crate::matcher::{match_pattern, Binding, Bound};
+use crate::matcher::{match_pattern_with, Binding, Bound, MatchStats, MatchStrategy};
 use crate::pattern::{PItem, Pattern, PNodeId};
 use crate::query::{Operand, Query};
 use crate::system::{context_sym, input_sym, System};
@@ -138,7 +138,18 @@ pub fn snapshot(q: &Query, env: &Env<'_>) -> Result<Forest> {
 
 /// [`snapshot`], also reporting evaluation statistics.
 pub fn snapshot_with_stats(q: &Query, env: &Env<'_>) -> Result<(Forest, EvalStats)> {
-    snapshot_inner(q, env, None, Tracer::disabled())
+    snapshot_inner(q, env, None, Tracer::disabled(), MatchStrategy::default())
+}
+
+/// [`snapshot`] under an explicit [`MatchStrategy`] — the scan baseline
+/// of the X16 experiment; engine runs set the strategy via
+/// [`crate::engine::EngineConfig`] instead.
+pub fn snapshot_with_strategy(
+    q: &Query,
+    env: &Env<'_>,
+    strategy: MatchStrategy,
+) -> Result<(Forest, EvalStats)> {
+    snapshot_inner(q, env, None, Tracer::disabled(), strategy)
 }
 
 /// [`snapshot_with_stats`] with per-atom match caching for the service
@@ -151,11 +162,18 @@ pub fn snapshot_with_cache(
     svc: Sym,
     cache: &mut MatchCache,
 ) -> Result<(Forest, EvalStats)> {
-    snapshot_inner(q, env, Some((svc, cache)), Tracer::disabled())
+    snapshot_inner(
+        q,
+        env,
+        Some((svc, cache)),
+        Tracer::disabled(),
+        MatchStrategy::default(),
+    )
 }
 
 /// [`snapshot_with_cache`], emitting a [`EventKind::CacheHit`] /
-/// [`EventKind::CacheMiss`] event per cacheable body atom (see
+/// [`EventKind::CacheMiss`] event per cacheable body atom and an
+/// [`EventKind::IndexLookup`] event per atom that ran the matcher (see
 /// [`crate::trace`]).
 pub fn snapshot_with_cache_traced(
     q: &Query,
@@ -164,14 +182,15 @@ pub fn snapshot_with_cache_traced(
     cache: &mut MatchCache,
     tracer: Tracer<'_>,
 ) -> Result<(Forest, EvalStats)> {
-    snapshot_inner(q, env, Some((svc, cache)), tracer)
+    snapshot_inner(q, env, Some((svc, cache)), tracer, MatchStrategy::default())
 }
 
-fn snapshot_inner(
+pub(crate) fn snapshot_inner(
     q: &Query,
     env: &Env<'_>,
     mut cache: Option<(Sym, &mut MatchCache)>,
     tracer: Tracer<'_>,
+    strategy: MatchStrategy,
 ) -> Result<(Forest, EvalStats)> {
     let mut stats = EvalStats::default();
     let mut combined: Vec<Binding> = vec![Binding::new()];
@@ -198,14 +217,21 @@ fn snapshot_inner(
                             service: *svc,
                             atom: i as u32,
                         });
-                        let m = Rc::new(match_pattern(&atom.pattern, doc));
+                        let (bindings, mstats) = match_pattern_with(&atom.pattern, doc, strategy);
+                        emit_index_lookup(tracer, *svc, i, mstats);
+                        let m = Rc::new(bindings);
                         c.entries
                             .insert(key, (doc.id(), doc.version(), Rc::clone(&m)));
                         m
                     }
                 }
             }
-            _ => Rc::new(match_pattern(&atom.pattern, doc)),
+            Some((svc, _)) => {
+                let (bindings, mstats) = match_pattern_with(&atom.pattern, doc, strategy);
+                emit_index_lookup(tracer, *svc, i, mstats);
+                Rc::new(bindings)
+            }
+            None => Rc::new(match_pattern_with(&atom.pattern, doc, strategy).0),
         };
         stats.atom_bindings += matches.len();
         if matches.is_empty() {
@@ -222,6 +248,10 @@ fn snapshot_inner(
         // Deduplicate: distinct matches can merge into identical joins.
         // Two passes over references avoid cloning every binding into
         // the seen-set; order (hence engine determinism) is preserved.
+        // (`Binding` hashes tree bounds by canonical key, never through
+        // the tree's lazily built index, so the interior mutability the
+        // lint worries about cannot perturb the set.)
+        #[allow(clippy::mutable_key_type)]
         let keep: Vec<bool> = {
             let mut seen = crate::sym::FxHashSet::default();
             next.iter().map(|b| seen.insert(b)).collect()
@@ -247,6 +277,17 @@ fn snapshot_inner(
     }
     stats.raw_results = forest.len();
     Ok((forest.reduce(), stats))
+}
+
+/// Report one matcher run's index usage to the trace journal.
+fn emit_index_lookup(tracer: Tracer<'_>, svc: Sym, atom: usize, mstats: MatchStats) {
+    tracer.emit(|| EventKind::IndexLookup {
+        service: svc,
+        atom: atom as u32,
+        probes: mstats.probes as u32,
+        probe_hits: mstats.probe_hits as u32,
+        fallbacks: mstats.fallbacks as u32,
+    });
 }
 
 /// Does the inequality `l != r` hold under binding `b`?

@@ -16,7 +16,8 @@
 //! sibling subtree.
 
 use crate::error::{AxmlError, Result};
-use crate::eval::{snapshot_with_cache_traced, Env, MatchCache};
+use crate::eval::{snapshot_inner, Env, MatchCache};
+use crate::matcher::MatchStrategy;
 use crate::provenance::{query_witnesses, InvocationRecord, Origin, Provenance};
 use crate::reduce::reduce_in_place;
 use crate::subsume::SubMemo;
@@ -73,7 +74,16 @@ pub fn invoke_node_traced(
     cache: Option<&mut MatchCache>,
     tracer: Tracer<'_>,
 ) -> Result<InvokeOutcome> {
-    invoke_node_with_provenance(sys, doc_name, node, cache, tracer, Provenance::disabled(), 0)
+    invoke_node_with_provenance(
+        sys,
+        doc_name,
+        node,
+        cache,
+        tracer,
+        Provenance::disabled(),
+        0,
+        MatchStrategy::default(),
+    )
 }
 
 /// [`invoke_node_traced`] additionally stamping every grafted node's
@@ -81,7 +91,10 @@ pub fn invoke_node_traced(
 /// attached, the service's witness nodes are collected before
 /// evaluation, an [`InvocationRecord`] is logged on the first graft,
 /// and each freshly copied node gets an [`Origin::Local`] stamp.
-/// `round` is the engine round recorded in the invocation record.
+/// `round` is the engine round recorded in the invocation record, and
+/// `strategy` selects how positive services' bodies are matched
+/// ([`MatchStrategy`]; black boxes are unaffected).
+#[allow(clippy::too_many_arguments)]
 pub fn invoke_node_with_provenance(
     sys: &mut System,
     doc_name: Sym,
@@ -90,6 +103,7 @@ pub fn invoke_node_with_provenance(
     tracer: Tracer<'_>,
     prov: Provenance<'_>,
     round: u64,
+    strategy: MatchStrategy,
 ) -> Result<InvokeOutcome> {
     // Phase 1 — evaluate the service against the current (immutable)
     // system state.
@@ -136,10 +150,12 @@ pub fn invoke_node_with_provenance(
         let input = build_input(doc, node);
         let context = doc.subtree(parent);
         let env = Env::for_invocation(sys, &input, &context);
+        // Positive services evaluate through the snapshot pipeline so
+        // the match strategy (and the cache, when attached) applies;
+        // black boxes always run their closure.
         let forest = match (cache, svc.query()) {
-            (Some(c), Some(q)) => {
-                snapshot_with_cache_traced(q, &env, fname, c, tracer)?.0
-            }
+            (Some(c), Some(q)) => snapshot_inner(q, &env, Some((fname, c)), tracer, strategy)?.0,
+            (None, Some(q)) => snapshot_inner(q, &env, None, tracer, strategy)?.0,
             _ => svc.invoke(&env)?,
         };
         (forest, parent, fname, witnesses)
@@ -153,6 +169,14 @@ pub fn invoke_node_with_provenance(
     let result_trees = forest.len();
     let doc = sys.doc_mut(doc_name).expect("checked above");
     let pre_version = doc.version();
+    // Index maintenance is reported as counter deltas over the whole
+    // graft+reduce batch; the index's build state cannot change during
+    // phase 2 (mutations maintain but never build).
+    let pre_index = if tracer.enabled() {
+        doc.index_stats()
+    } else {
+        None
+    };
     let mut grafted = 0usize;
     let mut memo = SubMemo::new();
     let mut seq: Option<u64> = None;
@@ -211,6 +235,17 @@ pub fn invoke_node_with_provenance(
             nodes_before: before.unwrap_or(0),
             nodes_after: doc.node_count() as u32,
         });
+        if tracer.enabled() {
+            if let Some(post) = doc.index_stats() {
+                let (pa, pr) = pre_index.map_or((0, 0), |s| (s.adds, s.removes));
+                tracer.emit(|| EventKind::IndexMaintain {
+                    doc: doc_name,
+                    adds: post.adds.saturating_sub(pa) as u32,
+                    removes: post.removes.saturating_sub(pr) as u32,
+                    bytes: post.bytes_estimate,
+                });
+            }
+        }
     }
     Ok(InvokeOutcome {
         changed: grafted > 0,

@@ -19,6 +19,9 @@
 //! * **lazy query evaluation** (§4): [`lazy`];
 //! * **regular path expressions and the ψ translation** (§5, Prop 5.1):
 //!   [`pathexpr`], [`translate`];
+//! * **indexed pattern matching** (implementation-level, not from the
+//!   paper): incremental per-document marking/child-label indexes backing
+//!   the matcher's candidate seeding and child probes — [`index`];
 //! * **observability** (implementation-level, not from the paper):
 //!   structured trace journal, per-service metrics, Chrome-trace export —
 //!   [`trace`]; per-node data lineage and derivation explanations —
@@ -70,6 +73,7 @@ pub mod provenance;
 pub mod file;
 pub mod fireonce;
 pub mod graphrepr;
+pub mod index;
 pub mod lazy;
 pub mod query;
 pub mod regular;
@@ -89,7 +93,9 @@ pub use engine::{
     run, run_traced, EngineConfig, EngineMode, RunStats, RunStatus, Strategy,
 };
 pub use eval::{snapshot, snapshot_with_cache, Env, MatchCache};
+pub use index::{DocIndex, IndexStats};
 pub use invoke::{invoke_node, invoke_node_cached};
+pub use matcher::MatchStrategy;
 pub use trace::{
     chrome_trace, parse_chrome_trace, validate_chrome_trace, ChromeEvent,
     EventKind, Journal, MetricsRegistry, TraceEvent, TraceSink, Tracer,

@@ -11,10 +11,48 @@
 use crate::pattern::{PItem, Pattern, PNodeId};
 use crate::reduce::canonical_key;
 use crate::reduce::CanonKey;
-use crate::sym::{FxHashSet, Sym};
+use crate::sym::Sym;
 use crate::tree::{Marking, NodeId, Tree};
+use std::borrow::Cow;
+use std::cmp::Ordering;
 use std::fmt;
 use std::rc::Rc;
+
+/// How the matcher enumerates candidate document nodes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum MatchStrategy {
+    /// Scan: iterate every live node / every child and test markings.
+    Scan,
+    /// Probe the lazily built document index ([`mod@crate::index`]) for
+    /// constant pattern items, falling back to scans where the index
+    /// does not apply. Either way the binding *sets* are identical, and
+    /// both strategies sort their output, so they are observationally
+    /// equivalent.
+    #[default]
+    Indexed,
+}
+
+/// Index-usage counters for one matcher call, surfaced through
+/// [`crate::trace::EventKind::IndexLookup`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MatchStats {
+    /// Candidate sets served by an index probe.
+    pub probes: u64,
+    /// Probes whose bucket was non-empty.
+    pub probe_hits: u64,
+    /// Indexed-mode lookups that fell back to a scan (index below its
+    /// lazy-build threshold).
+    pub fallbacks: u64,
+}
+
+impl MatchStats {
+    /// Accumulate another call's counters.
+    pub fn absorb(&mut self, other: MatchStats) {
+        self.probes += other.probes;
+        self.probe_hits += other.probe_hits;
+        self.fallbacks += other.fallbacks;
+    }
+}
 
 /// A value bound to a query variable.
 #[derive(Clone, Debug)]
@@ -63,6 +101,35 @@ impl PartialEq for Bound {
 
 impl Eq for Bound {}
 
+impl Ord for Bound {
+    /// Total order consistent with `Eq` (trees compare by canonical
+    /// key). Used to sort matcher output so that scan and indexed
+    /// matching enumerate bindings in the same order.
+    fn cmp(&self, other: &Bound) -> Ordering {
+        fn tag(b: &Bound) -> u8 {
+            match b {
+                Bound::Label(_) => 0,
+                Bound::Func(_) => 1,
+                Bound::Value(_) => 2,
+                Bound::Tree(..) => 3,
+            }
+        }
+        match (self, other) {
+            (Bound::Label(a), Bound::Label(b)) => a.cmp(b),
+            (Bound::Func(a), Bound::Func(b)) => a.cmp(b),
+            (Bound::Value(a), Bound::Value(b)) => a.cmp(b),
+            (Bound::Tree(_, ka), Bound::Tree(_, kb)) => ka.cmp(kb),
+            _ => tag(self).cmp(&tag(other)),
+        }
+    }
+}
+
+impl PartialOrd for Bound {
+    fn partial_cmp(&self, other: &Bound) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
 impl std::hash::Hash for Bound {
     fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
         match self {
@@ -99,7 +166,7 @@ impl fmt::Display for Bound {
 
 /// A variable assignment: a small sorted map from variable names to
 /// bound values.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, Default)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
 pub struct Binding {
     entries: Vec<(Sym, Bound)>,
 }
@@ -180,22 +247,62 @@ impl Binding {
 }
 
 /// All assignments µ (restricted to the pattern's variables) such that
-/// `µ(p) ⊆ t`, starting the embedding at the roots.
+/// `µ(p) ⊆ t`, starting the embedding at the roots. Output is sorted
+/// (strategy-independent order).
 pub fn match_pattern(p: &Pattern, t: &Tree) -> Vec<Binding> {
-    match_at(p, p.root(), t, t.root(), &Binding::new())
+    match_pattern_with(p, t, MatchStrategy::default()).0
+}
+
+/// [`match_pattern`] under an explicit [`MatchStrategy`], also returning
+/// the index-usage counters of the call.
+pub fn match_pattern_with(p: &Pattern, t: &Tree, strategy: MatchStrategy) -> (Vec<Binding>, MatchStats) {
+    let mut stats = MatchStats::default();
+    let mut out = match_at(p, p.root(), t, t.root(), &Binding::new(), strategy, &mut stats);
+    out.sort_unstable();
+    (out, stats)
 }
 
 /// All assignments embedding the pattern below some node of `t` whose
 /// parent is arbitrary — i.e. the pattern root may match *any* node of
 /// the document (used by relevance analysis, not by query semantics).
+/// Output is sorted (strategy-independent order).
 pub fn match_pattern_anywhere(p: &Pattern, t: &Tree) -> Vec<(NodeId, Binding)> {
+    match_pattern_anywhere_with(p, t, MatchStrategy::default()).0
+}
+
+/// [`match_pattern_anywhere`] under an explicit [`MatchStrategy`].
+pub fn match_pattern_anywhere_with(
+    p: &Pattern,
+    t: &Tree,
+    strategy: MatchStrategy,
+) -> (Vec<(NodeId, Binding)>, MatchStats) {
+    let mut stats = MatchStats::default();
+    // Seed candidate roots: a constant pattern root probes the marking
+    // index instead of walking every live node.
+    let seeds: Cow<'_, [NodeId]> = match (strategy, p.item(p.root())) {
+        (MatchStrategy::Indexed, PItem::Const(m)) => match t.indexed_nodes_with(*m) {
+            Some(bucket) => {
+                stats.probes += 1;
+                if !bucket.is_empty() {
+                    stats.probe_hits += 1;
+                }
+                Cow::Borrowed(bucket)
+            }
+            None => {
+                stats.fallbacks += 1;
+                Cow::Owned(t.iter_live(t.root()).collect())
+            }
+        },
+        _ => Cow::Owned(t.iter_live(t.root()).collect()),
+    };
     let mut out = Vec::new();
-    for n in t.iter_live(t.root()) {
-        for b in match_at(p, p.root(), t, n, &Binding::new()) {
+    for &n in seeds.iter() {
+        for b in match_at(p, p.root(), t, n, &Binding::new(), strategy, &mut stats) {
             out.push((n, b));
         }
     }
-    out
+    out.sort_unstable();
+    (out, stats)
 }
 
 pub(crate) fn bind_item(item: &PItem, t: &Tree, tn: NodeId, b: &Binding) -> Option<Binding> {
@@ -230,24 +337,105 @@ pub(crate) fn bind_item(item: &PItem, t: &Tree, tn: NodeId, b: &Binding) -> Opti
     }
 }
 
-fn match_at(p: &Pattern, pn: PNodeId, t: &Tree, tn: NodeId, b: &Binding) -> Vec<Binding> {
+/// Candidate document children of `tn` for one pattern child: the nodes
+/// that pass the child's marking test. Computed once per pattern child —
+/// *before* any per-binding work — so a failed label test never costs a
+/// [`Binding`] clone, and indexed mode can serve constants straight from
+/// the child index.
+fn candidates<'t>(
+    item: &PItem,
+    t: &'t Tree,
+    tn: NodeId,
+    strategy: MatchStrategy,
+    stats: &mut MatchStats,
+) -> Cow<'t, [NodeId]> {
+    let scan = |keep: &dyn Fn(Marking) -> bool| -> Cow<'t, [NodeId]> {
+        Cow::Owned(
+            t.children(tn)
+                .iter()
+                .copied()
+                .filter(|&c| keep(t.marking(c)))
+                .collect(),
+        )
+    };
+    match item {
+        PItem::Const(m) => {
+            if strategy == MatchStrategy::Indexed {
+                if let Some(bucket) = t.indexed_children_with(tn, *m) {
+                    stats.probes += 1;
+                    if !bucket.is_empty() {
+                        stats.probe_hits += 1;
+                    }
+                    return Cow::Borrowed(bucket);
+                }
+                stats.fallbacks += 1;
+            }
+            scan(&|cm| cm == *m)
+        }
+        PItem::LabelVar(_) => scan(&|cm| matches!(cm, Marking::Label(_))),
+        PItem::FuncVar(_) => scan(&|cm| matches!(cm, Marking::Func(_))),
+        PItem::ValueVar(_) => scan(&|cm| matches!(cm, Marking::Value(_))),
+        PItem::TreeVar(_) => Cow::Borrowed(t.children(tn)),
+    }
+}
+
+fn match_at(
+    p: &Pattern,
+    pn: PNodeId,
+    t: &Tree,
+    tn: NodeId,
+    b: &Binding,
+    strategy: MatchStrategy,
+    stats: &mut MatchStats,
+) -> Vec<Binding> {
     let Some(b0) = bind_item(p.item(pn), t, tn, b) else {
         return Vec::new();
     };
+    let pcs = p.children(pn);
+    if pcs.is_empty() {
+        return vec![b0];
+    }
+    let mut cands: Vec<(PNodeId, Cow<'_, [NodeId]>)> = pcs
+        .iter()
+        .map(|&pc| (pc, candidates(p.item(pc), t, tn, strategy, stats)))
+        .collect();
+    if cands.iter().any(|(_, c)| c.is_empty()) {
+        return Vec::new();
+    }
+    // Selectivity order: expand the conjunct with the rarest candidate
+    // set first, shrinking the intermediate join. The sort is stable and
+    // keyed only on candidate-set size (identical across strategies), so
+    // scan and indexed mode explore in the same order.
+    cands.sort_by_key(|(_, c)| c.len());
     let mut current: Vec<Binding> = vec![b0];
-    for &pc in p.children(pn) {
-        let mut next: FxHashSet<Binding> = FxHashSet::default();
+    for (pc, tcs) in cands {
+        // Leaf pattern children skip the recursive call: their candidate
+        // set already passed the marking test, so binding is all that is
+        // left to do per candidate.
+        let leaf = p.children(pc).is_empty();
+        let mut next: Vec<Binding> = Vec::new();
         for base in &current {
-            for &tc in t.children(tn) {
-                for nb in match_at(p, pc, t, tc, base) {
-                    next.insert(nb);
+            for &tc in tcs.iter() {
+                if leaf {
+                    if let Some(nb) = bind_item(p.item(pc), t, tc, base) {
+                        next.push(nb);
+                    }
+                } else {
+                    next.extend(match_at(p, pc, t, tc, base, strategy, stats));
                 }
             }
+        }
+        // Dedup (distinct document children can induce the same
+        // assignment); sort+dedup beats a hash set at these sizes and
+        // keeps the intermediate order strategy-independent.
+        if next.len() > 1 {
+            next.sort_unstable();
+            next.dedup();
         }
         if next.is_empty() {
             return Vec::new();
         }
-        current = next.into_iter().collect();
+        current = next;
     }
     current
 }
@@ -365,5 +553,38 @@ mod tests {
             &parse_tree(r#"a{b{"1"},c{b{"2"}}}"#).unwrap(),
         );
         assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn scan_and_indexed_agree_including_order() {
+        let doc = parse_tree(
+            r#"r{t{a{"1"},b{c{"2"},d{"3"}}},
+               t{a{"1"},b{c{"3"},e{"3"}}},
+               t{a{"2"},b{c{"2"},k{"6"}}},
+               u{a{"9"}}, u{a{"1"}}}"#,
+        )
+        .unwrap();
+        doc.build_index();
+        for pat in ["r{t{a{$x},b{?z}}}", "r{t{#T}}", "r{t{a{$x}},u{a{$x}}}"] {
+            let p = parse_pattern(pat).unwrap();
+            let (scan, sstats) = match_pattern_with(&p, &doc, MatchStrategy::Scan);
+            let (indexed, istats) = match_pattern_with(&p, &doc, MatchStrategy::Indexed);
+            assert_eq!(scan, indexed, "strategies disagree on {pat}");
+            assert_eq!(sstats.probes, 0, "scan mode must not probe");
+            assert!(istats.probes > 0, "indexed mode should probe for {pat}");
+            let (scan_any, _) = match_pattern_anywhere_with(&p, &doc, MatchStrategy::Scan);
+            let (indexed_any, _) = match_pattern_anywhere_with(&p, &doc, MatchStrategy::Indexed);
+            assert_eq!(scan_any, indexed_any);
+        }
+    }
+
+    #[test]
+    fn indexed_falls_back_below_threshold() {
+        let doc = parse_tree(r#"a{b{"1"},c}"#).unwrap();
+        let p = parse_pattern("a{b{$x}}").unwrap();
+        let (out, stats) = match_pattern_with(&p, &doc, MatchStrategy::Indexed);
+        assert_eq!(out.len(), 1);
+        assert_eq!(stats.probes, 0);
+        assert!(stats.fallbacks > 0);
     }
 }

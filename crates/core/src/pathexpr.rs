@@ -504,6 +504,9 @@ fn match_rchildren(
 ) -> Vec<Binding> {
     let mut current = vec![b0];
     for &rc in p.children(rn) {
+        // (`Binding` hashes tree bounds by canonical key, never through
+        // the tree's lazily built index, so the set is sound.)
+        #[allow(clippy::mutable_key_type)]
         let mut next: FxHashSet<Binding> = FxHashSet::default();
         match p.item(rc) {
             RItem::Plain(_) => {
@@ -552,6 +555,7 @@ pub fn snapshot_reg(q: &RegQuery, env: &Env<'_>) -> Result<Forest> {
                 }
             }
         }
+        #[allow(clippy::mutable_key_type)]
         let mut seen = FxHashSet::default();
         next.retain(|x| seen.insert(x.clone()));
         if next.is_empty() {

@@ -47,6 +47,11 @@ pub fn reduce_in_place(t: &mut Tree) -> usize {
                 if i == j || removed[j] || removed[i] {
                     continue;
                 }
+                // Subsumption requires equal root markings; skipping the
+                // mismatched pairs here keeps them out of the memo too.
+                if t.marking(kids[i]) != t.marking(kids[j]) {
+                    continue;
+                }
                 if subsumed_within(t, kids[i], kids[j], &mut memo) {
                     if subsumed_within(t, kids[j], kids[i], &mut memo) {
                         // Equivalent: drop the younger (larger index, since

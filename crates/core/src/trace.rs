@@ -179,6 +179,33 @@ pub enum EventKind {
         /// Live nodes after reduction.
         nodes_after: u32,
     },
+    /// One matcher run's document-index usage during snapshot
+    /// evaluation: how many candidate sets were served by index probes
+    /// versus scan fallbacks (see [`mod@crate::index`]).
+    IndexLookup {
+        /// The service whose body is being evaluated.
+        service: Sym,
+        /// Index of the body atom the matcher ran for.
+        atom: u32,
+        /// Candidate sets served by an index probe.
+        probes: u32,
+        /// Probes whose bucket was non-empty.
+        probe_hits: u32,
+        /// Indexed-mode lookups that fell back to a scan.
+        fallbacks: u32,
+    },
+    /// Incremental index maintenance performed on a host document over
+    /// one invocation (graft + reduce), measured as counter deltas.
+    IndexMaintain {
+        /// Host document.
+        doc: Sym,
+        /// Index entries added during the invocation.
+        adds: u32,
+        /// Index entries removed during the invocation.
+        removes: u32,
+        /// Estimated index heap footprint after the invocation, bytes.
+        bytes: u64,
+    },
     /// A p2p message left a peer.
     MsgSend {
         /// Sending peer.
@@ -530,6 +557,20 @@ pub struct GlobalMetrics {
     pub msgs_sent: u64,
     /// P2p messages received/processed.
     pub msgs_recv: u64,
+    /// Matcher candidate sets served by document-index probes.
+    pub index_probes: u64,
+    /// Index probes that found a non-empty bucket.
+    pub index_probe_hits: u64,
+    /// Indexed-mode lookups that fell back to scanning.
+    pub index_fallbacks: u64,
+    /// Index maintenance reports ([`EventKind::IndexMaintain`]).
+    pub index_maintains: u64,
+    /// Index entries added by incremental maintenance.
+    pub index_adds: u64,
+    /// Index entries removed by incremental maintenance.
+    pub index_removes: u64,
+    /// Peak estimated index heap footprint over any host document, bytes.
+    pub index_bytes_peak: u64,
 }
 
 struct MetricsInner {
@@ -602,6 +643,22 @@ impl MetricsRegistry {
             g.subsumed_results,
             g.msgs_sent,
             g.msgs_recv,
+        );
+        let hit_rate = if g.index_probes == 0 {
+            0.0
+        } else {
+            100.0 * g.index_probe_hits as f64 / g.index_probes as f64
+        };
+        let _ = writeln!(
+            out,
+            "index: probes {} (hit rate {:.1}%)  fallbacks {}  maintains {} (+{} -{})  peak {} B",
+            g.index_probes,
+            hit_rate,
+            g.index_fallbacks,
+            g.index_maintains,
+            g.index_adds,
+            g.index_removes,
+            g.index_bytes_peak,
         );
         let _ = writeln!(
             out,
@@ -700,6 +757,27 @@ impl TraceSink for MetricsRegistry {
                 inner.globals.reduces += 1;
                 inner.globals.nodes_pruned +=
                     u64::from(nodes_before.saturating_sub(nodes_after));
+            }
+            EventKind::IndexLookup {
+                probes,
+                probe_hits,
+                fallbacks,
+                ..
+            } => {
+                inner.globals.index_probes += u64::from(probes);
+                inner.globals.index_probe_hits += u64::from(probe_hits);
+                inner.globals.index_fallbacks += u64::from(fallbacks);
+            }
+            EventKind::IndexMaintain {
+                adds,
+                removes,
+                bytes,
+                ..
+            } => {
+                inner.globals.index_maintains += 1;
+                inner.globals.index_adds += u64::from(adds);
+                inner.globals.index_removes += u64::from(removes);
+                inner.globals.index_bytes_peak = inner.globals.index_bytes_peak.max(bytes);
             }
             EventKind::MsgSend { .. } => inner.globals.msgs_sent += 1,
             EventKind::MsgRecv { .. } => inner.globals.msgs_recv += 1,
@@ -888,6 +966,30 @@ fn chrome_row(ev: &TraceEvent, tid: u64) -> String {
             "reduce",
             format!(
                 "\"doc\":\"{}\",\"before\":{nodes_before},\"after\":{nodes_after}",
+                json_escape(doc.as_str())
+            ),
+        ),
+        EventKind::IndexLookup {
+            service,
+            atom,
+            probes,
+            probe_hits,
+            fallbacks,
+        } => instant(
+            &format!("index {service}#{atom}"),
+            "index",
+            format!("\"probes\":{probes},\"probe_hits\":{probe_hits},\"fallbacks\":{fallbacks}"),
+        ),
+        EventKind::IndexMaintain {
+            doc,
+            adds,
+            removes,
+            bytes,
+        } => instant(
+            "index-maintain",
+            "index",
+            format!(
+                "\"doc\":\"{}\",\"adds\":{adds},\"removes\":{removes},\"bytes\":{bytes}",
                 json_escape(doc.as_str())
             ),
         ),

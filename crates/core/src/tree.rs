@@ -17,9 +17,17 @@
 //! [`mod@crate::reduce`]).
 
 use crate::error::{AxmlError, Result};
+use crate::index::{DocIndex, IndexStats};
 use crate::sym::Sym;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Arena size at which a probe lazily builds the document index.
+/// Smaller trees (pattern instantiations, contexts, canonical-key
+/// scratch copies) answer scans faster than they could amortize a
+/// build, and skipping the build means they never pay maintenance.
+const INDEX_BUILD_THRESHOLD: usize = 48;
 
 /// Process-wide tree-identity counter; see [`Tree::id`].
 static NEXT_TREE_ID: AtomicU64 = AtomicU64::new(0);
@@ -127,6 +135,10 @@ pub struct Tree {
     root: NodeId,
     id: u64,
     version: u64,
+    /// Lazily built marking/child index (see [`mod@crate::index`]).
+    /// `OnceLock` rather than a cell keeps `Tree: Sync` (services are
+    /// `Send + Sync` and may capture forests).
+    index: OnceLock<Box<DocIndex>>,
 }
 
 impl Clone for Tree {
@@ -139,6 +151,9 @@ impl Clone for Tree {
             // memos and match caches keyed by (id, version) sound).
             id: fresh_tree_id(),
             version: self.version,
+            // The index is not cloned: the copy rebuilds lazily on its
+            // first probe, keeping clones cheap for never-probed trees.
+            index: OnceLock::new(),
         }
     }
 }
@@ -159,6 +174,7 @@ impl Tree {
             root: NodeId(0),
             id: fresh_tree_id(),
             version: 0,
+            index: OnceLock::new(),
         }
     }
 
@@ -243,6 +259,11 @@ impl Tree {
         });
         self.nodes[parent.idx()].children.push(id);
         self.version += 1;
+        if let Some(ix) = self.index.get_mut() {
+            ix.record_add(parent, id, m, self.version);
+        }
+        #[cfg(debug_assertions)]
+        self.debug_check_index();
         Ok(id)
     }
 
@@ -257,14 +278,30 @@ impl Tree {
         if let Some(pos) = siblings.iter().position(|&c| c == n) {
             siblings.swap_remove(pos);
         }
-        // Mark the whole subtree dead, iteratively.
+        if let Some(ix) = self.index.get_mut() {
+            ix.unlink_child(parent, n, self.nodes[n.idx()].marking);
+        }
+        // Mark the whole subtree dead, iteratively. Index entries must be
+        // retired *before* each node's child list is cleared.
         let mut stack = vec![n];
         while let Some(x) = stack.pop() {
             self.nodes[x.idx()].alive = false;
             stack.extend(self.nodes[x.idx()].children.iter().copied());
+            if let Some(ix) = self.index.get_mut() {
+                ix.forget_node(x, self.nodes[x.idx()].marking);
+                for i in 0..self.nodes[x.idx()].children.len() {
+                    let c = self.nodes[x.idx()].children[i];
+                    ix.drop_child_bucket(x, self.nodes[c.idx()].marking);
+                }
+            }
             self.nodes[x.idx()].children.clear();
         }
         self.version += 1;
+        if let Some(ix) = self.index.get_mut() {
+            ix.set_version(self.version);
+        }
+        #[cfg(debug_assertions)]
+        self.debug_check_index();
         Ok(())
     }
 
@@ -362,6 +399,87 @@ impl Tree {
         self.iter_live(self.root)
             .filter(|&n| self.children(n).is_empty())
             .count()
+    }
+
+    /// The document index, building it lazily once the arena is large
+    /// enough to amortize the build. `None` means "keep scanning".
+    /// Probing a stale index is a hard error (panic), never a silent
+    /// wrong answer — see [`mod@crate::index`].
+    fn live_index(&self) -> Option<&DocIndex> {
+        if let Some(ix) = self.index.get() {
+            ix.assert_fresh(self.version);
+            return Some(ix);
+        }
+        if self.nodes.len() < INDEX_BUILD_THRESHOLD {
+            return None;
+        }
+        let ix = self.index.get_or_init(|| Box::new(DocIndex::build(self)));
+        ix.assert_fresh(self.version);
+        Some(ix)
+    }
+
+    /// Force the index to exist regardless of the lazy-build threshold
+    /// (tests and benchmarks; the matcher goes through the lazy probes).
+    pub fn build_index(&self) {
+        let ix = self.index.get_or_init(|| Box::new(DocIndex::build(self)));
+        ix.assert_fresh(self.version);
+    }
+
+    /// Has the lazy index been built yet?
+    pub fn index_is_built(&self) -> bool {
+        self.index.get().is_some()
+    }
+
+    /// Index probe: live nodes carrying marking `m`, anywhere in the
+    /// tree. `None` when the tree is below the index threshold.
+    pub fn indexed_nodes_with(&self, m: Marking) -> Option<&[NodeId]> {
+        self.live_index().map(|ix| ix.nodes_with(m))
+    }
+
+    /// Index probe: live children of `n` carrying marking `m`. `None`
+    /// when the tree is below the index threshold.
+    pub fn indexed_children_with(&self, n: NodeId, m: Marking) -> Option<&[NodeId]> {
+        self.live_index().map(|ix| ix.children_with(n, m))
+    }
+
+    /// Like [`Tree::indexed_children_with`] but never *builds* the index
+    /// — for probe sites (subsumption over scratch trees) where paying a
+    /// build would not amortize.
+    pub fn indexed_children_if_built(&self, n: NodeId, m: Marking) -> Option<&[NodeId]> {
+        self.index.get().map(|ix| {
+            ix.assert_fresh(self.version);
+            ix.children_with(n, m)
+        })
+    }
+
+    /// Maintenance counters and footprint of the index, if built.
+    pub fn index_stats(&self) -> Option<IndexStats> {
+        self.index.get().map(|ix| {
+            ix.assert_fresh(self.version);
+            ix.stats()
+        })
+    }
+
+    /// Check the incrementally maintained index against a
+    /// rebuild-from-scratch. `Ok` when the index is not built.
+    pub fn validate_index(&self) -> std::result::Result<(), String> {
+        match self.index.get() {
+            None => Ok(()),
+            Some(ix) => ix.validate(self),
+        }
+    }
+
+    /// Sampled rebuild-vs-incremental validation behind debug assertions:
+    /// small arenas are checked on every mutation, large ones
+    /// periodically, so debug test runs (and the CI debug-assertions
+    /// job) exercise the maintenance hooks without going quadratic.
+    #[cfg(debug_assertions)]
+    fn debug_check_index(&self) {
+        if self.index.get().is_some() && (self.nodes.len() <= 64 || self.version.is_multiple_of(61)) {
+            if let Err(e) = self.validate_index() {
+                panic!("document index invariant broken: {e}");
+            }
+        }
     }
 }
 
@@ -484,6 +602,75 @@ mod tests {
         let extra = Tree::with_label("z");
         t.graft(t.root(), &extra).unwrap();
         assert!(t.version() > v0);
+    }
+
+    #[test]
+    fn index_maintained_incrementally_across_mutations() {
+        let mut t = sample();
+        assert!(!t.index_is_built(), "small trees stay unindexed");
+        t.build_index();
+        assert!(t.index_is_built());
+        let b = Marking::label("b");
+        assert_eq!(t.indexed_nodes_with(b).unwrap().len(), 1);
+        let x = t.add_child(t.root(), b).unwrap();
+        assert_eq!(t.indexed_nodes_with(b).unwrap().len(), 2);
+        assert_eq!(t.indexed_children_with(t.root(), b).unwrap().len(), 2);
+        t.validate_index().unwrap();
+        t.remove_subtree(x).unwrap();
+        assert_eq!(t.indexed_nodes_with(b).unwrap().len(), 1);
+        let f = t.function_nodes()[0];
+        t.remove_subtree(f).unwrap();
+        assert!(t.indexed_nodes_with(Marking::func("f")).unwrap().is_empty());
+        assert!(t
+            .indexed_children_with(f, Marking::label("c"))
+            .unwrap()
+            .is_empty());
+        t.validate_index().unwrap();
+        let stats = t.index_stats().unwrap();
+        assert_eq!(stats.entries, t.node_count());
+        assert!(stats.adds > 0 && stats.removes > 0);
+        assert!(stats.bytes_estimate > 0);
+    }
+
+    #[test]
+    fn index_builds_lazily_past_threshold_and_is_not_cloned() {
+        let mut t = Tree::with_label("r");
+        for i in 0..INDEX_BUILD_THRESHOLD {
+            t.add_child(t.root(), Marking::label(if i % 2 == 0 { "even" } else { "odd" }))
+                .unwrap();
+        }
+        assert!(!t.index_is_built());
+        let evens = t.indexed_nodes_with(Marking::label("even")).unwrap();
+        assert_eq!(evens.len(), INDEX_BUILD_THRESHOLD / 2);
+        assert!(t.index_is_built());
+        let dup = t.clone();
+        assert!(!dup.index_is_built(), "clones rebuild lazily");
+        assert_eq!(
+            dup.indexed_children_with(dup.root(), Marking::label("odd"))
+                .unwrap()
+                .len(),
+            INDEX_BUILD_THRESHOLD / 2
+        );
+        t.validate_index().unwrap();
+        dup.validate_index().unwrap();
+    }
+
+    #[test]
+    fn graft_and_reduce_style_mutations_keep_index_valid() {
+        let mut t = Tree::with_label("r");
+        t.build_index();
+        let extra = sample();
+        let at = t.graft(t.root(), &extra).unwrap();
+        t.validate_index().unwrap();
+        assert_eq!(
+            t.indexed_children_with(t.root(), Marking::label("a"))
+                .unwrap(),
+            &[at]
+        );
+        t.remove_subtree(at).unwrap();
+        t.validate_index().unwrap();
+        assert_eq!(t.node_count(), 1);
+        assert_eq!(t.index_stats().unwrap().entries, 1);
     }
 
     #[test]

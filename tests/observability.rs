@@ -251,3 +251,45 @@ fn threaded_run_ships_cross_peer_lineage() {
     assert_eq!(rec.peer, Some(provider));
     assert!(rec.inputs.iter().any(|(d, _)| d.as_str() == "cds"));
 }
+
+/// X16: a traced indexed run journals `IndexLookup` probes and
+/// `IndexMaintain` deltas, the metrics surface them as a hit rate plus
+/// maintenance counters in the report, and both event kinds survive the
+/// Chrome-trace export.
+#[test]
+fn indexed_runs_journal_probe_and_maintenance_events() {
+    let journal = Journal::new();
+    let metrics = MetricsRegistry::new();
+    let fan = Fanout::new(vec![&journal, &metrics]);
+    let mut sys = axml_bench::tc_random_digraph(64, 6, 12);
+    let (status, _) = run_traced(
+        &mut sys,
+        &EngineConfig::with_mode(EngineMode::Delta),
+        Tracer::new(&fan),
+    )
+    .unwrap();
+    assert_eq!(status, RunStatus::Terminated);
+
+    let events = journal.snapshot();
+    let lookups = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::IndexLookup { .. }))
+        .count();
+    let maintains = events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::IndexMaintain { .. }))
+        .count();
+    assert!(lookups > 0, "no IndexLookup events were journaled");
+    assert!(maintains > 0, "no IndexMaintain events were journaled");
+
+    let globals = metrics.globals();
+    assert!(globals.index_probes > 0);
+    assert_eq!(globals.index_maintains as usize, maintains);
+    assert!(globals.index_bytes_peak > 0, "peak footprint must be estimated");
+    let report = metrics.render_report("x16");
+    assert!(report.contains("index: probes"), "report must show the index section");
+    assert!(report.contains("hit rate"), "report must show the probe hit rate");
+
+    let json = chrome_trace(&events);
+    assert_eq!(validate_chrome_trace(&json).unwrap(), events.len());
+}
