@@ -1,0 +1,73 @@
+//! X17 bench — parallel round evaluation vs the sequential loop.
+//!
+//! Engine level: the sharded transitive-closure digraph (the X12/X16
+//! random digraph with the closure step split into per-shard joins, so
+//! a round carries `shards` comparably-heavy evaluations) and the
+//! wide-fanout probe workload (independent equal-cost scans), each run
+//! `Sequential` and with `Workers(1|2|4)`. Workers evaluate against the
+//! immutable round-start snapshot and the main thread commits grafts in
+//! canonical call order, so every row reaches the identical fixpoint —
+//! the rows differ only in wall clock (EXPERIMENTS.md X17 records the
+//! speedup and the single-worker overhead; speedup needs real cores).
+
+use axml_bench::{scan_fanout_system, tc_sharded_closure};
+use axml_core::engine::{run, EngineConfig, EngineMode, Parallelism};
+use axml_core::matcher::MatchStrategy;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+const SCHEDULES: [(&str, Parallelism); 4] = [
+    ("sequential", Parallelism::Sequential),
+    ("workers-1", Parallelism::Workers(1)),
+    ("workers-2", Parallelism::Workers(2)),
+    ("workers-4", Parallelism::Workers(4)),
+];
+
+fn bench_sharded_closure(c: &mut Criterion) {
+    let mut g = c.benchmark_group("x17/tc-sharded");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    for &n in &[32usize, 64] {
+        let sys = tc_sharded_closure(n, 8, 12);
+        for (name, parallelism) in SCHEDULES {
+            g.bench_with_input(BenchmarkId::new(name, n), &sys, |b, s| {
+                b.iter(|| {
+                    let mut runner = s.clone();
+                    let cfg = EngineConfig {
+                        mode: EngineMode::Delta,
+                        match_strategy: MatchStrategy::Scan,
+                        parallelism,
+                        ..EngineConfig::with_budget(200_000)
+                    };
+                    run(&mut runner, &cfg).unwrap()
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_wide_fanout(c: &mut Criterion) {
+    let mut g = c.benchmark_group("x17/wide-fanout");
+    g.sample_size(10).measurement_time(Duration::from_secs(5));
+    for &fanout in &[2_048usize, 8_192] {
+        let sys = scan_fanout_system(16, fanout);
+        for (name, parallelism) in SCHEDULES {
+            g.bench_with_input(BenchmarkId::new(name, fanout), &sys, |b, s| {
+                b.iter(|| {
+                    let mut runner = s.clone();
+                    let cfg = EngineConfig {
+                        mode: EngineMode::Delta,
+                        match_strategy: MatchStrategy::Scan,
+                        parallelism,
+                        ..EngineConfig::with_budget(200_000)
+                    };
+                    run(&mut runner, &cfg).unwrap()
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_sharded_closure, bench_wide_fanout);
+criterion_main!(benches);

@@ -15,7 +15,7 @@ use crate::system::{context_sym, input_sym, System};
 use crate::sym::{FxHashMap, Sym};
 use crate::trace::{EventKind, Tracer};
 use crate::tree::{Marking, NodeId, Tree};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// The evaluation environment: named documents visible to a query (the
 /// system's documents plus, during a service call, the reserved `input`
@@ -101,7 +101,7 @@ pub struct MatchCache {
 }
 
 /// `(doc id, doc version, bindings)` — exact while id+version match.
-type CacheEntry = (u64, u64, Rc<Vec<Binding>>);
+type CacheEntry = (u64, u64, Arc<Vec<Binding>>);
 
 impl MatchCache {
     /// Fresh, empty cache.
@@ -199,7 +199,7 @@ pub(crate) fn snapshot_inner(
             .get(atom.doc)
             .ok_or(AxmlError::UnknownDocument(atom.doc))?;
         let cacheable = atom.doc != input_sym() && atom.doc != context_sym();
-        let matches: Rc<Vec<Binding>> = match cache.as_mut() {
+        let matches: Arc<Vec<Binding>> = match cache.as_mut() {
             Some((svc, c)) if cacheable => {
                 let key = (*svc, i);
                 match c.entries.get(&key) {
@@ -209,7 +209,7 @@ pub(crate) fn snapshot_inner(
                             service: *svc,
                             atom: i as u32,
                         });
-                        Rc::clone(m)
+                        Arc::clone(m)
                     }
                     _ => {
                         c.misses += 1;
@@ -219,9 +219,9 @@ pub(crate) fn snapshot_inner(
                         });
                         let (bindings, mstats) = match_pattern_with(&atom.pattern, doc, strategy);
                         emit_index_lookup(tracer, *svc, i, mstats);
-                        let m = Rc::new(bindings);
+                        let m = Arc::new(bindings);
                         c.entries
-                            .insert(key, (doc.id(), doc.version(), Rc::clone(&m)));
+                            .insert(key, (doc.id(), doc.version(), Arc::clone(&m)));
                         m
                     }
                 }
@@ -229,9 +229,9 @@ pub(crate) fn snapshot_inner(
             Some((svc, _)) => {
                 let (bindings, mstats) = match_pattern_with(&atom.pattern, doc, strategy);
                 emit_index_lookup(tracer, *svc, i, mstats);
-                Rc::new(bindings)
+                Arc::new(bindings)
             }
-            None => Rc::new(match_pattern_with(&atom.pattern, doc, strategy).0),
+            None => Arc::new(match_pattern_with(&atom.pattern, doc, strategy).0),
         };
         stats.atom_bindings += matches.len();
         if matches.is_empty() {

@@ -17,6 +17,7 @@
 
 use crate::error::{AxmlError, Result};
 use crate::eval::{snapshot_inner, Env, MatchCache};
+use crate::forest::Forest;
 use crate::matcher::MatchStrategy;
 use crate::provenance::{query_witnesses, InvocationRecord, Origin, Provenance};
 use crate::reduce::reduce_in_place;
@@ -44,6 +45,228 @@ pub fn build_input(doc: &Tree, node: NodeId) -> Tree {
     let input_root = input.root();
     doc.copy_children_into(node, &mut input, input_root);
     input
+}
+
+/// The read-only half of one invocation: the evaluated result forest
+/// plus everything the commit phase needs to graft it later via
+/// [`apply_plan`].
+///
+/// Produced by [`evaluate_node`] against an *immutable* system
+/// reference — building a plan never mutates any document. That split
+/// is what lets [`crate::engine`]'s parallel mode evaluate a whole
+/// round's calls concurrently on worker threads and then commit the
+/// plans sequentially, in a deterministic order, on the main thread.
+#[derive(Clone, Debug)]
+pub struct GraftPlan {
+    /// Document hosting the call.
+    pub doc: Sym,
+    /// The invoked function node.
+    pub node: NodeId,
+    /// The service invoked.
+    pub service: Sym,
+    /// The service's result forest (snapshot answer or black-box
+    /// output), already reduced.
+    pub forest: Forest,
+    /// Provenance witnesses matched before evaluation (empty unless
+    /// requested via `collect_witnesses`).
+    pub witnesses: Vec<(Sym, NodeId)>,
+}
+
+/// Evaluate the service call at `node` of `doc_name` against the
+/// current system state, without applying anything: the read-only
+/// phase 1 of [`invoke_node_with_provenance`], shared-borrow friendly
+/// so it can run from worker threads.
+///
+/// `collect_witnesses` asks for the provenance witness set (the nodes
+/// the evaluation read); pass `prov.enabled()` when a store is
+/// attached, `false` otherwise to skip the extra matching work.
+pub fn evaluate_node(
+    sys: &System,
+    doc_name: Sym,
+    node: NodeId,
+    cache: Option<&mut MatchCache>,
+    tracer: Tracer<'_>,
+    collect_witnesses: bool,
+    strategy: MatchStrategy,
+) -> Result<GraftPlan> {
+    let doc = sys
+        .doc(doc_name)
+        .ok_or(AxmlError::UnknownDocument(doc_name))?;
+    if !doc.is_alive(node) {
+        return Err(AxmlError::DeadNode);
+    }
+    let fname = match doc.marking(node) {
+        Marking::Func(f) => f,
+        _ => return Err(AxmlError::NotAFunctionNode),
+    };
+    // Document roots are never function nodes, so `node` has a parent.
+    let parent = doc.parent(node).ok_or(AxmlError::FunctionRoot)?;
+    let svc = sys
+        .service(fname)
+        .ok_or(AxmlError::UnknownFunction(fname))?;
+
+    // Witnesses are only matched when a provenance store is
+    // attached — the disabled path pays one branch.
+    let witnesses = if collect_witnesses {
+        match svc.query() {
+            Some(q) => {
+                let mut w = query_witnesses(q, |d| sys.doc(d));
+                if q.body
+                    .iter()
+                    .any(|a| a.doc == input_sym() || a.doc == context_sym())
+                {
+                    // input/context data comes from the call site.
+                    w.push((doc_name, node));
+                }
+                w
+            }
+            // Black boxes read nothing we can see; the call site is
+            // the only visible input.
+            None => vec![(doc_name, node)],
+        }
+    } else {
+        Vec::new()
+    };
+
+    let input = build_input(doc, node);
+    let context = doc.subtree(parent);
+    let env = Env::for_invocation(sys, &input, &context);
+    // Positive services evaluate through the snapshot pipeline so
+    // the match strategy (and the cache, when attached) applies;
+    // black boxes always run their closure.
+    let forest = match (cache, svc.query()) {
+        (Some(c), Some(q)) => snapshot_inner(q, &env, Some((fname, c)), tracer, strategy)?.0,
+        (None, Some(q)) => snapshot_inner(q, &env, None, tracer, strategy)?.0,
+        _ => svc.invoke(&env)?,
+    };
+    Ok(GraftPlan {
+        doc: doc_name,
+        node,
+        service: fname,
+        forest,
+        witnesses,
+    })
+}
+
+/// Apply a [`GraftPlan`]: the mutating phase 2 of
+/// [`invoke_node_with_provenance`]. Result trees not subsumed by an
+/// existing sibling are grafted next to the call, lineage is stamped,
+/// and the document is reduced.
+///
+/// Subsumption is re-checked here against the document *as it now is*,
+/// so a plan evaluated against an older snapshot stays sound: results
+/// that an intervening commit already made redundant are simply
+/// dropped (monotonicity — Theorem 2.1's confluence argument).
+///
+/// Returns `Ok(None)` when the call node is no longer alive (an
+/// earlier commit's reduction merged it away); the plan's information
+/// survives in the equivalent sibling that was kept.
+pub fn apply_plan(
+    sys: &mut System,
+    plan: &GraftPlan,
+    tracer: Tracer<'_>,
+    prov: Provenance<'_>,
+    round: u64,
+) -> Result<Option<InvokeOutcome>> {
+    let doc_name = plan.doc;
+    let result_trees = plan.forest.len();
+    let doc = sys
+        .doc_mut(doc_name)
+        .ok_or(AxmlError::UnknownDocument(doc_name))?;
+    if !doc.is_alive(plan.node) {
+        return Ok(None);
+    }
+    // Re-resolve the parent from the live document: reduction during
+    // earlier commits may have re-parented the (still alive) node.
+    let parent = doc.parent(plan.node).ok_or(AxmlError::FunctionRoot)?;
+    let pre_version = doc.version();
+    // Index maintenance is reported as counter deltas over the whole
+    // graft+reduce batch; the index's build state cannot change during
+    // the commit (mutations maintain but never build).
+    let pre_index = if tracer.enabled() {
+        doc.index_stats()
+    } else {
+        None
+    };
+    let mut grafted = 0usize;
+    // One memo serves every (result tree, existing child) comparison:
+    // entries are keyed by tree identity, and grafting earlier result
+    // trees only *adds* children under `parent`, never mutating the
+    // subtrees already memoized.
+    let mut memo = SubMemo::new();
+    let mut seq: Option<u64> = None;
+    for r in plan.forest.trees() {
+        let already = doc
+            .children(parent)
+            .iter()
+            .any(|&c| memo.subsumed_at(r, r.root(), doc, c));
+        tracer.emit(|| EventKind::SubsumeCheck {
+            doc: doc_name,
+            subsumed: already,
+        });
+        if !already {
+            let new_root = doc.graft(parent, r)?;
+            grafted += 1;
+            if prov.enabled() {
+                // One invocation record per invocation that grafts,
+                // logged lazily at the first graft so no-op invocations
+                // leave no record.
+                let s = *seq.get_or_insert_with(|| {
+                    prov.with(|st| {
+                        st.begin_invocation(InvocationRecord {
+                            seq: 0,
+                            service: plan.service,
+                            doc: doc_name,
+                            node: plan.node,
+                            round,
+                            doc_version: pre_version,
+                            peer: None,
+                            inputs: plan.witnesses.clone(),
+                        })
+                    })
+                    .expect("enabled")
+                });
+                let fresh: Vec<NodeId> = doc.iter_live(new_root).collect();
+                prov.with(|st| {
+                    for nid in fresh {
+                        st.stamp(doc_name, nid, Origin::Local { seq: s });
+                    }
+                });
+            }
+        }
+    }
+    if grafted > 0 {
+        tracer.emit(|| EventKind::Graft {
+            doc: doc_name,
+            doc_version: doc.version(),
+            trees: grafted as u32,
+        });
+        // Node counts are O(live nodes); only pay for them when a sink
+        // is attached.
+        let before = tracer.enabled().then(|| doc.node_count() as u32);
+        reduce_in_place(doc);
+        tracer.emit(|| EventKind::Reduce {
+            doc: doc_name,
+            nodes_before: before.unwrap_or(0),
+            nodes_after: doc.node_count() as u32,
+        });
+        if tracer.enabled() {
+            if let Some(post) = doc.index_stats() {
+                let (pa, pr) = pre_index.map_or((0, 0), |s| (s.adds, s.removes));
+                tracer.emit(|| EventKind::IndexMaintain {
+                    doc: doc_name,
+                    adds: post.adds.saturating_sub(pa) as u32,
+                    removes: post.removes.saturating_sub(pr) as u32,
+                    bytes: post.bytes_estimate,
+                });
+            }
+        }
+    }
+    Ok(Some(InvokeOutcome {
+        changed: grafted > 0,
+        result_trees,
+        grafted,
+    }))
 }
 
 /// Invoke the function node `node` of document `doc_name` in `sys`.
@@ -106,152 +329,11 @@ pub fn invoke_node_with_provenance(
     strategy: MatchStrategy,
 ) -> Result<InvokeOutcome> {
     // Phase 1 — evaluate the service against the current (immutable)
-    // system state.
-    let (forest, parent, fname, witnesses) = {
-        let doc = sys
-            .doc(doc_name)
-            .ok_or(AxmlError::UnknownDocument(doc_name))?;
-        if !doc.is_alive(node) {
-            return Err(AxmlError::DeadNode);
-        }
-        let fname = match doc.marking(node) {
-            Marking::Func(f) => f,
-            _ => return Err(AxmlError::NotAFunctionNode),
-        };
-        // Document roots are never function nodes, so `node` has a parent.
-        let parent = doc.parent(node).ok_or(AxmlError::FunctionRoot)?;
-        let svc = sys
-            .service(fname)
-            .ok_or(AxmlError::UnknownFunction(fname))?;
-
-        // Witnesses are only matched when a provenance store is
-        // attached — the disabled path pays one branch.
-        let witnesses = if prov.enabled() {
-            match svc.query() {
-                Some(q) => {
-                    let mut w = query_witnesses(q, |d| sys.doc(d));
-                    if q.body
-                        .iter()
-                        .any(|a| a.doc == input_sym() || a.doc == context_sym())
-                    {
-                        // input/context data comes from the call site.
-                        w.push((doc_name, node));
-                    }
-                    w
-                }
-                // Black boxes read nothing we can see; the call site is
-                // the only visible input.
-                None => vec![(doc_name, node)],
-            }
-        } else {
-            Vec::new()
-        };
-
-        let input = build_input(doc, node);
-        let context = doc.subtree(parent);
-        let env = Env::for_invocation(sys, &input, &context);
-        // Positive services evaluate through the snapshot pipeline so
-        // the match strategy (and the cache, when attached) applies;
-        // black boxes always run their closure.
-        let forest = match (cache, svc.query()) {
-            (Some(c), Some(q)) => snapshot_inner(q, &env, Some((fname, c)), tracer, strategy)?.0,
-            (None, Some(q)) => snapshot_inner(q, &env, None, tracer, strategy)?.0,
-            _ => svc.invoke(&env)?,
-        };
-        (forest, parent, fname, witnesses)
-    };
-
-    // Phase 2 — graft the new information and reduce. One memo serves
-    // every (result tree, existing child) comparison: entries are keyed
-    // by tree identity, and grafting earlier result trees only *adds*
-    // children under `parent`, never mutating the subtrees already
-    // memoized.
-    let result_trees = forest.len();
-    let doc = sys.doc_mut(doc_name).expect("checked above");
-    let pre_version = doc.version();
-    // Index maintenance is reported as counter deltas over the whole
-    // graft+reduce batch; the index's build state cannot change during
-    // phase 2 (mutations maintain but never build).
-    let pre_index = if tracer.enabled() {
-        doc.index_stats()
-    } else {
-        None
-    };
-    let mut grafted = 0usize;
-    let mut memo = SubMemo::new();
-    let mut seq: Option<u64> = None;
-    for r in forest.trees() {
-        let already = doc
-            .children(parent)
-            .iter()
-            .any(|&c| memo.subsumed_at(r, r.root(), doc, c));
-        tracer.emit(|| EventKind::SubsumeCheck {
-            doc: doc_name,
-            subsumed: already,
-        });
-        if !already {
-            let new_root = doc.graft(parent, r)?;
-            grafted += 1;
-            if prov.enabled() {
-                // One invocation record per invocation that grafts,
-                // logged lazily at the first graft so no-op invocations
-                // leave no record.
-                let s = *seq.get_or_insert_with(|| {
-                    prov.with(|st| {
-                        st.begin_invocation(InvocationRecord {
-                            seq: 0,
-                            service: fname,
-                            doc: doc_name,
-                            node,
-                            round,
-                            doc_version: pre_version,
-                            peer: None,
-                            inputs: witnesses.clone(),
-                        })
-                    })
-                    .expect("enabled")
-                });
-                let fresh: Vec<NodeId> = doc.iter_live(new_root).collect();
-                prov.with(|st| {
-                    for nid in fresh {
-                        st.stamp(doc_name, nid, Origin::Local { seq: s });
-                    }
-                });
-            }
-        }
-    }
-    if grafted > 0 {
-        tracer.emit(|| EventKind::Graft {
-            doc: doc_name,
-            doc_version: doc.version(),
-            trees: grafted as u32,
-        });
-        // Node counts are O(live nodes); only pay for them when a sink
-        // is attached.
-        let before = tracer.enabled().then(|| doc.node_count() as u32);
-        reduce_in_place(doc);
-        tracer.emit(|| EventKind::Reduce {
-            doc: doc_name,
-            nodes_before: before.unwrap_or(0),
-            nodes_after: doc.node_count() as u32,
-        });
-        if tracer.enabled() {
-            if let Some(post) = doc.index_stats() {
-                let (pa, pr) = pre_index.map_or((0, 0), |s| (s.adds, s.removes));
-                tracer.emit(|| EventKind::IndexMaintain {
-                    doc: doc_name,
-                    adds: post.adds.saturating_sub(pa) as u32,
-                    removes: post.removes.saturating_sub(pr) as u32,
-                    bytes: post.bytes_estimate,
-                });
-            }
-        }
-    }
-    Ok(InvokeOutcome {
-        changed: grafted > 0,
-        result_trees,
-        grafted,
-    })
+    // system state; phase 2 — graft the new information and reduce.
+    let plan = evaluate_node(sys, doc_name, node, cache, tracer, prov.enabled(), strategy)?;
+    let outcome = apply_plan(sys, &plan, tracer, prov, round)?;
+    // Nothing ran between the two phases, so the node is still alive.
+    Ok(outcome.expect("node alive: evaluate_node just checked"))
 }
 
 #[cfg(test)]

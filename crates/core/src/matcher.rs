@@ -16,7 +16,7 @@ use crate::tree::{Marking, NodeId, Tree};
 use std::borrow::Cow;
 use std::cmp::Ordering;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// How the matcher enumerates candidate document nodes.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
@@ -65,7 +65,7 @@ pub enum Bound {
     Value(Sym),
     /// A whole subtree, bound to a tree variable. The canonical key makes
     /// bindings hashable and deduplicable.
-    Tree(Rc<Tree>, CanonKey),
+    Tree(Arc<Tree>, CanonKey),
 }
 
 impl Bound {
@@ -73,7 +73,7 @@ impl Bound {
     pub fn tree_at(t: &Tree, n: NodeId) -> Bound {
         let sub = t.subtree(n);
         let key = canonical_key(&sub);
-        Bound::Tree(Rc::new(sub), key)
+        Bound::Tree(Arc::new(sub), key)
     }
 
     /// The marking this binding denotes, for non-tree bindings.

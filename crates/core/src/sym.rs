@@ -10,6 +10,15 @@
 //! `&'static str` without locking. The set of distinct markings in an AXML
 //! workload is small (labels, service names, atomic values of the system),
 //! so this is bounded in practice.
+//!
+//! The interner is safe to use from any number of threads — the parallel
+//! engine's workers and the p2p peer threads intern and resolve symbols
+//! concurrently. Reads take a shared `RwLock` guard; an insert upgrades
+//! to the write lock and re-checks under it (double-checked), so two
+//! threads racing to intern the same string always agree on one id. The
+//! lock is the in-repo `parking_lot` shim, which recovers rather than
+//! propagates poison, so a panicking worker can never wedge the interner
+//! for the rest of the process.
 
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -37,7 +46,9 @@ fn interner() -> &'static RwLock<Interner> {
 }
 
 impl Sym {
-    /// Intern `s`, returning its symbol. Idempotent.
+    /// Intern `s`, returning its symbol. Idempotent, and safe to call
+    /// from concurrent threads: racing interns of the same string agree
+    /// on the same id (the insert re-checks under the write lock).
     pub fn intern(s: &str) -> Sym {
         let int = interner();
         if let Some(&id) = int.read().map.get(s) {
@@ -188,6 +199,44 @@ mod tests {
         let mut h2 = FxHasher::default();
         h2.write(b"abcdefghj");
         assert_ne!(h1.finish(), h2.finish());
+    }
+
+    #[test]
+    fn concurrent_intern_stress() {
+        // Many threads intern overlapping string sets while others
+        // resolve: every thread must observe one consistent id per
+        // string and `as_str` must round-trip, with no panic or
+        // deadlock. (The worker pool and p2p peers do exactly this.)
+        const THREADS: usize = 8;
+        const STRINGS: usize = 200;
+        let ids: Vec<Vec<(String, Sym)>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..THREADS)
+                .map(|t| {
+                    s.spawn(move || {
+                        let mut out = Vec::with_capacity(STRINGS);
+                        for i in 0..STRINGS {
+                            // Offset start so threads collide on a
+                            // shifting frontier of brand-new strings.
+                            let i = (i + t * 31) % STRINGS;
+                            let key = format!("stress-sym-{i}");
+                            let sym = Sym::intern(&key);
+                            assert_eq!(sym.as_str(), key);
+                            assert_eq!(Sym::intern(&key), sym);
+                            out.push((key, sym));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut canon: HashMap<String, Sym> = HashMap::new();
+        for thread_ids in ids {
+            for (key, sym) in thread_ids {
+                assert_eq!(*canon.entry(key).or_insert(sym), sym);
+            }
+        }
+        assert_eq!(canon.len(), STRINGS);
     }
 
     #[test]

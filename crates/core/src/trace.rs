@@ -231,17 +231,58 @@ pub enum EventKind {
         /// Wall-clock latency of the evaluation, in nanoseconds.
         dur_ns: u64,
     },
+    /// One call evaluated on a worker thread during a parallel round's
+    /// read-only phase ([`crate::engine::Parallelism::Workers`]). The
+    /// commit-side [`EventKind::Invoke`] still follows once the plan is
+    /// applied, so `Invoke` counts stay 1:1 with evaluated calls.
+    WorkerEval {
+        /// The evaluating worker (0-based).
+        worker: u32,
+        /// Host document of the evaluated call.
+        doc: Sym,
+        /// The evaluated function node.
+        node: NodeId,
+        /// The evaluated service.
+        service: Sym,
+        /// Trees in the service's result forest.
+        result_trees: u32,
+        /// Wall-clock latency of the read-only evaluation, nanoseconds.
+        dur_ns: u64,
+    },
+    /// A parallel round's evaluation phase completed: `evaluated` plans
+    /// were produced by `workers` workers in `dur_ns` wall-clock time
+    /// (the sequential commit phase follows).
+    ParallelRound {
+        /// Round index, matching the surrounding round events.
+        round: u64,
+        /// Worker threads used for the evaluation phase.
+        workers: u32,
+        /// Calls evaluated (plans produced) this round.
+        evaluated: u32,
+        /// Wall-clock duration of the evaluation phase, nanoseconds.
+        dur_ns: u64,
+    },
 }
 
 /// One journal entry: an [`EventKind`] stamped by the recording sink
-/// with a strictly increasing sequence number and a monotone timestamp
-/// (nanoseconds since the sink's epoch).
+/// with a strictly increasing sequence number, a monotone timestamp
+/// (nanoseconds since the sink's epoch), and the recording worker's id
+/// (`0` for the main thread / single-threaded runs).
+///
+/// Under [`crate::engine::Parallelism::Workers`] the full stamp is
+/// effectively `(round, worker, seq)`: worker-local journals are merged
+/// into the main journal at each round's commit phase in ascending
+/// worker order, so the merged `seq` order is deterministic however the
+/// worker threads interleaved in real time.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Strictly increasing per-sink sequence number (journal order).
     pub seq: u64,
-    /// Monotone nanoseconds since the sink was created.
+    /// Monotone nanoseconds since the sink's epoch.
     pub ts_ns: u64,
+    /// Recording worker id: 0 for the main thread, `w + 1` for parallel
+    /// worker `w` (see [`Journal::for_worker`]).
+    pub worker: u32,
     /// The event itself.
     pub kind: EventKind,
 }
@@ -257,6 +298,23 @@ pub struct TraceEvent {
 pub trait TraceSink {
     /// Record one event.
     fn record(&self, kind: EventKind);
+
+    /// Record an already-stamped event — the merge path for per-worker
+    /// journals. Storing sinks should preserve the event's timestamp
+    /// and worker id while re-stamping the sequence number in arrival
+    /// order (so the merged order is the deterministic arrival order,
+    /// not the racy wall-clock order). The default forwards to
+    /// [`TraceSink::record`], which is correct for pure aggregators.
+    fn record_stamped(&self, ev: TraceEvent) {
+        self.record(ev.kind);
+    }
+
+    /// The sink's timestamp epoch, when it has one. Worker-local
+    /// journals adopt the main sink's epoch so merged timestamps share
+    /// one timeline.
+    fn epoch(&self) -> Option<Instant> {
+        None
+    }
 }
 
 /// The cheap tracing handle threaded through the engine. Copyable;
@@ -292,6 +350,21 @@ impl<'a> Tracer<'a> {
             sink.record(f());
         }
     }
+
+    /// Forward an already-stamped event (from a worker-local journal)
+    /// to the sink, preserving its timestamp and worker id — see
+    /// [`TraceSink::record_stamped`].
+    #[inline]
+    pub fn absorb(&self, ev: TraceEvent) {
+        if let Some(sink) = self.sink {
+            sink.record_stamped(ev);
+        }
+    }
+
+    /// The attached sink's timestamp epoch, when it has one.
+    pub fn epoch(&self) -> Option<Instant> {
+        self.sink.and_then(|s| s.epoch())
+    }
 }
 
 struct JournalInner {
@@ -305,6 +378,9 @@ struct JournalInner {
 /// event-stream assertions in tests.
 pub struct Journal {
     epoch: Instant,
+    /// The worker id stamped on events recorded *by this journal*
+    /// (0 = main thread; see [`Journal::for_worker`]).
+    worker: u32,
     inner: RefCell<JournalInner>,
 }
 
@@ -317,12 +393,32 @@ impl Default for Journal {
 impl Journal {
     /// An empty journal; timestamps count from now.
     pub fn new() -> Journal {
+        Journal::with_epoch(Instant::now())
+    }
+
+    /// An empty journal whose timestamps count from `epoch` — use the
+    /// main sink's epoch ([`TraceSink::epoch`]) so a worker-local
+    /// journal's timestamps merge onto the same timeline.
+    pub fn with_epoch(epoch: Instant) -> Journal {
         Journal {
-            epoch: Instant::now(),
+            epoch,
+            worker: 0,
             inner: RefCell::new(JournalInner {
                 seq: 0,
                 events: Vec::new(),
             }),
+        }
+    }
+
+    /// A worker-local journal: events it records are stamped with
+    /// worker id `worker + 1` (0 is reserved for the main thread) and
+    /// timestamps counting from `epoch`. Each parallel worker keeps one
+    /// and the engine merges it into the main sink, in worker order, at
+    /// the end of the round's evaluation phase.
+    pub fn for_worker(worker: u32, epoch: Option<Instant>) -> Journal {
+        Journal {
+            worker: worker + 1,
+            ..Journal::with_epoch(epoch.unwrap_or_else(Instant::now))
         }
     }
 
@@ -353,7 +449,26 @@ impl TraceSink for Journal {
         let mut inner = self.inner.borrow_mut();
         let seq = inner.seq;
         inner.seq += 1;
-        inner.events.push(TraceEvent { seq, ts_ns, kind });
+        inner.events.push(TraceEvent {
+            seq,
+            ts_ns,
+            worker: self.worker,
+            kind,
+        });
+    }
+
+    /// Merged events keep their original timestamp and worker id; only
+    /// the sequence number is re-stamped, in arrival order, so the
+    /// journal stays strictly `seq`-ordered and deterministic.
+    fn record_stamped(&self, ev: TraceEvent) {
+        let mut inner = self.inner.borrow_mut();
+        let seq = inner.seq;
+        inner.seq += 1;
+        inner.events.push(TraceEvent { seq, ..ev });
+    }
+
+    fn epoch(&self) -> Option<Instant> {
+        Some(self.epoch)
     }
 }
 
@@ -375,6 +490,18 @@ impl TraceSink for Fanout<'_> {
         for s in &self.sinks {
             s.record(kind);
         }
+    }
+
+    fn record_stamped(&self, ev: TraceEvent) {
+        for s in &self.sinks {
+            s.record_stamped(ev);
+        }
+    }
+
+    /// The first member sink's epoch (journals before aggregators, in
+    /// the order given to [`Fanout::new`]).
+    fn epoch(&self) -> Option<Instant> {
+        self.sinks.iter().find_map(|s| s.epoch())
     }
 }
 
@@ -571,11 +698,22 @@ pub struct GlobalMetrics {
     pub index_removes: u64,
     /// Peak estimated index heap footprint over any host document, bytes.
     pub index_bytes_peak: u64,
+    /// Parallel evaluation phases completed
+    /// ([`EventKind::ParallelRound`]).
+    pub parallel_rounds: u64,
+    /// Worker-side evaluations ([`EventKind::WorkerEval`]).
+    pub worker_evals: u64,
+    /// Largest worker-pool size seen.
+    pub workers_max: u32,
+    /// Total wall-clock time spent in parallel evaluation phases, ns.
+    pub parallel_eval_ns: u64,
 }
 
 struct MetricsInner {
     services: FxHashMap<Sym, ServiceMetrics>,
     globals: GlobalMetrics,
+    /// Worker-side evaluation latency, per worker id (0-based).
+    workers: FxHashMap<u32, Histogram>,
 }
 
 /// A [`TraceSink`] that aggregates the event stream into per-service
@@ -599,8 +737,22 @@ impl MetricsRegistry {
             inner: RefCell::new(MetricsInner {
                 services: FxHashMap::default(),
                 globals: GlobalMetrics::default(),
+                workers: FxHashMap::default(),
             }),
         }
+    }
+
+    /// The evaluation-latency histogram of one parallel worker
+    /// (0-based id), if it appeared in the stream.
+    pub fn worker_latency(&self, worker: u32) -> Option<Histogram> {
+        self.inner.borrow().workers.get(&worker).cloned()
+    }
+
+    /// Ids of all parallel workers seen, ascending.
+    pub fn worker_ids(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self.inner.borrow().workers.keys().copied().collect();
+        ids.sort_unstable();
+        ids
     }
 
     /// The aggregates for one service, if it appeared in the stream.
@@ -660,6 +812,27 @@ impl MetricsRegistry {
             g.index_removes,
             g.index_bytes_peak,
         );
+        if g.parallel_rounds > 0 {
+            let mut line = format!(
+                "parallel: rounds {}  workers {}  worker-evals {}  eval-phase {} us total",
+                g.parallel_rounds,
+                g.workers_max,
+                g.worker_evals,
+                g.parallel_eval_ns / 1_000,
+            );
+            let mut ids: Vec<u32> = inner.workers.keys().copied().collect();
+            ids.sort_unstable();
+            for w in ids {
+                let h = &inner.workers[&w];
+                let _ = write!(
+                    line,
+                    "  [w{w}: {} evals p50 {} us]",
+                    h.count(),
+                    h.quantile(0.5) / 1_000,
+                );
+            }
+            let _ = writeln!(out, "{line}");
+        }
         let _ = writeln!(
             out,
             "{:<16} {:>7} {:>10} {:>8} {:>6} {:>7} {:>8} {:>9} {:>9} {:>9}",
@@ -791,6 +964,22 @@ impl TraceSink for MetricsRegistry {
                 m.invocations += 1;
                 m.latency_ns.record(dur_ns);
             }
+            EventKind::WorkerEval { worker, dur_ns, .. } => {
+                inner.globals.worker_evals += 1;
+                inner
+                    .workers
+                    .entry(worker)
+                    .or_default()
+                    .record(dur_ns);
+            }
+            EventKind::ParallelRound {
+                workers, dur_ns, ..
+            } => {
+                inner.globals.parallel_rounds += 1;
+                inner.globals.workers_max = inner.globals.workers_max.max(workers);
+                inner.globals.parallel_eval_ns =
+                    inner.globals.parallel_eval_ns.saturating_add(dur_ns);
+            }
         }
     }
 }
@@ -827,15 +1016,26 @@ fn us(ts_ns: u64) -> f64 {
 /// * skips, cache traffic, grafts, reductions, subsumption checks and
 ///   p2p messages become instant (`i`) events on the same timeline.
 ///
-/// All engine events share `pid` 1 / `tid` 1 (the engine is
+/// All engine events share `pid` 1 / `tid` 1 (the commit path is
 /// single-threaded); p2p events get one `tid` lane per peer (assigned
-/// in order of first appearance), so message traffic and provider
-/// evaluations render as parallel swimlanes. The export leads with
-/// `ph:"M"` metadata events naming the process and every thread lane.
+/// in order of first appearance, tids 2+), and parallel-engine
+/// [`EventKind::WorkerEval`] events get one lane per worker at
+/// `tid 1000 + worker` — disjoint from the peer range so peer lane
+/// numbering is unaffected by parallelism. The export leads with
+/// `ph:"M"` metadata events naming the process and every thread lane,
+/// and stable-sorts the events by sequence number so an out-of-order
+/// slice (e.g. a hand-merged journal) still renders deterministically.
 pub fn chrome_trace(events: &[TraceEvent]) -> String {
+    // Stable order: by the journal's own seq stamp. Merged journals
+    // are already seq-ordered; this makes the export robust to callers
+    // concatenating event slices themselves.
+    let mut ordered: Vec<&TraceEvent> = events.iter().collect();
+    ordered.sort_by_key(|e| e.seq);
     // Lane assignment: tid 1 is the engine; each peer acting in an
-    // event (sender, receiver, or evaluator) gets its own tid.
+    // event (sender, receiver, or evaluator) gets its own tid; each
+    // parallel worker gets the fixed lane 1000 + its id.
     let mut lanes: Vec<(Sym, u64)> = Vec::new();
+    let mut worker_lanes: Vec<u64> = Vec::new();
     let lane = |lanes: &mut Vec<(Sym, u64)>, peer: Sym| -> u64 {
         if let Some(&(_, t)) = lanes.iter().find(|(p, _)| *p == peer) {
             return t;
@@ -844,18 +1044,26 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
         lanes.push((peer, t));
         t
     };
-    let rows: Vec<String> = events
+    let rows: Vec<String> = ordered
         .iter()
         .map(|ev| {
             let tid = match ev.kind {
                 EventKind::MsgSend { from, .. } => lane(&mut lanes, from),
                 EventKind::MsgRecv { peer, .. }
                 | EventKind::PeerEval { peer, .. } => lane(&mut lanes, peer),
+                EventKind::WorkerEval { worker, .. } => {
+                    let t = 1_000 + u64::from(worker);
+                    if !worker_lanes.contains(&t) {
+                        worker_lanes.push(t);
+                    }
+                    t
+                }
                 _ => 1,
             };
             chrome_row(ev, tid)
         })
         .collect();
+    worker_lanes.sort_unstable();
 
     let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
     out.push_str(
@@ -870,6 +1078,14 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
             ",\n{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\
              \"tid\":{tid},\"args\":{{\"name\":\"{}\"}}}}",
             json_escape(peer.as_str())
+        );
+    }
+    for tid in &worker_lanes {
+        let _ = write!(
+            out,
+            ",\n{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\
+             \"tid\":{tid},\"args\":{{\"name\":\"worker {}\"}}}}",
+            tid - 1_000
         );
     }
     for row in rows {
@@ -1014,6 +1230,38 @@ fn chrome_row(ev: &TraceEvent, tid: u64) -> String {
                 common(&format!("eval {service}"), "X", "p2p", start),
                 us(dur_ns),
                 json_escape(peer.as_str()),
+            )
+        }
+        EventKind::WorkerEval {
+            worker,
+            doc,
+            node,
+            service,
+            result_trees,
+            dur_ns,
+        } => {
+            let start = us(ev.ts_ns.saturating_sub(dur_ns));
+            format!(
+                "{},\"dur\":{:.3},\"args\":{{\"worker\":{worker},\"doc\":\"{}\",\
+                 \"node\":{},\"results\":{result_trees}}}}}",
+                common(&format!("eval {service}"), "X", "parallel", start),
+                us(dur_ns),
+                json_escape(doc.as_str()),
+                node.0,
+            )
+        }
+        EventKind::ParallelRound {
+            round,
+            workers,
+            evaluated,
+            dur_ns,
+        } => {
+            let start = us(ev.ts_ns.saturating_sub(dur_ns));
+            format!(
+                "{},\"dur\":{:.3},\"args\":{{\"round\":{round},\"workers\":{workers},\
+                 \"evaluated\":{evaluated}}}}}",
+                common(&format!("parallel round {round}"), "X", "parallel", start),
+                us(dur_ns),
             )
         }
     }

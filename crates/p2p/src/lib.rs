@@ -36,6 +36,6 @@ pub mod threaded;
 
 pub use network::{Mode, Network, NetworkStats, Peer};
 pub use threaded::{
-    run_threaded, run_threaded_full, run_threaded_traced, standalone_peer,
-    ThreadedOutcome,
+    run_threaded, run_threaded_config, run_threaded_full, run_threaded_traced,
+    standalone_peer, ThreadedConfig, ThreadedOutcome,
 };

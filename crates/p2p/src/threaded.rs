@@ -12,6 +12,7 @@
 //! assert, across many runs.
 
 use crate::network::Peer;
+use axml_core::engine::Parallelism;
 use axml_core::error::{AxmlError, Result};
 use axml_core::forest::Forest;
 use axml_core::provenance::{InvocationRecord, Origin, Provenance, ProvenanceStore};
@@ -20,6 +21,7 @@ use axml_core::sym::{FxHashMap, Sym};
 use axml_core::trace::{EventKind, Journal, MsgKind, TraceEvent, Tracer};
 use axml_core::tree::{NodeId, Tree};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::collections::VecDeque;
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -68,6 +70,36 @@ struct PollReply {
     /// No pending pull scheduled (the peer will stay silent unless a
     /// message arrives).
     idle: bool,
+}
+
+/// Configuration for the threaded runtime ([`run_threaded_config`]).
+#[derive(Clone, Copy, Debug)]
+pub struct ThreadedConfig {
+    /// Polling waves before the coordinator gives up on quiescence.
+    pub max_waves: usize,
+    /// Keep a per-peer event [`Journal`] (see [`run_threaded_traced`]).
+    pub trace: bool,
+    /// Keep a per-peer [`ProvenanceStore`] (see [`run_threaded_full`]).
+    pub provenance: bool,
+    /// How each peer evaluates a batch of simultaneously-pending
+    /// incoming calls: with [`Parallelism::Workers`]`(n)` the peer
+    /// drains every queued `Call` and evaluates them on `n` worker
+    /// threads against its (read-only) document snapshot, then sends
+    /// the responses sequentially in arrival order — the same
+    /// snapshot-read / sequential-commit split as the engine's parallel
+    /// rounds, and sound for the same Theorem 2.1 reason.
+    pub parallelism: Parallelism,
+}
+
+impl Default for ThreadedConfig {
+    fn default() -> ThreadedConfig {
+        ThreadedConfig {
+            max_waves: 2_000,
+            trace: false,
+            provenance: false,
+            parallelism: Parallelism::default(),
+        }
+    }
 }
 
 /// Statistics of a threaded run.
@@ -142,6 +174,26 @@ pub fn run_threaded_full(
     trace: bool,
     provenance: bool,
 ) -> Result<ThreadedOutcome> {
+    run_threaded_config(
+        peers,
+        ThreadedConfig {
+            max_waves,
+            trace,
+            provenance,
+            parallelism: Parallelism::default(),
+        },
+    )
+}
+
+/// The fully-configurable entry point: [`run_threaded_full`] plus the
+/// per-peer [`Parallelism`] knob (see [`ThreadedConfig`]).
+pub fn run_threaded_config(peers: Vec<Peer>, cfg: ThreadedConfig) -> Result<ThreadedOutcome> {
+    let ThreadedConfig {
+        max_waves,
+        trace,
+        provenance,
+        parallelism,
+    } = cfg;
     let names: Vec<Sym> = peers.iter().map(|p| p.name).collect();
     let mut senders: FxHashMap<Sym, Sender<Msg>> = FxHashMap::default();
     let mut receivers: Vec<(Peer, Receiver<Msg>)> = Vec::new();
@@ -161,7 +213,7 @@ pub fn run_threaded_full(
             store
         });
         handles.push(thread::spawn(move || {
-            peer_loop(peer, rx, peers_tx, journal, store)
+            peer_loop(peer, rx, peers_tx, journal, store, parallelism)
         }));
     }
 
@@ -252,6 +304,16 @@ pub fn run_threaded_full(
     })
 }
 
+/// One incoming `Call`, unpacked for batch service.
+struct PendingCall {
+    caller: Sym,
+    doc: Sym,
+    node: NodeId,
+    service: Sym,
+    input: Tree,
+    context: Tree,
+}
+
 /// The peer's event loop: serve calls, absorb responses, keep pulling.
 fn peer_loop(
     mut peer: Peer,
@@ -259,8 +321,13 @@ fn peer_loop(
     peers_tx: FxHashMap<Sym, Sender<Msg>>,
     mut journal: Option<Journal>,
     mut store: Option<ProvenanceStore>,
+    parallelism: Parallelism,
 ) {
     let myname = peer.name;
+    let workers = match parallelism {
+        Parallelism::Sequential => 0,
+        Parallelism::Workers(n) => n.max(1),
+    };
     let mut sent = 0u64;
     let mut received = 0u64;
     // Re-pull when: never pulled, new data arrived, our own documents
@@ -268,12 +335,18 @@ fn peer_loop(
     let mut need_pull = true;
     let mut provider_digests: FxHashMap<Sym, Vec<(Sym, CanonKey)>> = FxHashMap::default();
     let mut callers_seen: Vec<Sym> = Vec::new();
+    // Non-Call messages set aside while draining a call batch.
+    let mut backlog: VecDeque<Msg> = VecDeque::new();
     loop {
         let tracer = match journal.as_ref() {
             Some(j) => Tracer::new(j),
             None => Tracer::disabled(),
         };
-        match rx.recv_timeout(Duration::from_millis(2)) {
+        let msg = match backlog.pop_front() {
+            Some(m) => Ok(m),
+            None => rx.recv_timeout(Duration::from_millis(2)),
+        };
+        match msg {
             Ok(Msg::Call {
                 caller,
                 doc,
@@ -282,22 +355,112 @@ fn peer_loop(
                 input,
                 context,
             }) => {
-                received += 1;
-                tracer.emit(|| EventKind::MsgRecv {
-                    peer: myname,
-                    kind: MsgKind::Call,
-                });
-                if !callers_seen.contains(&caller) {
-                    callers_seen.push(caller);
+                let mut batch = vec![PendingCall {
+                    caller,
+                    doc,
+                    node,
+                    service,
+                    input,
+                    context,
+                }];
+                if workers > 0 {
+                    // Drain every already-queued call into one batch so
+                    // the worker pool has something to chew on; other
+                    // message kinds keep their relative order via the
+                    // backlog.
+                    while let Ok(m) = rx.try_recv() {
+                        match m {
+                            Msg::Call {
+                                caller,
+                                doc,
+                                node,
+                                service,
+                                input,
+                                context,
+                            } => batch.push(PendingCall {
+                                caller,
+                                doc,
+                                node,
+                                service,
+                                input,
+                                context,
+                            }),
+                            other => backlog.push_back(other),
+                        }
+                    }
                 }
-                let started = tracer.enabled().then(Instant::now);
-                if let Ok(forest) = peer.evaluate(service, &input, &context) {
+                received += batch.len() as u64;
+                for call in &batch {
+                    tracer.emit(|| EventKind::MsgRecv {
+                        peer: myname,
+                        kind: MsgKind::Call,
+                    });
+                    if !callers_seen.contains(&call.caller) {
+                        callers_seen.push(call.caller);
+                    }
+                }
+
+                // Evaluate the batch. Evaluation is read-only on the
+                // peer's documents, so with `Workers(n)` the calls are
+                // striped across a scoped pool sharing `&peer` — the
+                // peer-local version of the engine's snapshot-read
+                // phase. Responses are sent afterwards, sequentially,
+                // in arrival order, so callers observe the same
+                // behavior whatever the worker count.
+                let evals: Vec<(Result<Forest>, u64)> = if workers > 1 && batch.len() > 1 {
+                    let k = workers.min(batch.len());
+                    let peer_ref = &peer;
+                    let batch_ref = &batch[..];
+                    crossbeam::thread::scope(|scope| {
+                        let handles: Vec<_> = (0..k)
+                            .map(|w| {
+                                scope.spawn(move || {
+                                    let mut out = Vec::new();
+                                    let mut i = w;
+                                    while i < batch_ref.len() {
+                                        let call = &batch_ref[i];
+                                        let t0 = Instant::now();
+                                        let r = peer_ref.evaluate(
+                                            call.service,
+                                            &call.input,
+                                            &call.context,
+                                        );
+                                        out.push((i, r, t0.elapsed().as_nanos() as u64));
+                                        i += k;
+                                    }
+                                    out
+                                })
+                            })
+                            .collect();
+                        let mut slots: Vec<Option<(Result<Forest>, u64)>> =
+                            (0..batch_ref.len()).map(|_| None).collect();
+                        for h in handles {
+                            for (i, r, d) in h.join().expect("peer eval worker panicked") {
+                                slots[i] = Some((r, d));
+                            }
+                        }
+                        slots
+                            .into_iter()
+                            .map(|s| s.expect("every call evaluated"))
+                            .collect()
+                    })
+                } else {
+                    batch
+                        .iter()
+                        .map(|call| {
+                            let t0 = Instant::now();
+                            let r = peer.evaluate(call.service, &call.input, &call.context);
+                            (r, t0.elapsed().as_nanos() as u64)
+                        })
+                        .collect()
+                };
+
+                for (call, (res, dur_ns)) in batch.iter().zip(evals) {
+                    let Ok(forest) = res else { continue };
                     tracer.emit(|| EventKind::PeerEval {
                         peer: myname,
-                        service,
-                        dur_ns: started
-                            .map(|t| t.elapsed().as_nanos() as u64)
-                            .unwrap_or(0),
+                        service: call.service,
+                        dur_ns,
                     });
                     // Provider-side lineage: record what this evaluation
                     // read locally; the seq rides the response so the
@@ -305,28 +468,28 @@ fn peer_loop(
                     let prov_seq = store.as_ref().map(|st| {
                         st.begin_invocation(InvocationRecord {
                             seq: 0,
-                            service,
-                            doc,
-                            node,
+                            service: call.service,
+                            doc: call.doc,
+                            node: call.node,
                             round: 0, // the threaded backend has no rounds
                             doc_version: 0,
                             peer: Some(myname),
-                            inputs: peer.witnesses(service),
+                            inputs: peer.witnesses(call.service),
                         })
                     });
-                    if let Some(tx) = peers_tx.get(&caller) {
+                    if let Some(tx) = peers_tx.get(&call.caller) {
                         sent += 1;
                         tracer.emit(|| EventKind::MsgSend {
                             from: myname,
-                            to: caller,
+                            to: call.caller,
                             kind: MsgKind::Response,
                         });
                         let _ = tx.send(Msg::Response {
-                            doc,
-                            node,
+                            doc: call.doc,
+                            node: call.node,
                             forest,
                             provider: myname,
-                            service,
+                            service: call.service,
                             provider_digest: peer.digest(),
                             prov_seq,
                         });
@@ -549,6 +712,67 @@ mod tests {
         // Untraced runs ship no journals.
         let plain = run_threaded(build_peers(), 2_000).unwrap();
         assert!(plain.journals.is_empty());
+    }
+
+    #[test]
+    fn parallel_peer_evaluation_matches_sequential_fixpoint() {
+        // A star: many callers pull the same provider, so the provider
+        // thread actually accumulates call batches for its worker pool.
+        fn star_peers() -> Vec<Peer> {
+            let mut store = standalone_peer("store");
+            store
+                .add_document_text(
+                    "cds",
+                    r#"catalog{cd{title{"Body and Soul"}}, cd{title{"So What"}}}"#,
+                )
+                .unwrap();
+            store
+                .add_service_text("titles", "t{$x} :- cds/catalog{cd{title{$x}}}")
+                .unwrap();
+            let mut peers = vec![store];
+            for i in 0..4 {
+                let mut caller = standalone_peer(&format!("caller{i}"));
+                caller
+                    .add_document_text("page", "page{@store.titles}")
+                    .unwrap();
+                peers.push(caller);
+            }
+            peers
+        }
+        let reference = {
+            let mut net = Network::new(Mode::Pull, None);
+            {
+                let p = net.add_peer("store");
+                p.add_document_text(
+                    "cds",
+                    r#"catalog{cd{title{"Body and Soul"}}, cd{title{"So What"}}}"#,
+                )
+                .unwrap();
+                p.add_service_text("titles", "t{$x} :- cds/catalog{cd{title{$x}}}")
+                    .unwrap();
+            }
+            for i in 0..4 {
+                let p = net.add_peer(&format!("caller{i}"));
+                p.add_document_text("page", "page{@store.titles}").unwrap();
+            }
+            net.run(100).unwrap();
+            net.canonical_key()
+        };
+        for n in [1, 2, 4] {
+            let out = run_threaded_config(
+                star_peers(),
+                ThreadedConfig {
+                    parallelism: Parallelism::Workers(n),
+                    ..ThreadedConfig::default()
+                },
+            )
+            .unwrap_or_else(|e| panic!("Workers({n}): {e}"));
+            assert_eq!(
+                out.canonical_key(),
+                reference,
+                "Workers({n}): parallel peer fixpoint differs"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,215 @@
+//! Differential coverage for parallel round evaluation: `Workers(n)`
+//! must reproduce the sequential engine's canonical fixpoint for every
+//! worker count, across both engine modes and both match strategies
+//! (the full {Naive,Delta} × {Scan,Indexed} × {Sequential,Workers}
+//! matrix), with invocation counts inside fairness bounds and runs that
+//! are bit-for-bit deterministic in the worker count.
+//!
+//! Soundness background (see `docs/parallelism.md`): evaluation is
+//! read-only on the round-start snapshot, grafts commit sequentially in
+//! a fixed order, and Theorem 2.1 (confluence of fair rewritings) pins
+//! every schedule to the same limit.
+
+use positive_axml::core::engine::{
+    run, EngineConfig, EngineMode, Parallelism, RunStatus,
+};
+use positive_axml::core::gensys::{random_simple_system, GenConfig};
+use positive_axml::core::matcher::MatchStrategy;
+use proptest::prelude::*;
+
+const BUDGET: usize = 5_000;
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn gen_cfg(knob: u64) -> GenConfig {
+    GenConfig {
+        services: 2 + (knob % 3) as usize,
+        docs: 1 + (knob % 2) as usize,
+        head_call_prob: 0.15 + 0.2 * ((knob % 4) as f64),
+        ..GenConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The full matrix on random simple positive systems: every
+    /// (mode, strategy, workers) cell terminates with the sequential
+    /// cell's canonical fixpoint, worker counts don't change any
+    /// observable statistic among themselves, and the parallel
+    /// invocation count stays within a constant factor of sequential
+    /// (fairness: snapshot evaluation may defer a same-round re-fire to
+    /// the next round, never starve it).
+    #[test]
+    fn workers_reproduce_sequential_fixpoint(
+        seed in 0u64..1_000_000,
+        knob in 0u64..24,
+    ) {
+        let sys = random_simple_system(&gen_cfg(knob), seed);
+        for mode in [EngineMode::Naive, EngineMode::Delta] {
+            for strategy in [MatchStrategy::Scan, MatchStrategy::Indexed] {
+                let mut seq = sys.clone();
+                let seq_cfg = EngineConfig {
+                    mode,
+                    match_strategy: strategy,
+                    parallelism: Parallelism::Sequential,
+                    ..EngineConfig::with_budget(BUDGET)
+                };
+                let (seq_status, seq_stats) = run(&mut seq, &seq_cfg).unwrap();
+                if seq_status != RunStatus::Terminated {
+                    continue;
+                }
+                let mut par_stats = Vec::new();
+                for n in WORKER_COUNTS {
+                    let mut par = sys.clone();
+                    let cfg = EngineConfig {
+                        parallelism: Parallelism::Workers(n),
+                        ..seq_cfg
+                    };
+                    let (status, stats) = run(&mut par, &cfg).unwrap();
+                    prop_assert!(
+                        status == RunStatus::Terminated,
+                        "seed {} knob {} {:?}/{:?} Workers({}): status {:?}",
+                        seed, knob, mode, strategy, n, status
+                    );
+                    prop_assert!(
+                        par.canonical_key() == seq.canonical_key(),
+                        "seed {} knob {} {:?}/{:?} Workers({}): fixpoint diverged",
+                        seed, knob, mode, strategy, n
+                    );
+                    // Fairness bound: deferred re-fires cost at most a
+                    // round, never a starvation; counts stay comparable.
+                    prop_assert!(
+                        stats.invocations <= seq_stats.invocations * 2 + 8
+                            && seq_stats.invocations <= stats.invocations * 2 + 8,
+                        "seed {} knob {} {:?}/{:?} Workers({}): \
+                         invocations {} vs sequential {}",
+                        seed, knob, mode, strategy, n,
+                        stats.invocations, seq_stats.invocations
+                    );
+                    par_stats.push(stats);
+                }
+                // Determinism in the worker count: every observable
+                // statistic is identical across n.
+                for st in &par_stats[1..] {
+                    prop_assert!(st.invocations == par_stats[0].invocations);
+                    prop_assert!(st.productive == par_stats[0].productive);
+                    prop_assert!(st.skipped == par_stats[0].skipped);
+                    prop_assert!(st.rounds == par_stats[0].rounds);
+                    prop_assert!(st.final_nodes == par_stats[0].final_nodes);
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Budget-bounded prefixes: even when a random system does *not*
+    /// terminate inside the budget, the parallel run must be
+    /// deterministic in the worker count (identical stats and final
+    /// canonical state for every n).
+    #[test]
+    fn nonterminating_prefixes_deterministic_in_worker_count(
+        seed in 0u64..1_000_000,
+    ) {
+        let sys = random_simple_system(
+            &GenConfig { head_call_prob: 0.9, ..GenConfig::default() },
+            seed,
+        );
+        let mut outcomes = Vec::new();
+        for n in WORKER_COUNTS {
+            let mut runner = sys.clone();
+            let cfg = EngineConfig {
+                mode: EngineMode::Delta,
+                parallelism: Parallelism::Workers(n),
+                ..EngineConfig::with_budget(200)
+            };
+            let (status, stats) = run(&mut runner, &cfg).unwrap();
+            outcomes.push((status, stats, runner.canonical_key()));
+        }
+        for (status, stats, key) in &outcomes[1..] {
+            prop_assert!(*status == outcomes[0].0);
+            prop_assert!(stats.invocations == outcomes[0].1.invocations);
+            prop_assert!(stats.rounds == outcomes[0].1.rounds);
+            prop_assert!(key == &outcomes[0].2, "seed {}: prefix state diverged", seed);
+        }
+    }
+}
+
+/// Provenance differential on the deterministic closure workload:
+/// parallel runs graft the same nodes through the same invocation
+/// records for every worker count, so every answer's derivation DAG
+/// renders to the identical DOT text — and matches the sequential DAG.
+#[test]
+fn explain_answer_dags_identical_across_worker_counts() {
+    use positive_axml::core::engine::run_with_provenance;
+    use positive_axml::core::provenance::{Provenance, ProvenanceStore};
+    use positive_axml::core::trace::Tracer;
+    use positive_axml::core::{matcher::match_pattern, parse_query, Sym};
+
+    let mut dots: Vec<Vec<String>> = Vec::new();
+    let configs = [
+        Parallelism::Sequential,
+        Parallelism::Workers(1),
+        Parallelism::Workers(2),
+        Parallelism::Workers(4),
+    ];
+    for parallelism in configs {
+        let mut sys = axml_bench::tc_random_digraph(32, 3, 12);
+        let store = ProvenanceStore::new();
+        let cfg = EngineConfig {
+            parallelism,
+            ..EngineConfig::with_mode(EngineMode::Delta)
+        };
+        let (status, _) =
+            run_with_provenance(&mut sys, &cfg, Tracer::disabled(), Provenance::new(&store))
+                .unwrap();
+        assert_eq!(status, RunStatus::Terminated);
+
+        let q = parse_query("path{$x,$y} :- d1/r{t{from{$x},to{$y}}}").unwrap();
+        let t = sys.doc(Sym::intern("d1")).unwrap();
+        let bindings = match_pattern(&q.body[0].pattern, t);
+        assert!(!bindings.is_empty());
+        let rendered: Vec<String> = bindings
+            .iter()
+            .map(|b| store.explain_answer(&sys, &q, b).lineage.to_dot())
+            .collect();
+        dots.push(rendered);
+    }
+    // Bit-for-bit deterministic in the worker count.
+    assert_eq!(dots[1], dots[2], "DAGs diverged between Workers(1) and Workers(2)");
+    assert_eq!(dots[1], dots[3], "DAGs diverged between Workers(1) and Workers(4)");
+    // And the parallel lineage matches the sequential lineage.
+    assert_eq!(dots[0], dots[1], "DAGs diverged between Sequential and Workers(1)");
+}
+
+/// The forced-workers escape hatch: `AXML_WORKERS` only flips the
+/// *default*; an explicit `parallelism` in the config always wins, and
+/// explicit settings are what this suite sweeps.
+#[test]
+fn explicit_parallelism_overrides_are_independent() {
+    let build = || axml_bench::tc_system(12);
+    let mut seq = build();
+    let (s1, st1) = run(
+        &mut seq,
+        &EngineConfig {
+            parallelism: Parallelism::Sequential,
+            ..EngineConfig::default()
+        },
+    )
+    .unwrap();
+    let mut par = build();
+    let (s2, st2) = run(
+        &mut par,
+        &EngineConfig {
+            parallelism: Parallelism::Workers(4),
+            ..EngineConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(s1, RunStatus::Terminated);
+    assert_eq!(s2, RunStatus::Terminated);
+    assert_eq!(seq.canonical_key(), par.canonical_key());
+    assert!(st1.invocations > 0 && st2.invocations > 0);
+}
