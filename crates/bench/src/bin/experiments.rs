@@ -965,6 +965,237 @@ fn x17() {
     println!(" schedule reaches the same fixpoint, bit-for-bit, at any worker count)");
 }
 
+/// X18 — compiled match programs (bench `x18_compiled_match`): cached
+/// per-service compilation beats the recursive interpreter with
+/// identical observable behavior.
+fn x18() {
+    use axml_core::compile::ProgramCache;
+    use axml_core::eval::{snapshot_compiled, snapshot_with_strategy};
+    use axml_core::matcher::MatchStrategy;
+    use axml_core::pathexpr::CompiledRegQuery;
+    use axml_core::Sym;
+
+    header(
+        "X18",
+        "compiled matching — cached match programs beat the interpreter, same bindings (bench x18_compiled_match)",
+    );
+
+    // Matcher phase: each service's conjunctive pattern repeatedly
+    // evaluated against its fixpoint documents — the decorrelated
+    // program computes every child relation once per level while the
+    // interpreter re-derives it per parent binding. The wide-fanout
+    // probe is the cheap-pattern control: single-binding patterns gain
+    // nothing and must only pay a negligible constant.
+    println!(
+        "{:>20} {:>8} {:>12} {:>13} {:>8}",
+        "workload", "answers", "interp(ms)", "compiled(ms)", "speedup"
+    );
+    let mut best_tc_speedup = 0.0f64;
+    for &(name, n) in &[("tc-digraph-32", 32usize), ("tc-digraph-48", 48)] {
+        let mut sys = tc_random_digraph(n, 4, 12);
+        let (status, _) = run(&mut sys, &EngineConfig::with_mode(EngineMode::Delta)).unwrap();
+        assert_eq!(status, RunStatus::Terminated);
+        let svc = Sym::intern("f");
+        let q = sys.service_query(svc).unwrap();
+        let mut env = Env::new();
+        for &d in sys.doc_names() {
+            env.insert(d, sys.doc(d).unwrap());
+        }
+        let reps = 20u32;
+        let t0 = Instant::now();
+        let mut interp_len = 0usize;
+        for _ in 0..reps {
+            interp_len = snapshot_with_strategy(q, &env, MatchStrategy::Indexed)
+                .unwrap()
+                .0
+                .len();
+        }
+        let interp_ms = ms(t0) / f64::from(reps);
+        let mut programs = ProgramCache::new();
+        let (warm, _) =
+            snapshot_compiled(q, &env, svc, &mut programs, MatchStrategy::Indexed).unwrap();
+        let t0 = Instant::now();
+        let mut comp_len = 0usize;
+        for _ in 0..reps {
+            comp_len = snapshot_compiled(q, &env, svc, &mut programs, MatchStrategy::Indexed)
+                .unwrap()
+                .0
+                .len();
+        }
+        let comp_ms = ms(t0) / f64::from(reps);
+        assert_eq!(interp_len, comp_len, "paths must produce identical answer sets");
+        assert_eq!(warm.len(), interp_len);
+        let speedup = interp_ms / comp_ms;
+        best_tc_speedup = best_tc_speedup.max(speedup);
+        println!("{name:>20} {comp_len:>8} {interp_ms:>12.2} {comp_ms:>13.2} {speedup:>7.2}x");
+
+        if n == 32 {
+            // First-round cost: a *fresh* cache must compile and still
+            // answer within 5% of the warmed program (the compile is
+            // microseconds against a millisecond-scale match). Compare
+            // best-of-reps on both sides: the compile is deterministic
+            // work charged to every cold iteration, so the minimum
+            // keeps it while shedding scheduler noise (this box has
+            // one CPU).
+            let mut warm_ms = f64::INFINITY;
+            let mut cold_ms = f64::INFINITY;
+            for _ in 0..100 {
+                let t0 = Instant::now();
+                snapshot_compiled(q, &env, svc, &mut programs, MatchStrategy::Indexed).unwrap();
+                warm_ms = warm_ms.min(ms(t0));
+                let mut fresh = ProgramCache::new();
+                let t0 = Instant::now();
+                snapshot_compiled(q, &env, svc, &mut fresh, MatchStrategy::Indexed).unwrap();
+                cold_ms = cold_ms.min(ms(t0));
+            }
+            let overhead = cold_ms / warm_ms - 1.0;
+            println!(
+                "{:>20} first round (compile + run): {cold_ms:.2} ms — {:+.1}% vs warm",
+                "",
+                overhead * 100.0
+            );
+            assert!(
+                overhead <= 0.05,
+                "first-round compile+cache overhead must stay ≤5% (got {:+.1}%)",
+                overhead * 100.0
+            );
+        }
+    }
+    assert!(
+        best_tc_speedup >= 2.0,
+        "the compiled closure join must be ≥2x the interpreter (got {best_tc_speedup:.2}x)"
+    );
+    {
+        let labels = 256usize;
+        let doc = axml_bench::wide_fanout_doc(4096, labels);
+        doc.build_index();
+        let pat = axml_bench::wide_fanout_pattern(labels);
+        let q = parse_query(&format!("hit{{$x}} :- d/root{{l{}{{$x}}}}", labels - 1)).unwrap();
+        let mut env = Env::new();
+        env.insert(Sym::intern("d"), &doc);
+        let compiled = axml_core::compile::compile_query(&q, Some(&env), MatchStrategy::Indexed);
+        let reps = 2000u32;
+        let t0 = Instant::now();
+        let mut interp_len = 0usize;
+        for _ in 0..reps {
+            interp_len = axml_core::matcher::match_pattern_with(&pat, &doc, MatchStrategy::Indexed)
+                .0
+                .len();
+        }
+        let interp_ms = ms(t0);
+        let t0 = Instant::now();
+        let mut comp_len = 0usize;
+        for _ in 0..reps {
+            comp_len = compiled.run_atom(0, &doc).0.len();
+        }
+        let comp_ms = ms(t0);
+        assert_eq!(interp_len, comp_len);
+        println!(
+            "{:>20} {comp_len:>8} {:>12.4} {:>13.4} {:>7.2}x  (control: constant-cost floor)",
+            "wide-fanout-4096",
+            interp_ms / f64::from(reps),
+            comp_ms / f64::from(reps),
+            interp_ms / comp_ms
+        );
+    }
+
+    // Engine level: the closure digraph under the delta scheduler with
+    // compilation off vs on — identical fixpoint and counts; the
+    // program cache compiles once per service and hits thereafter.
+    println!(
+        "\n{:>20} {:>11} {:>12} {:>11} {:>14} {:>7}",
+        "workload", "compile", "invocations", "time(ms)", "programs", "agree"
+    );
+    let mut keys = Vec::new();
+    let mut times = Vec::new();
+    for compile in [false, true] {
+        let mut sys = tc_random_digraph(64, 6, 12);
+        let cfg = EngineConfig {
+            mode: EngineMode::Delta,
+            compile,
+            ..EngineConfig::with_budget(20_000)
+        };
+        let t0 = Instant::now();
+        let (status, stats) = run(&mut sys, &cfg).unwrap();
+        let t = ms(t0);
+        assert_eq!(status, RunStatus::Terminated);
+        keys.push(sys.canonical_key());
+        times.push(t);
+        let agree = keys.first() == keys.last();
+        assert!(agree);
+        let programs = if compile {
+            assert!(stats.program_cache_hits > 0, "later rounds must hit the cache");
+            format!(
+                "{} ({}h/{}m)",
+                stats.programs_compiled, stats.program_cache_hits, stats.program_cache_misses
+            )
+        } else {
+            assert_eq!(stats.programs_compiled, 0);
+            "-".into()
+        };
+        println!(
+            "{:>20} {:>11} {:>12} {t:>11.2} {programs:>14} {agree:>7}",
+            "tc-digraph-64",
+            if compile { "on" } else { "off" },
+            stats.invocations
+        );
+    }
+    println!("engine-level speedup: {:.2}x", times[0] / times[1]);
+
+    // Regular paths: the X10 catalog walk with prebuilt NFAs (the
+    // per-service memo behind ProgramCache::reg) vs rebuilding the
+    // automata on every call.
+    let mut sys = System::new();
+    sys.add_document_text("d", &catalog(2, 2)).unwrap();
+    let rq = parse_reg_query("t{$x} :- d/lib{<_*.cd>{title{$x}}}").unwrap();
+    let compiled_rq = CompiledRegQuery::new(rq.clone());
+    let mut env = Env::new();
+    env.insert(Sym::intern("d"), sys.doc(Sym::intern("d")).unwrap());
+    let reps = 200u32;
+    let t0 = Instant::now();
+    let mut a = 0usize;
+    for _ in 0..reps {
+        a = snapshot_reg(&rq, &env).unwrap().len();
+    }
+    let percall_ms = ms(t0);
+    let t0 = Instant::now();
+    let mut b = 0usize;
+    for _ in 0..reps {
+        b = compiled_rq.snapshot(&env).unwrap().len();
+    }
+    let prebuilt_ms = ms(t0);
+    assert_eq!(a, b, "prebuilt NFAs must answer identically");
+    println!(
+        "\nreg-path catalog(2,2): per-call NFA {:.3} ms, prebuilt {:.3} ms ({:.2}x, {} NFA(s) hoisted)",
+        percall_ms / f64::from(reps),
+        prebuilt_ms / f64::from(reps),
+        percall_ms / prebuilt_ms,
+        compiled_rq.nfa_count()
+    );
+
+    // Observability: the compiled run's metrics report carries the
+    // compile line (programs, ops, hit rate, compile time).
+    let journal = Journal::new();
+    let metrics = MetricsRegistry::new();
+    let fan = Fanout::new(vec![&journal, &metrics]);
+    let mut traced = tc_random_digraph(64, 6, 12);
+    let (status, _) = run_traced(
+        &mut traced,
+        &EngineConfig::with_mode(EngineMode::Delta),
+        Tracer::new(&fan),
+    )
+    .unwrap();
+    assert_eq!(status, RunStatus::Terminated);
+    let report = metrics.render_report("x18 tc-digraph-64 (delta, compiled)");
+    assert!(report.contains("compile:"), "metrics report must show the compile line");
+    print!("\n{report}");
+    println!("(claim: each service's positive pattern lowers once into an optimized");
+    println!(" match program — dead/duplicate conjuncts eliminated, children joined");
+    println!(" rarest-first, shared subpatterns factored — cached per service and");
+    println!(" invalidated with the index generation; bindings, fixpoints, and");
+    println!(" provenance are bit-for-bit the interpreter's)");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let all = args.is_empty();
@@ -1020,6 +1251,9 @@ fn main() {
     }
     if want("x17") {
         x17();
+    }
+    if want("x18") {
+        x18();
     }
     println!("\nall requested experiments completed in {:.1}s", t0.elapsed().as_secs_f64());
 }

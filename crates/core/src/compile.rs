@@ -1,0 +1,1102 @@
+//! Query compilation: lower positive patterns to cached, optimized
+//! match programs.
+//!
+//! Every service's positive query is fixed for the lifetime of the
+//! system, yet the interpreter ([`crate::matcher::match_pattern_with`])
+//! re-walks the same pattern AST and re-derives the same join order on
+//! every invocation. This module compiles each query once:
+//!
+//! 1. **Lower** the conjunctive tree patterns into a plan IR
+//!    ([`QueryPlan`] of [`PlanNode`]s), annotated with selectivity
+//!    estimates read from the live [`crate::index::DocIndex`] statistics
+//!    (without ever *building* an index — see
+//!    [`crate::tree::Tree::indexed_nodes_if_built`]).
+//! 2. **Optimize** the IR: duplicate-conjunct elimination, dead
+//!    ground-conjunct elimination ([`eliminate_conjuncts`]), and static
+//!    join reordering by estimated selectivity ([`reorder_children`]).
+//! 3. **Emit** a flat [`MatchProgram`] — a bytecode-like op vector where
+//!    structurally identical subpatterns are hash-consed into shared ops
+//!    ([common-subpattern factoring]) — executed by a compact,
+//!    decorrelated register/binding evaluator instead of the recursive
+//!    AST interpretation.
+//!
+//! [common-subpattern factoring]: MatchProgram::shared_count
+//!
+//! # Equivalence with the interpreter
+//!
+//! The compiled executor is bit-for-bit equivalent to the interpreter:
+//! [`MatchProgram::run_atom`] returns exactly the vector
+//! [`match_pattern_with`](crate::matcher::match_pattern_with) returns.
+//! The argument:
+//!
+//! * The interpreter's output is a *canonical* representation of the
+//!   set of embeddings — every intermediate level is sorted and
+//!   deduplicated, and the top level is sorted — so any evaluator that
+//!   produces the same embedding **set** produces the same **vector**.
+//! * Decorrelation preserves the set: `match_at(pc, tc, base)` equals
+//!   `{ base ⊔ e | e ∈ match_at(pc, tc, ∅) }` (pattern items bind
+//!   variables from the document node alone; the seed only prunes
+//!   conflicts, which [`Binding::merge`] prunes identically), and the
+//!   map `e ↦ base ⊔ e` is injective on a fixed variable domain.
+//! * Each optimization pass is set-preserving: a duplicate atom's
+//!   self-join is idempotent, an eliminated ground atom is implied by a
+//!   surviving *earlier* same-document atom (so error order and
+//!   empty-result short-circuits are also preserved), and join order
+//!   does not change the joined set (the runtime still re-sorts by
+//!   actual candidate-set size, exactly like the interpreter — the
+//!   static reorder only changes tie-breaks among equal sizes).
+//!
+//! What *may* differ: per-atom match statistics (the decorrelated
+//! executor probes each `(op, node)` pair once where the interpreter
+//! probes per seed binding, so compiled probe counts are ≤ interpreted)
+//! and [`crate::eval::EvalStats::atom_bindings`] for eliminated atoms.
+//!
+//! # Caching and invalidation
+//!
+//! Compiled programs live in a [`ProgramCache`] keyed by
+//! `(service, strategy)` and validated against an *index generation*:
+//! the vector of `(document id, index built?)` pairs over the query's
+//! stored documents. A document index crossing its lazy build threshold
+//! (or a document being replaced wholesale, which allocates a fresh
+//! tree id) flips the generation and forces a recompile with fresh
+//! selectivity statistics. The reserved `input`/`context` documents are
+//! fresh trees on every invocation and are excluded from the
+//! generation. The cache also memoizes the per-service artifacts of the
+//! regular-path machinery: prebuilt path NFAs
+//! ([`crate::pathexpr::CompiledRegQuery`]) and ψ translations
+//! ([`crate::translate::Translation`]), so path services stop paying
+//! automaton construction and translation cost per run.
+//!
+//! # Escape hatch
+//!
+//! Setting `AXML_FORCE_INTERPRET=1` flips the *default* of
+//! [`crate::engine::EngineConfig::compile`] to `false`, keeping every
+//! engine run on the interpreter; explicit config settings always win.
+
+use std::borrow::Cow;
+use std::fmt::Write as _;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use crate::error::Result;
+use crate::eval::Env;
+use crate::matcher::{bind_item, candidates, Binding, MatchStats, MatchStrategy};
+use crate::pathexpr::{CompiledRegQuery, RegQuery};
+use crate::pattern::{PItem, Pattern, PNodeId};
+use crate::query::Query;
+use crate::sym::{FxHashMap, Sym};
+use crate::system::{context_sym, input_sym, System};
+use crate::trace::{EventKind, Tracer};
+use crate::translate::{translate, Translation};
+use crate::tree::{NodeId, Tree};
+
+/// Is the `AXML_FORCE_INTERPRET` escape hatch set? Read once per
+/// process (same pattern as the engine's `AXML_WORKERS`); it only flips
+/// the *default* of [`crate::engine::EngineConfig::compile`] — explicit
+/// config settings always win, so differential tests can exercise both
+/// paths regardless of the environment.
+pub fn force_interpret() -> bool {
+    static FORCED: OnceLock<bool> = OnceLock::new();
+    *FORCED.get_or_init(|| {
+        std::env::var("AXML_FORCE_INTERPRET")
+            .map(|v| !v.is_empty() && v != "0")
+            .unwrap_or(false)
+    })
+}
+
+/// Estimated selectivity of one match op, used by the static join
+/// reorder pass. The derived order *is* the pass's preference order:
+/// smaller sorts earlier, i.e. is expanded first.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Selectivity {
+    /// A constant whose marking-index bucket size is known (the
+    /// document's index was already built at compile time).
+    Bucket(u64),
+    /// A constant without live statistics (index not built yet, scan
+    /// strategy, or unknown document).
+    ConstUnknown,
+    /// A label/function/value variable: matches one node kind.
+    KindVar,
+    /// A tree variable: matches every child.
+    Any,
+}
+
+/// One node of the plan IR: a pattern item plus its (statically
+/// ordered) children, annotated for the optimization passes.
+#[derive(Clone, Debug)]
+pub struct PlanNode {
+    /// The match test this node performs.
+    pub item: PItem,
+    /// Estimated selectivity of the test (see [`Selectivity`]).
+    pub sel: Selectivity,
+    /// No variables anywhere in this subtree — the emitted op becomes a
+    /// pure existence test (no binding is ever cloned for it).
+    pub ground: bool,
+    /// Children, in the order the reorder pass chose.
+    pub children: Vec<PlanNode>,
+}
+
+impl PlanNode {
+    /// Node count of this plan subtree (itself included).
+    pub fn size(&self) -> usize {
+        1 + self.children.iter().map(PlanNode::size).sum::<usize>()
+    }
+}
+
+/// One retained body atom of a [`QueryPlan`].
+#[derive(Clone, Debug)]
+pub struct PlanAtom {
+    /// The atom's position in the *original* query body — kept so
+    /// per-atom cache keys and trace events stay stable across
+    /// conjunct elimination.
+    pub index: usize,
+    /// The document the atom matches against.
+    pub doc: Sym,
+    /// The lowered, optimized pattern.
+    pub root: PlanNode,
+}
+
+/// Why a conjunct was eliminated (reported by [`CompiledQuery::dump`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ElimReason {
+    /// Structurally identical to an earlier surviving atom over the
+    /// same document: the self-join is idempotent.
+    Duplicate {
+        /// Original body index of the surviving witness.
+        of: usize,
+    },
+    /// A ground (variable-free) atom implied by an earlier surviving
+    /// atom over the same document: whenever the witness matches, so
+    /// does this atom, and whenever it fails the witness already made
+    /// the join empty.
+    ImpliedGround {
+        /// Original body index of the surviving witness.
+        by: usize,
+    },
+}
+
+/// The optimized plan IR of one query: retained atoms plus the record
+/// of what the elimination pass removed.
+#[derive(Clone, Debug)]
+pub struct QueryPlan {
+    /// Retained body atoms, in original body order.
+    pub atoms: Vec<PlanAtom>,
+    /// Eliminated conjuncts as `(original index, reason)`.
+    pub eliminated: Vec<(usize, ElimReason)>,
+}
+
+/// Id of an op inside a [`MatchProgram`].
+pub type OpId = u32;
+
+/// One instruction of an emitted [`MatchProgram`]: match this item at
+/// the current document node, then join the child ops over the node's
+/// children.
+#[derive(Clone, Debug)]
+pub struct MatchOp {
+    /// The match test this op performs.
+    pub item: PItem,
+    /// Child ops, in statically optimized order (the executor still
+    /// re-sorts by live candidate-set size at runtime, stably, exactly
+    /// like the interpreter).
+    pub children: Vec<OpId>,
+    /// This subtree binds no variables: executed as an existence test.
+    pub ground: bool,
+    /// No children: binding against a pre-filtered candidate is all
+    /// that is left to do.
+    pub leaf: bool,
+    /// Referenced more than once after hash-consing (common-subpattern
+    /// factoring); the executor memoizes its relation per document node.
+    pub shared: bool,
+}
+
+/// Entry point of one retained atom inside a [`MatchProgram`].
+#[derive(Clone, Copy, Debug)]
+pub struct AtomCode {
+    /// Position in the original query body (cache/event key).
+    pub index: usize,
+    /// Document name the atom matches against.
+    pub doc: Sym,
+    /// Root op of the atom's pattern.
+    pub root: OpId,
+}
+
+/// A compiled match program: the flat op vector emitted from a
+/// [`QueryPlan`], executed by a decorrelated evaluator that computes
+/// each op's relation once per document node and merge-joins it with
+/// the accumulated bindings (instead of the interpreter's per-seed
+/// re-embedding).
+#[derive(Clone, Debug)]
+pub struct MatchProgram {
+    strategy: MatchStrategy,
+    ops: Vec<MatchOp>,
+    atoms: Vec<AtomCode>,
+}
+
+impl MatchProgram {
+    /// The match strategy this program was emitted for.
+    pub fn strategy(&self) -> MatchStrategy {
+        self.strategy
+    }
+
+    /// The flat op vector.
+    pub fn ops(&self) -> &[MatchOp] {
+        &self.ops
+    }
+
+    /// The retained atoms' entry points, in original body order.
+    pub fn atoms(&self) -> &[AtomCode] {
+        &self.atoms
+    }
+
+    /// Ops referenced more than once (factored common subpatterns).
+    pub fn shared_count(&self) -> usize {
+        self.ops.iter().filter(|o| o.shared).count()
+    }
+
+    /// Execute the atom at position `pos` (of [`MatchProgram::atoms`])
+    /// against document `t`. Returns exactly what
+    /// [`crate::matcher::match_pattern_with`] returns for the original
+    /// pattern: the sorted vector of all satisfying assignments, plus
+    /// index-usage counters (compiled probe counts are ≤ interpreted —
+    /// each `(op, node)` pair is probed once, not once per seed).
+    pub fn run_atom(&self, pos: usize, t: &Tree) -> (Vec<Binding>, MatchStats) {
+        let mut ex = Exec {
+            prog: self,
+            t,
+            stats: MatchStats::default(),
+            memo: FxHashMap::default(),
+        };
+        let mut out = ex.eval(self.atoms[pos].root, t.root());
+        out.sort_unstable();
+        (out, ex.stats)
+    }
+}
+
+/// A query compiled end to end: the optimized plan IR (kept for
+/// inspection) plus the emitted program.
+#[derive(Clone, Debug)]
+pub struct CompiledQuery {
+    plan: QueryPlan,
+    program: MatchProgram,
+}
+
+impl CompiledQuery {
+    /// The optimized plan IR.
+    pub fn plan(&self) -> &QueryPlan {
+        &self.plan
+    }
+
+    /// The emitted match program.
+    pub fn program(&self) -> &MatchProgram {
+        &self.program
+    }
+
+    /// Pretty-print the optimized IR and the emitted program — the
+    /// payload of `axml-inspect plan`.
+    pub fn dump(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "plan: {} atoms retained, {} eliminated",
+            self.plan.atoms.len(),
+            self.plan.eliminated.len()
+        );
+        for atom in &self.plan.atoms {
+            let _ = writeln!(out, "  atom #{} doc {}", atom.index, atom.doc);
+            fn node(out: &mut String, n: &PlanNode, depth: usize) {
+                let sel = match n.sel {
+                    Selectivity::Bucket(k) => format!("bucket {k}"),
+                    Selectivity::ConstUnknown => "const".into(),
+                    Selectivity::KindVar => "kind-var".into(),
+                    Selectivity::Any => "any".into(),
+                };
+                let ground = if n.ground { "  ground" } else { "" };
+                let _ = writeln!(
+                    out,
+                    "    {:indent$}{}  ~{sel}{ground}",
+                    "",
+                    n.item,
+                    indent = depth * 2
+                );
+                for c in &n.children {
+                    node(out, c, depth + 1);
+                }
+            }
+            node(&mut out, &atom.root, 0);
+        }
+        for (i, reason) in &self.plan.eliminated {
+            let why = match reason {
+                ElimReason::Duplicate { of } => format!("duplicate of #{of}"),
+                ElimReason::ImpliedGround { by } => {
+                    format!("ground, implied by #{by}")
+                }
+            };
+            let _ = writeln!(out, "  eliminated #{i}: {why}");
+        }
+        let _ = writeln!(
+            out,
+            "program: strategy {:?}, {} ops ({} shared)",
+            self.program.strategy,
+            self.program.ops.len(),
+            self.program.shared_count()
+        );
+        for (i, op) in self.program.ops.iter().enumerate() {
+            let kids = op
+                .children
+                .iter()
+                .map(|c| c.to_string())
+                .collect::<Vec<_>>()
+                .join(",");
+            let kind = if op.leaf { "leaf" } else { "join" };
+            let mut flags = String::new();
+            if op.ground {
+                flags.push_str("  ground");
+            }
+            if op.shared {
+                flags.push_str("  shared");
+            }
+            let _ = writeln!(out, "  [{i}] {kind}  {}  {{{kids}}}{flags}", op.item);
+        }
+        for atom in &self.program.atoms {
+            let _ = writeln!(
+                out,
+                "  atom #{} doc {} -> op {}",
+                atom.index, atom.doc, atom.root
+            );
+        }
+        out
+    }
+
+    /// Execute atom `pos` against `t` — see [`MatchProgram::run_atom`].
+    pub fn run_atom(&self, pos: usize, t: &Tree) -> (Vec<Binding>, MatchStats) {
+        self.program.run_atom(pos, t)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Lowering and optimization passes
+// ---------------------------------------------------------------------
+
+/// Is ground pattern `a` implied by pattern `b` — i.e. does every
+/// document (node) matched by `b` also match `a`? Witnessed by a
+/// root-to-root homomorphism from `a` into `b` mapping each node to a
+/// node with the *identical* item and each child edge to a child edge.
+/// Sound only for ground `a` (for variable items the binding domains
+/// would differ); callers enforce that.
+pub fn ground_implied(a: &Pattern, b: &Pattern) -> bool {
+    fn emb(a: &Pattern, an: PNodeId, b: &Pattern, bn: PNodeId) -> bool {
+        a.item(an) == b.item(bn)
+            && a.children(an)
+                .iter()
+                .all(|&ac| b.children(bn).iter().any(|&bc| emb(a, ac, b, bc)))
+    }
+    emb(a, a.root(), b, b.root())
+}
+
+/// The dead/duplicate conjunct elimination pass. Returns the retained
+/// original body indices (in order) and the eliminated ones with
+/// reasons. Every eliminated atom has an *earlier surviving* witness
+/// over the same document, which preserves the interpreter's error
+/// order (`UnknownDocument` fires at the witness first) and its
+/// empty-result short-circuits (the witness's relation empties first).
+pub fn eliminate_conjuncts(q: &Query) -> (Vec<usize>, Vec<(usize, ElimReason)>) {
+    let n = q.body.len();
+    let mut removed: Vec<Option<ElimReason>> = vec![None; n];
+    for i in 0..n {
+        let ai = &q.body[i];
+        let earlier_survivors: Vec<usize> =
+            (0..i).filter(|&j| removed[j].is_none()).collect();
+        if let Some(&j) = earlier_survivors.iter().find(|&&j| {
+            q.body[j].doc == ai.doc && q.body[j].pattern.structurally_eq(&ai.pattern)
+        }) {
+            removed[i] = Some(ElimReason::Duplicate { of: j });
+            continue;
+        }
+        if ai.pattern.is_ground() {
+            if let Some(&j) = earlier_survivors.iter().find(|&&j| {
+                q.body[j].doc == ai.doc && ground_implied(&ai.pattern, &q.body[j].pattern)
+            }) {
+                removed[i] = Some(ElimReason::ImpliedGround { by: j });
+            }
+        }
+    }
+    let kept = (0..n).filter(|&i| removed[i].is_none()).collect();
+    let eliminated = removed
+        .into_iter()
+        .enumerate()
+        .filter_map(|(i, r)| r.map(|r| (i, r)))
+        .collect();
+    (kept, eliminated)
+}
+
+/// Estimate the selectivity of one item against an (optional) live
+/// document. Reads the marking index only if it is *already built* —
+/// estimation must never perturb the lazy build timing the matcher's
+/// own probes control.
+pub fn estimate(item: &PItem, doc: Option<&Tree>, strategy: MatchStrategy) -> Selectivity {
+    match item {
+        PItem::Const(m) => {
+            if strategy == MatchStrategy::Indexed {
+                if let Some(bucket) = doc.and_then(|t| t.indexed_nodes_if_built(*m)) {
+                    return Selectivity::Bucket(bucket.len() as u64);
+                }
+            }
+            Selectivity::ConstUnknown
+        }
+        PItem::LabelVar(_) | PItem::FuncVar(_) | PItem::ValueVar(_) => Selectivity::KindVar,
+        PItem::TreeVar(_) => Selectivity::Any,
+    }
+}
+
+/// The static join-reorder pass: stable-sort every node's children by
+/// estimated selectivity, recursively. Purely a performance heuristic —
+/// the executor re-sorts by *actual* candidate-set size at runtime
+/// (stably, like the interpreter), so the final binding set is
+/// independent of this order; the pass only improves tie-breaks and
+/// bails earlier on empty candidate sets.
+pub fn reorder_children(n: &mut PlanNode) {
+    for c in &mut n.children {
+        reorder_children(c);
+    }
+    n.children.sort_by_key(|c| c.sel);
+}
+
+fn lower_node(
+    p: &Pattern,
+    pn: PNodeId,
+    doc: Option<&Tree>,
+    strategy: MatchStrategy,
+) -> PlanNode {
+    let children: Vec<PlanNode> = p
+        .children(pn)
+        .iter()
+        .map(|&c| lower_node(p, c, doc, strategy))
+        .collect();
+    let item = p.item(pn).clone();
+    let ground = matches!(item, PItem::Const(_)) && children.iter().all(|c| c.ground);
+    PlanNode {
+        sel: estimate(&item, doc, strategy),
+        item,
+        ground,
+        children,
+    }
+}
+
+/// Compile a query end to end: eliminate conjuncts, lower the retained
+/// atoms (resolving selectivity statistics against `env`'s documents
+/// when given), reorder, and emit the hash-consed program.
+pub fn compile_query(
+    q: &Query,
+    env: Option<&Env<'_>>,
+    strategy: MatchStrategy,
+) -> CompiledQuery {
+    let (kept, eliminated) = eliminate_conjuncts(q);
+    let mut atoms = Vec::with_capacity(kept.len());
+    for i in kept {
+        let atom = &q.body[i];
+        let doc = env.and_then(|e| e.get(atom.doc));
+        let mut root = lower_node(&atom.pattern, atom.pattern.root(), doc, strategy);
+        reorder_children(&mut root);
+        atoms.push(PlanAtom {
+            index: i,
+            doc: atom.doc,
+            root,
+        });
+    }
+    let plan = QueryPlan { atoms, eliminated };
+    let program = emit(&plan, strategy);
+    CompiledQuery { plan, program }
+}
+
+/// Emit the flat program from an optimized plan, hash-consing
+/// structurally identical subtrees (common-subpattern factoring): the
+/// cons key is `(item, child op ids)`, so two occurrences of the same
+/// subpattern — within one atom or across a service's conjuncts — share
+/// one op, which the executor then memoizes per document node.
+fn emit(plan: &QueryPlan, strategy: MatchStrategy) -> MatchProgram {
+    fn go(
+        n: &PlanNode,
+        ops: &mut Vec<MatchOp>,
+        refs: &mut Vec<u32>,
+        cons: &mut FxHashMap<(PItem, Vec<OpId>), OpId>,
+    ) -> OpId {
+        let children: Vec<OpId> = n.children.iter().map(|c| go(c, ops, refs, cons)).collect();
+        let key = (n.item.clone(), children.clone());
+        if let Some(&id) = cons.get(&key) {
+            refs[id as usize] += 1;
+            return id;
+        }
+        let id = ops.len() as OpId;
+        ops.push(MatchOp {
+            item: n.item.clone(),
+            leaf: children.is_empty(),
+            children,
+            ground: n.ground,
+            shared: false,
+        });
+        refs.push(1);
+        cons.insert(key, id);
+        id
+    }
+    let mut ops = Vec::new();
+    let mut refs = Vec::new();
+    let mut cons = FxHashMap::default();
+    let atoms = plan
+        .atoms
+        .iter()
+        .map(|a| AtomCode {
+            index: a.index,
+            doc: a.doc,
+            root: go(&a.root, &mut ops, &mut refs, &mut cons),
+        })
+        .collect();
+    for (i, op) in ops.iter_mut().enumerate() {
+        // Memoizing a leaf costs more than re-binding it; only join ops
+        // are worth a table entry.
+        op.shared = refs[i] > 1 && !op.leaf;
+    }
+    MatchProgram {
+        strategy,
+        ops,
+        atoms,
+    }
+}
+
+// ---------------------------------------------------------------------
+// The executor
+// ---------------------------------------------------------------------
+
+/// The compact execution frame: the program, the document, running
+/// index-usage counters, and the per-run memo table for shared ops.
+struct Exec<'p, 't> {
+    prog: &'p MatchProgram,
+    t: &'t Tree,
+    stats: MatchStats,
+    memo: FxHashMap<(OpId, NodeId), Arc<Vec<Binding>>>,
+}
+
+impl<'t> Exec<'_, 't> {
+    /// The relation of op `op` rooted at document node `tn`: the
+    /// sorted, duplicate-free vector of all embeddings of the op's
+    /// subtree at `tn` (over the empty seed — decorrelated).
+    fn eval(&mut self, op: OpId, tn: NodeId) -> Vec<Binding> {
+        let prog = self.prog;
+        let t = self.t;
+        let o = &prog.ops[op as usize];
+        let Some(b0) = bind_item(&o.item, t, tn, &Binding::new()) else {
+            return Vec::new();
+        };
+        if o.children.is_empty() {
+            return vec![b0];
+        }
+        // All child candidate sets up front — same probe accounting and
+        // same all-or-nothing bail as the interpreter.
+        let mut cands: Vec<(OpId, Cow<'t, [NodeId]>)> = o
+            .children
+            .iter()
+            .map(|&c| {
+                (
+                    c,
+                    candidates(&prog.ops[c as usize].item, t, tn, prog.strategy, &mut self.stats),
+                )
+            })
+            .collect();
+        if cands.iter().any(|(_, c)| c.is_empty()) {
+            return Vec::new();
+        }
+        // Rarest candidate set first; stable, so the static order from
+        // the reorder pass breaks ties.
+        cands.sort_by_key(|(_, c)| c.len());
+        let mut current: Vec<Binding> = vec![b0];
+        for (c, tcs) in cands {
+            if prog.ops[c as usize].ground {
+                // A ground child's relation is {∅} or ∅: an existence
+                // test with early exit, never a binding clone.
+                if !tcs.iter().any(|&tc| self.exists(c, tc)) {
+                    return Vec::new();
+                }
+                continue;
+            }
+            let crel = self.child_relation(c, &tcs);
+            if crel.is_empty() {
+                return Vec::new();
+            }
+            let mut next: Vec<Binding> = Vec::new();
+            for base in &current {
+                for m in crel.iter() {
+                    if let Some(joined) = base.merge(m) {
+                        next.push(joined);
+                    }
+                }
+            }
+            if next.len() > 1 {
+                next.sort_unstable();
+                next.dedup();
+            }
+            if next.is_empty() {
+                return Vec::new();
+            }
+            current = next;
+        }
+        current
+    }
+
+    /// The union of a child op's relations over its candidate nodes,
+    /// computed once per join level (this is the decorrelation: the
+    /// interpreter re-embeds per seed binding × candidate).
+    fn child_relation(&mut self, op: OpId, tcs: &[NodeId]) -> Vec<Binding> {
+        let mut crel: Vec<Binding> = Vec::new();
+        if self.prog.ops[op as usize].leaf {
+            for &tc in tcs {
+                if let Some(nb) = bind_item(&self.prog.ops[op as usize].item, self.t, tc, &Binding::new())
+                {
+                    crel.push(nb);
+                }
+            }
+        } else {
+            for &tc in tcs {
+                let sub = self.eval_memo(op, tc);
+                crel.extend(sub.iter().cloned());
+            }
+        }
+        crel.sort_unstable();
+        crel.dedup();
+        crel
+    }
+
+    /// [`Exec::eval`], memoized per `(op, node)` for shared ops.
+    fn eval_memo(&mut self, op: OpId, tn: NodeId) -> Arc<Vec<Binding>> {
+        if !self.prog.ops[op as usize].shared {
+            return Arc::new(self.eval(op, tn));
+        }
+        if let Some(hit) = self.memo.get(&(op, tn)) {
+            return Arc::clone(hit);
+        }
+        let r = Arc::new(self.eval(op, tn));
+        self.memo.insert((op, tn), Arc::clone(&r));
+        r
+    }
+
+    /// Does the (ground) op's subtree embed at `tn`? Children of a
+    /// ground subtree share no variables, so each just needs *some*
+    /// embedding among its candidates — checked with early exit.
+    fn exists(&mut self, op: OpId, tn: NodeId) -> bool {
+        let prog = self.prog;
+        let t = self.t;
+        let o = &prog.ops[op as usize];
+        if bind_item(&o.item, t, tn, &Binding::new()).is_none() {
+            return false;
+        }
+        if o.children.is_empty() {
+            return true;
+        }
+        let cands: Vec<(OpId, Cow<'t, [NodeId]>)> = o
+            .children
+            .iter()
+            .map(|&c| {
+                (
+                    c,
+                    candidates(&prog.ops[c as usize].item, t, tn, prog.strategy, &mut self.stats),
+                )
+            })
+            .collect();
+        if cands.iter().any(|(_, cs)| cs.is_empty()) {
+            return false;
+        }
+        cands
+            .into_iter()
+            .all(|(c, tcs)| tcs.iter().any(|&tc| self.exists(c, tc)))
+    }
+}
+
+// ---------------------------------------------------------------------
+// The program cache
+// ---------------------------------------------------------------------
+
+/// Index generation of a query against an environment: `(document id,
+/// index built?)` per stored document the body mentions, in
+/// [`Query::doc_names`] order. The reserved `input`/`context` documents
+/// are fresh per invocation and excluded; unknown documents contribute
+/// a sentinel (resolution errors stay a *runtime* concern so the
+/// compiled path errors in exactly the interpreter's order).
+fn generation(q: &Query, env: &Env<'_>) -> Vec<(u64, bool)> {
+    q.doc_names()
+        .into_iter()
+        .filter(|&d| d != input_sym() && d != context_sym())
+        .map(|d| {
+            env.get(d)
+                .map_or((u64::MAX, false), |t| (t.id(), t.index_is_built()))
+        })
+        .collect()
+}
+
+struct ProgramEntry {
+    generation: Vec<(u64, bool)>,
+    compiled: Arc<CompiledQuery>,
+}
+
+struct PsiEntry {
+    generation: Vec<(u64, u64)>,
+    translation: Arc<Translation>,
+}
+
+/// The per-engine (or per-worker) cache of compiled artifacts:
+/// match programs keyed by `(service, strategy)` and validated against
+/// the index generation, plus the regular-path machinery's per-service
+/// memos (prebuilt path NFAs, ψ translations). See the module docs for
+/// the invalidation story.
+#[derive(Default)]
+pub struct ProgramCache {
+    programs: FxHashMap<(Sym, MatchStrategy), ProgramEntry>,
+    reg: FxHashMap<Sym, Arc<CompiledRegQuery>>,
+    psi: FxHashMap<Sym, PsiEntry>,
+    hits: u64,
+    misses: u64,
+    compiles: u64,
+    compile_ns: u64,
+}
+
+impl ProgramCache {
+    /// Fresh, empty cache.
+    pub fn new() -> ProgramCache {
+        ProgramCache::default()
+    }
+
+    /// Lookups answered from cache (programs, NFAs, and translations).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that had to (re)compile.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Compilations performed (misses that ran the pipeline).
+    pub fn compiles(&self) -> u64 {
+        self.compiles
+    }
+
+    /// Total nanoseconds spent compiling (programs and translations).
+    pub fn compile_ns(&self) -> u64 {
+        self.compile_ns
+    }
+
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
+        self.programs.len() + self.reg.len() + self.psi.len()
+    }
+
+    /// Is the cache empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The compiled program for service `svc`'s query under `strategy`,
+    /// compiling on miss or when the index generation moved (a document
+    /// index crossed its build threshold, or a document was replaced).
+    /// Emits [`EventKind::ProgramCacheHit`] / [`EventKind::ProgramCacheMiss`]
+    /// and, on compilation, [`EventKind::PlanCompiled`].
+    pub fn lookup(
+        &mut self,
+        svc: Sym,
+        q: &Query,
+        env: &Env<'_>,
+        strategy: MatchStrategy,
+        tracer: Tracer<'_>,
+    ) -> Arc<CompiledQuery> {
+        let generation = generation(q, env);
+        if let Some(e) = self.programs.get(&(svc, strategy)) {
+            if e.generation == generation {
+                self.hits += 1;
+                tracer.emit(|| EventKind::ProgramCacheHit { service: svc });
+                return Arc::clone(&e.compiled);
+            }
+        }
+        self.misses += 1;
+        tracer.emit(|| EventKind::ProgramCacheMiss { service: svc });
+        let t0 = Instant::now();
+        let compiled = Arc::new(compile_query(q, Some(env), strategy));
+        let dur_ns = t0.elapsed().as_nanos() as u64;
+        self.compiles += 1;
+        self.compile_ns += dur_ns;
+        tracer.emit(|| EventKind::PlanCompiled {
+            service: svc,
+            atoms: compiled.program.atoms.len() as u32,
+            ops: compiled.program.ops.len() as u32,
+            shared: compiled.program.shared_count() as u32,
+            dur_ns,
+        });
+        self.programs.insert(
+            (svc, strategy),
+            ProgramEntry {
+                generation,
+                compiled: Arc::clone(&compiled),
+            },
+        );
+        compiled
+    }
+
+    /// The compile-once form of service `svc`'s positive+reg query:
+    /// every path expression's NFA prebuilt (the per-invocation rebuild
+    /// was the bug this memo fixes). Reg queries carry no document
+    /// statistics, so the entry never invalidates.
+    pub fn reg(&mut self, svc: Sym, q: &RegQuery) -> Arc<CompiledRegQuery> {
+        if let Some(e) = self.reg.get(&svc) {
+            self.hits += 1;
+            return Arc::clone(e);
+        }
+        self.misses += 1;
+        let t0 = Instant::now();
+        let e = Arc::new(CompiledRegQuery::new(q.clone()));
+        self.compile_ns += t0.elapsed().as_nanos() as u64;
+        self.compiles += 1;
+        self.reg.insert(svc, Arc::clone(&e));
+        e
+    }
+
+    /// The memoized ψ translation of `q` against `sys` for service
+    /// `svc`, validated against every document's `(id, version)` pair —
+    /// the translation plants annotations derived from document
+    /// content, so any document change invalidates it.
+    pub fn psi(&mut self, svc: Sym, sys: &System, q: &RegQuery) -> Result<Arc<Translation>> {
+        let generation: Vec<(u64, u64)> = sys
+            .doc_names()
+            .iter()
+            .filter_map(|&d| sys.doc(d).map(|t| (t.id(), t.version())))
+            .collect();
+        if let Some(e) = self.psi.get(&svc) {
+            if e.generation == generation {
+                self.hits += 1;
+                return Ok(Arc::clone(&e.translation));
+            }
+        }
+        self.misses += 1;
+        let t0 = Instant::now();
+        let translation = Arc::new(translate(sys, q)?);
+        self.compile_ns += t0.elapsed().as_nanos() as u64;
+        self.compiles += 1;
+        self.psi.insert(
+            svc,
+            PsiEntry {
+                generation,
+                translation: Arc::clone(&translation),
+            },
+        );
+        Ok(translation)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matcher::match_pattern_with;
+    use crate::parse::parse_tree;
+    use crate::query::parse_query;
+
+    fn tree(s: &str) -> Tree {
+        parse_tree(s).unwrap()
+    }
+
+    #[test]
+    fn duplicate_conjuncts_are_eliminated_keeping_the_first() {
+        let q = parse_query("h{$x} :- d/a{b{$x}}, d/a{b{$x}}, e/a{b{$x}}").unwrap();
+        let (kept, elim) = eliminate_conjuncts(&q);
+        assert_eq!(kept, vec![0, 2]);
+        assert_eq!(elim, vec![(1, ElimReason::Duplicate { of: 0 })]);
+    }
+
+    #[test]
+    fn implied_ground_conjuncts_are_eliminated() {
+        // a{b} is implied by the earlier a{b{c}}: same doc, and a
+        // root-to-root homomorphism maps b onto b{c}.
+        let q = parse_query(r#"h :- d/a{b{c}}, d/a{b}"#).unwrap();
+        let (kept, elim) = eliminate_conjuncts(&q);
+        assert_eq!(kept, vec![0]);
+        assert_eq!(elim, vec![(1, ElimReason::ImpliedGround { by: 0 })]);
+    }
+
+    #[test]
+    fn ground_elimination_requires_an_earlier_witness() {
+        // Same pair in the other order: the ground atom comes first, so
+        // no earlier witness exists and nothing is eliminated (the
+        // witness invariant preserves the interpreter's error order).
+        let q = parse_query(r#"h :- d/a{b}, d/a{b{c}}"#).unwrap();
+        let (kept, elim) = eliminate_conjuncts(&q);
+        assert_eq!(kept, vec![0, 1]);
+        assert!(elim.is_empty());
+    }
+
+    #[test]
+    fn mutual_implication_keeps_exactly_one_atom() {
+        // a{b,b} and a{b} imply each other (homomorphisms may merge
+        // children); only the later one may be dropped.
+        let q = parse_query(r#"h :- d/a{b}, d/a{b,b}"#).unwrap();
+        let (kept, elim) = eliminate_conjuncts(&q);
+        assert_eq!(kept, vec![0]);
+        assert_eq!(elim, vec![(1, ElimReason::ImpliedGround { by: 0 })]);
+    }
+
+    #[test]
+    fn variable_atoms_are_never_eliminated_by_implication() {
+        let q = parse_query("h{$x} :- d/a{b{$x}}, d/a{b{$x},c}").unwrap();
+        let (kept, elim) = eliminate_conjuncts(&q);
+        assert_eq!(kept, vec![0, 1]);
+        assert!(elim.is_empty());
+    }
+
+    #[test]
+    fn reorder_sorts_children_by_selectivity_stably() {
+        let leaf = |item: PItem, sel: Selectivity| PlanNode {
+            item,
+            sel,
+            ground: false,
+            children: Vec::new(),
+        };
+        let mut n = PlanNode {
+            item: PItem::Const(crate::tree::Marking::label("r")),
+            sel: Selectivity::ConstUnknown,
+            ground: false,
+            children: vec![
+                leaf(PItem::TreeVar(Sym::intern("t1")), Selectivity::Any),
+                leaf(
+                    PItem::Const(crate::tree::Marking::label("x")),
+                    Selectivity::Bucket(9),
+                ),
+                leaf(PItem::ValueVar(Sym::intern("v")), Selectivity::KindVar),
+                leaf(
+                    PItem::Const(crate::tree::Marking::label("y")),
+                    Selectivity::Bucket(2),
+                ),
+                // Equal key to the first Bucket(9): stable order keeps
+                // source order among ties.
+                leaf(
+                    PItem::Const(crate::tree::Marking::label("z")),
+                    Selectivity::Bucket(9),
+                ),
+            ],
+        };
+        reorder_children(&mut n);
+        let sels: Vec<Selectivity> = n.children.iter().map(|c| c.sel).collect();
+        assert_eq!(
+            sels,
+            vec![
+                Selectivity::Bucket(2),
+                Selectivity::Bucket(9),
+                Selectivity::Bucket(9),
+                Selectivity::KindVar,
+                Selectivity::Any,
+            ]
+        );
+        let names: Vec<String> = n.children.iter().map(|c| c.item.to_string()).collect();
+        assert_eq!(names[1], "x");
+        assert_eq!(names[2], "z");
+    }
+
+    #[test]
+    fn selectivity_estimates_read_only_built_indexes() {
+        let t = tree(r#"r{a{b},a{c},a{b}}"#);
+        let item = PItem::Const(crate::tree::Marking::label("a"));
+        // Below threshold, nothing built: no statistics, and crucially
+        // no index build got triggered by estimating.
+        assert_eq!(
+            estimate(&item, Some(&t), MatchStrategy::Indexed),
+            Selectivity::ConstUnknown
+        );
+        assert!(!t.index_is_built());
+        t.build_index();
+        assert_eq!(
+            estimate(&item, Some(&t), MatchStrategy::Indexed),
+            Selectivity::Bucket(3)
+        );
+        // Scan mode never consults statistics.
+        assert_eq!(
+            estimate(&item, Some(&t), MatchStrategy::Scan),
+            Selectivity::ConstUnknown
+        );
+    }
+
+    #[test]
+    fn factoring_shares_common_subpatterns_across_conjuncts() {
+        let q =
+            parse_query("h{$x,$y} :- d/a{t{from{$x},to{$y}}}, d/b{t{from{$x},to{$y}}}").unwrap();
+        let c = compile_query(&q, None, MatchStrategy::Indexed);
+        let plan_nodes: usize = c.plan().atoms.iter().map(|a| a.root.size()).sum();
+        assert!(c.program().ops().len() < plan_nodes, "no sharing happened");
+        assert!(c.program().shared_count() >= 1);
+        // The shared op is the t{from{$x},to{$y]} join node.
+        let shared: Vec<&MatchOp> =
+            c.program().ops().iter().filter(|o| o.shared).collect();
+        assert!(shared.iter().any(|o| o.item.to_string() == "t"));
+    }
+
+    #[test]
+    fn compiled_execution_matches_the_interpreter() {
+        let q = parse_query(
+            "h{$x,$y} :- d/r{t{from{$x},to{$y}}, t{from{$y},to{$x}}, marker}",
+        )
+        .unwrap();
+        let t = tree(
+            r#"r{t{from{"1"},to{"2"}}, t{from{"2"},to{"1"}}, t{from{"2"},to{"3"}}, marker}"#,
+        );
+        for strategy in [MatchStrategy::Scan, MatchStrategy::Indexed] {
+            let c = compile_query(&q, None, strategy);
+            for (pos, atom) in c.program().atoms().iter().enumerate() {
+                let (compiled, _) = c.run_atom(pos, &t);
+                let (interp, _) =
+                    match_pattern_with(&q.body[atom.index].pattern, &t, strategy);
+                assert_eq!(compiled, interp, "strategy {strategy:?} atom {pos}");
+            }
+        }
+    }
+
+    #[test]
+    fn ground_subtrees_run_as_existence_tests_with_identical_results() {
+        let q = parse_query("h{$x} :- d/r{a{b{c},d}, e{$x}}").unwrap();
+        let yes = tree(r#"r{a{b{c},d,z}, e{"v"}, e{"w"}}"#);
+        let no = tree(r#"r{a{b,d}, e{"v"}}"#);
+        let c = compile_query(&q, None, MatchStrategy::Indexed);
+        for t in [&yes, &no] {
+            let (compiled, _) = c.run_atom(0, t);
+            let (interp, _) =
+                match_pattern_with(&q.body[0].pattern, t, MatchStrategy::Indexed);
+            assert_eq!(compiled, interp);
+        }
+    }
+
+    #[test]
+    fn program_cache_hits_and_invalidates_on_index_generation() {
+        let q = parse_query("h{$x} :- d/r{a{$x}}").unwrap();
+        let t = tree(r#"r{a{"1"},a{"2"}}"#);
+        let mut env = Env::new();
+        let d = Sym::intern("d");
+        env.insert(d, &t);
+        let svc = Sym::intern("svc");
+        let mut pc = ProgramCache::new();
+        let tracer = Tracer::disabled();
+        let p1 = pc.lookup(svc, &q, &env, MatchStrategy::Indexed, tracer);
+        assert_eq!((pc.hits(), pc.misses()), (0, 1));
+        let p2 = pc.lookup(svc, &q, &env, MatchStrategy::Indexed, tracer);
+        assert_eq!((pc.hits(), pc.misses()), (1, 1));
+        assert!(Arc::ptr_eq(&p1, &p2));
+        // Index crosses its build threshold: generation moves, the
+        // program recompiles with fresh selectivity statistics.
+        t.build_index();
+        let p3 = pc.lookup(svc, &q, &env, MatchStrategy::Indexed, tracer);
+        assert_eq!((pc.hits(), pc.misses()), (1, 2));
+        assert!(!Arc::ptr_eq(&p1, &p3));
+        assert!(pc.compiles() == 2 && pc.compile_ns() > 0);
+        // Strategies cache independently.
+        pc.lookup(svc, &q, &env, MatchStrategy::Scan, tracer);
+        assert_eq!(pc.misses(), 3);
+    }
+
+    #[test]
+    fn eliminated_atoms_keep_original_indices_in_the_program() {
+        let q = parse_query("h{$x} :- d/a{b{$x}}, d/a{b{$x}}, e/c{$x}").unwrap();
+        let c = compile_query(&q, None, MatchStrategy::Indexed);
+        let indices: Vec<usize> = c.program().atoms().iter().map(|a| a.index).collect();
+        assert_eq!(indices, vec![0, 2]);
+        assert!(c.dump().contains("eliminated #1: duplicate of #0"));
+    }
+}

@@ -15,6 +15,7 @@
 //! [`run_restricted`] implements the paper's `[I↓N]` (§4): a fair
 //! rewriting that never invokes the calls in a given exclusion set.
 
+use crate::compile::ProgramCache;
 use crate::depgraph::{read_set, ReadSet};
 use crate::error::Result;
 use crate::eval::MatchCache;
@@ -133,6 +134,14 @@ pub struct EngineConfig {
     /// [`Parallelism::Workers`]`(n)`). Observationally equivalent either
     /// way.
     pub parallelism: Parallelism,
+    /// Whether positive services evaluate through compiled, cached match
+    /// programs ([`crate::compile`]) instead of the recursive pattern
+    /// interpreter. On by default; setting `AXML_FORCE_INTERPRET=1` in
+    /// the environment flips the default off — the hook the
+    /// forced-interpreter CI job uses. Observationally equivalent either
+    /// way (bit-for-bit identical bindings, fixpoints, and event
+    /// streams apart from the `compile:`-category events themselves).
+    pub compile: bool,
 }
 
 impl Default for EngineConfig {
@@ -144,6 +153,7 @@ impl Default for EngineConfig {
             mode: EngineMode::Naive,
             match_strategy: MatchStrategy::default(),
             parallelism: Parallelism::default(),
+            compile: !crate::compile::force_interpret(),
         }
     }
 }
@@ -188,6 +198,17 @@ impl EngineConfig {
             ..EngineConfig::default()
         }
     }
+
+    /// A config with compilation forced on or off, default elsewhere.
+    /// Unlike the `AXML_FORCE_INTERPRET` environment hook (which only
+    /// moves the *default*), an explicit setting always wins — the
+    /// differential tests toggle both paths programmatically with it.
+    pub fn with_compile(compile: bool) -> EngineConfig {
+        EngineConfig {
+            compile,
+            ..EngineConfig::default()
+        }
+    }
 }
 
 /// Why the engine stopped.
@@ -222,6 +243,14 @@ pub struct RunStats {
     pub cache_hits: usize,
     /// Per-atom match-cache misses ([`EngineMode::Delta`] only).
     pub cache_misses: usize,
+    /// Match programs compiled ([`EngineConfig::compile`] only) — one
+    /// per `(service, strategy)` pair plus one per index-generation
+    /// invalidation.
+    pub programs_compiled: usize,
+    /// Program-cache hits: invocations that reused a compiled program.
+    pub program_cache_hits: usize,
+    /// Program-cache misses: invocations that had to (re)compile.
+    pub program_cache_misses: usize,
     /// Invocations per function name.
     pub per_function: FxHashMap<Sym, usize>,
     /// Live nodes at the end of the run.
@@ -379,13 +408,20 @@ pub fn run_restricted_with_provenance(
     let mut doc_changed_at: FxHashMap<Sym, u64> = FxHashMap::default();
     let mut invoked_at: FxHashMap<(Sym, NodeId), u64> = FxHashMap::default();
     let mut cache = MatchCache::new();
+    // Program cache: compiled match programs per service, kept for the
+    // whole run (unlike the delta-only match cache it pays off in every
+    // mode — a service's pattern never changes mid-run).
+    let mut pcache = ProgramCache::new();
 
     // Parallel-mode state: one persistent match cache per worker (the
     // job→worker assignment is a fixed stride, so a worker tends to see
-    // the same calls every round and its cache keeps paying off).
+    // the same calls every round and its cache keeps paying off). Same
+    // per-worker ownership for the program caches.
     let workers = cfg.parallelism.worker_count();
     let mut wcaches: Vec<MatchCache> = Vec::new();
     wcaches.resize_with(workers, MatchCache::new);
+    let mut wpcaches: Vec<ProgramCache> = Vec::new();
+    wpcaches.resize_with(workers, ProgramCache::new);
 
     let status = 'run: loop {
         let mut pending = sys.function_nodes();
@@ -446,6 +482,7 @@ pub fn run_restricted_with_provenance(
                 // journal. Worker w takes jobs w, w+k, w+2k, … so the
                 // assignment is deterministic and cache-friendly.
                 let n_workers = workers;
+                let compile_on = cfg.compile;
                 let trace_on = tracer.enabled();
                 let epoch = tracer.epoch();
                 let prov_on = prov.enabled();
@@ -458,8 +495,9 @@ pub fn run_restricted_with_provenance(
                     crossbeam::thread::scope(|scope| {
                         let handles: Vec<_> = wcaches
                             .iter_mut()
+                            .zip(wpcaches.iter_mut())
                             .enumerate()
-                            .map(|(w, wcache)| {
+                            .map(|(w, (wcache, wpcache))| {
                                 scope.spawn(move || {
                                     let journal = trace_on
                                         .then(|| Journal::for_worker(w as u32, epoch));
@@ -477,6 +515,11 @@ pub fn run_restricted_with_provenance(
                                             d,
                                             n,
                                             if delta { Some(&mut *wcache) } else { None },
+                                            if compile_on {
+                                                Some(&mut *wpcache)
+                                            } else {
+                                                None
+                                            },
                                             wt,
                                             prov_on,
                                             match_strategy,
@@ -629,6 +672,7 @@ pub fn run_restricted_with_provenance(
                     d,
                     n,
                     delta.then_some(&mut cache),
+                    cfg.compile.then_some(&mut pcache),
                     tracer,
                     prov,
                     round,
@@ -680,6 +724,12 @@ pub fn run_restricted_with_provenance(
     stats.cache_hits = cache.hits() + wcaches.iter().map(MatchCache::hits).sum::<usize>();
     stats.cache_misses =
         cache.misses() + wcaches.iter().map(MatchCache::misses).sum::<usize>();
+    let pcaches = std::iter::once(&pcache).chain(wpcaches.iter());
+    for pc in pcaches {
+        stats.programs_compiled += pc.compiles() as usize;
+        stats.program_cache_hits += pc.hits() as usize;
+        stats.program_cache_misses += pc.misses() as usize;
+    }
     Ok((status, stats))
 }
 
@@ -1023,6 +1073,7 @@ mod tests {
         sync::<System>();
         send::<crate::invoke::GraftPlan>();
         send::<MatchCache>();
+        send::<ProgramCache>();
         send::<crate::trace::Journal>();
     }
 

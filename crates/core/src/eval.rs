@@ -6,6 +6,7 @@
 //! (Prop 3.1 (1)) and polynomial in the data (Prop 3.1 (3)); both facts
 //! are exercised by the test suites and the X3 experiment.
 
+use crate::compile::{CompiledQuery, ProgramCache};
 use crate::error::{AxmlError, Result};
 use crate::forest::Forest;
 use crate::matcher::{match_pattern_with, Binding, Bound, MatchStats, MatchStrategy};
@@ -138,7 +139,7 @@ pub fn snapshot(q: &Query, env: &Env<'_>) -> Result<Forest> {
 
 /// [`snapshot`], also reporting evaluation statistics.
 pub fn snapshot_with_stats(q: &Query, env: &Env<'_>) -> Result<(Forest, EvalStats)> {
-    snapshot_inner(q, env, None, Tracer::disabled(), MatchStrategy::default())
+    snapshot_inner(q, env, None, None, Tracer::disabled(), MatchStrategy::default())
 }
 
 /// [`snapshot`] under an explicit [`MatchStrategy`] — the scan baseline
@@ -149,7 +150,28 @@ pub fn snapshot_with_strategy(
     env: &Env<'_>,
     strategy: MatchStrategy,
 ) -> Result<(Forest, EvalStats)> {
-    snapshot_inner(q, env, None, Tracer::disabled(), strategy)
+    snapshot_inner(q, env, None, None, Tracer::disabled(), strategy)
+}
+
+/// [`snapshot_with_strategy`] through the compiled path: the service's
+/// query is compiled (or served) from `programs` and executed by the
+/// [`crate::compile::MatchProgram`] evaluator. Bit-for-bit equivalent
+/// to the interpreted entry points — see [`crate::compile`].
+pub fn snapshot_compiled(
+    q: &Query,
+    env: &Env<'_>,
+    svc: Sym,
+    programs: &mut ProgramCache,
+    strategy: MatchStrategy,
+) -> Result<(Forest, EvalStats)> {
+    snapshot_inner(
+        q,
+        env,
+        None,
+        Some((svc, programs)),
+        Tracer::disabled(),
+        strategy,
+    )
 }
 
 /// [`snapshot_with_stats`] with per-atom match caching for the service
@@ -166,6 +188,7 @@ pub fn snapshot_with_cache(
         q,
         env,
         Some((svc, cache)),
+        None,
         Tracer::disabled(),
         MatchStrategy::default(),
     )
@@ -182,19 +205,54 @@ pub fn snapshot_with_cache_traced(
     cache: &mut MatchCache,
     tracer: Tracer<'_>,
 ) -> Result<(Forest, EvalStats)> {
-    snapshot_inner(q, env, Some((svc, cache)), tracer, MatchStrategy::default())
+    snapshot_inner(
+        q,
+        env,
+        Some((svc, cache)),
+        None,
+        tracer,
+        MatchStrategy::default(),
+    )
 }
 
 pub(crate) fn snapshot_inner(
     q: &Query,
     env: &Env<'_>,
     mut cache: Option<(Sym, &mut MatchCache)>,
+    programs: Option<(Sym, &mut ProgramCache)>,
     tracer: Tracer<'_>,
     strategy: MatchStrategy,
 ) -> Result<(Forest, EvalStats)> {
+    // Compiled path: fetch (or compile) the service's program once, then
+    // drive the same per-atom cache/join/dedup loop below — only the
+    // matcher call differs. The retained atoms keep their original body
+    // indices, so match-cache keys and trace events are stable, and the
+    // loop resolves documents in original order, so `UnknownDocument`
+    // errors and empty-result short-circuits fire exactly like the
+    // interpreter (eliminated atoms always have an earlier surviving
+    // same-document witness — see `crate::compile`).
+    let compiled: Option<Arc<CompiledQuery>> =
+        programs.map(|(svc, pc)| pc.lookup(svc, q, env, strategy, tracer));
+    let atom_plan: Vec<(usize, Option<usize>)> = match &compiled {
+        Some(c) => c
+            .program()
+            .atoms()
+            .iter()
+            .enumerate()
+            .map(|(pos, a)| (a.index, Some(pos)))
+            .collect(),
+        None => (0..q.body.len()).map(|i| (i, None)).collect(),
+    };
+    let run_match = |i: usize, pos: Option<usize>, doc: &Tree| -> (Vec<Binding>, MatchStats) {
+        match (&compiled, pos) {
+            (Some(c), Some(pos)) => c.run_atom(pos, doc),
+            _ => match_pattern_with(&q.body[i].pattern, doc, strategy),
+        }
+    };
     let mut stats = EvalStats::default();
     let mut combined: Vec<Binding> = vec![Binding::new()];
-    for (i, atom) in q.body.iter().enumerate() {
+    for (i, pos) in atom_plan {
+        let atom = &q.body[i];
         let doc = env
             .get(atom.doc)
             .ok_or(AxmlError::UnknownDocument(atom.doc))?;
@@ -217,7 +275,7 @@ pub(crate) fn snapshot_inner(
                             service: *svc,
                             atom: i as u32,
                         });
-                        let (bindings, mstats) = match_pattern_with(&atom.pattern, doc, strategy);
+                        let (bindings, mstats) = run_match(i, pos, doc);
                         emit_index_lookup(tracer, *svc, i, mstats);
                         let m = Arc::new(bindings);
                         c.entries
@@ -227,11 +285,11 @@ pub(crate) fn snapshot_inner(
                 }
             }
             Some((svc, _)) => {
-                let (bindings, mstats) = match_pattern_with(&atom.pattern, doc, strategy);
+                let (bindings, mstats) = run_match(i, pos, doc);
                 emit_index_lookup(tracer, *svc, i, mstats);
                 Arc::new(bindings)
             }
-            None => Arc::new(match_pattern_with(&atom.pattern, doc, strategy).0),
+            None => Arc::new(run_match(i, pos, doc).0),
         };
         stats.atom_bindings += matches.len();
         if matches.is_empty() {

@@ -15,6 +15,7 @@
 //! whether some result tree is not already subsumed by an existing
 //! sibling subtree.
 
+use crate::compile::ProgramCache;
 use crate::error::{AxmlError, Result};
 use crate::eval::{snapshot_inner, Env, MatchCache};
 use crate::forest::Forest;
@@ -80,11 +81,13 @@ pub struct GraftPlan {
 /// `collect_witnesses` asks for the provenance witness set (the nodes
 /// the evaluation read); pass `prov.enabled()` when a store is
 /// attached, `false` otherwise to skip the extra matching work.
+#[allow(clippy::too_many_arguments)]
 pub fn evaluate_node(
     sys: &System,
     doc_name: Sym,
     node: NodeId,
     cache: Option<&mut MatchCache>,
+    programs: Option<&mut ProgramCache>,
     tracer: Tracer<'_>,
     collect_witnesses: bool,
     strategy: MatchStrategy,
@@ -132,12 +135,21 @@ pub fn evaluate_node(
     let context = doc.subtree(parent);
     let env = Env::for_invocation(sys, &input, &context);
     // Positive services evaluate through the snapshot pipeline so
-    // the match strategy (and the cache, when attached) applies;
-    // black boxes always run their closure.
-    let forest = match (cache, svc.query()) {
-        (Some(c), Some(q)) => snapshot_inner(q, &env, Some((fname, c)), tracer, strategy)?.0,
-        (None, Some(q)) => snapshot_inner(q, &env, None, tracer, strategy)?.0,
-        _ => svc.invoke(&env)?,
+    // the match strategy (and the match/program caches, when attached)
+    // applies; black boxes always run their closure.
+    let forest = match svc.query() {
+        Some(q) => {
+            snapshot_inner(
+                q,
+                &env,
+                cache.map(|c| (fname, c)),
+                programs.map(|p| (fname, p)),
+                tracer,
+                strategy,
+            )?
+            .0
+        }
+        None => svc.invoke(&env)?,
     };
     Ok(GraftPlan {
         doc: doc_name,
@@ -302,6 +314,7 @@ pub fn invoke_node_traced(
         doc_name,
         node,
         cache,
+        None,
         tracer,
         Provenance::disabled(),
         0,
@@ -323,6 +336,7 @@ pub fn invoke_node_with_provenance(
     doc_name: Sym,
     node: NodeId,
     cache: Option<&mut MatchCache>,
+    programs: Option<&mut ProgramCache>,
     tracer: Tracer<'_>,
     prov: Provenance<'_>,
     round: u64,
@@ -330,7 +344,16 @@ pub fn invoke_node_with_provenance(
 ) -> Result<InvokeOutcome> {
     // Phase 1 — evaluate the service against the current (immutable)
     // system state; phase 2 — graft the new information and reduce.
-    let plan = evaluate_node(sys, doc_name, node, cache, tracer, prov.enabled(), strategy)?;
+    let plan = evaluate_node(
+        sys,
+        doc_name,
+        node,
+        cache,
+        programs,
+        tracer,
+        prov.enabled(),
+        strategy,
+    )?;
     let outcome = apply_plan(sys, &plan, tracer, prov, round)?;
     // Nothing ran between the two phases, so the node is still alive.
     Ok(outcome.expect("node alive: evaluate_node just checked"))

@@ -22,6 +22,9 @@
 //! * **indexed pattern matching** (implementation-level, not from the
 //!   paper): incremental per-document marking/child-label indexes backing
 //!   the matcher's candidate seeding and child probes — [`index`];
+//! * **query compilation** (implementation-level, not from the paper):
+//!   per-service lowering of positive patterns into cached, optimized
+//!   match programs executed by a decorrelated evaluator — [`compile`];
 //! * **observability** (implementation-level, not from the paper):
 //!   structured trace journal, per-service metrics, Chrome-trace export —
 //!   [`trace`]; per-node data lineage and derivation explanations —
@@ -57,6 +60,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compile;
 pub mod depgraph;
 pub mod display;
 pub mod engine;
@@ -86,6 +90,7 @@ pub mod trace;
 pub mod translate;
 pub mod tree;
 
+pub use compile::{compile_query, CompiledQuery, MatchProgram, ProgramCache};
 pub use depgraph::{read_set, ReadSet};
 pub use error::{AxmlError, Result};
 pub use forest::Forest;

@@ -341,8 +341,9 @@ pub(crate) fn bind_item(item: &PItem, t: &Tree, tn: NodeId, b: &Binding) -> Opti
 /// that pass the child's marking test. Computed once per pattern child —
 /// *before* any per-binding work — so a failed label test never costs a
 /// [`Binding`] clone, and indexed mode can serve constants straight from
-/// the child index.
-fn candidates<'t>(
+/// the child index. Shared with the compiled executor
+/// ([`crate::compile`]) so both paths account index probes identically.
+pub(crate) fn candidates<'t>(
     item: &PItem,
     t: &'t Tree,
     tn: NodeId,

@@ -23,7 +23,7 @@ use crate::forest::Forest;
 use crate::matcher::Binding;
 use crate::pattern::{PItem, Pattern};
 use crate::query::{parse_query, Operand, Query};
-use crate::sym::{FxHashSet, Sym};
+use crate::sym::{FxHashMap, FxHashSet, Sym};
 use crate::tree::{Marking, NodeId, Tree};
 use axml_automata::{parse_regex, Nfa, Regex, StateId};
 use std::collections::HashSet;
@@ -479,8 +479,28 @@ fn walk(
     }
 }
 
+/// The NFAs of one [`RegPattern`]'s path items, keyed by pattern node.
+///
+/// Built once per pattern (by [`nfa_table`]) instead of once per document
+/// node visited: `Nfa::from_regex` is pure in the regex, so hoisting it
+/// out of the match recursion changes no result, only how often the
+/// Thompson construction runs.
+pub type NfaTable = FxHashMap<RNodeId, Nfa<Sym>>;
+
+/// Build the [`NfaTable`] of a pattern: one NFA per path item.
+pub fn nfa_table(p: &RegPattern) -> NfaTable {
+    p.node_ids()
+        .into_iter()
+        .filter_map(|n| match p.item(n) {
+            RItem::Path(r) => Some((n, Nfa::from_regex(r))),
+            RItem::Plain(_) => None,
+        })
+        .collect()
+}
+
 fn match_rnode(
     p: &RegPattern,
+    nfas: &NfaTable,
     rn: RNodeId,
     t: &Tree,
     tn: NodeId,
@@ -492,11 +512,12 @@ fn match_rnode(
     let Some(b0) = crate::matcher::bind_item(item, t, tn, b) else {
         return Vec::new();
     };
-    match_rchildren(p, rn, t, tn, b0)
+    match_rchildren(p, nfas, rn, t, tn, b0)
 }
 
 fn match_rchildren(
     p: &RegPattern,
+    nfas: &NfaTable,
     rn: RNodeId,
     t: &Tree,
     tn: NodeId,
@@ -512,18 +533,18 @@ fn match_rchildren(
             RItem::Plain(_) => {
                 for base in &current {
                     for &tc in t.children(tn) {
-                        for nb in match_rnode(p, rc, t, tc, base) {
+                        for nb in match_rnode(p, nfas, rc, t, tc, base) {
                             next.insert(nb);
                         }
                     }
                 }
             }
-            RItem::Path(r) => {
-                let nfa = Nfa::from_regex(r);
-                let endpoints = path_endpoints(t, tn, &nfa);
+            RItem::Path(_) => {
+                let nfa = &nfas[&rc];
+                let endpoints = path_endpoints(t, tn, nfa);
                 for base in &current {
                     for &ep in &endpoints {
-                        for nb in match_rchildren(p, rc, t, ep, base.clone()) {
+                        for nb in match_rchildren(p, nfas, rc, t, ep, base.clone()) {
                             next.insert(nb);
                         }
                     }
@@ -538,12 +559,53 @@ fn match_rchildren(
     current
 }
 
+/// A positive+reg query with its path-item NFAs prebuilt, one table per
+/// body atom. Constructing the NFAs is the only non-trivial setup cost of
+/// [`snapshot_reg`]; a `CompiledRegQuery` pays it once and every
+/// [`CompiledRegQuery::snapshot`] thereafter walks the documents with the
+/// cached automata. [`crate::compile::ProgramCache::reg`] memoizes these
+/// per service, so an engine run no longer rebuilds NFAs per invocation.
+#[derive(Clone, Debug)]
+pub struct CompiledRegQuery {
+    query: RegQuery,
+    tables: Vec<NfaTable>,
+}
+
+impl CompiledRegQuery {
+    /// Compile: build every body pattern's [`NfaTable`].
+    pub fn new(query: RegQuery) -> CompiledRegQuery {
+        let tables = query.body.iter().map(|(_, p)| nfa_table(p)).collect();
+        CompiledRegQuery { query, tables }
+    }
+
+    /// The underlying query.
+    pub fn query(&self) -> &RegQuery {
+        &self.query
+    }
+
+    /// Total number of prebuilt NFAs across the body.
+    pub fn nfa_count(&self) -> usize {
+        self.tables.iter().map(|t| t.len()).sum()
+    }
+
+    /// Snapshot evaluation with the prebuilt NFAs. Identical results to
+    /// [`snapshot_reg`] on the same query.
+    pub fn snapshot(&self, env: &Env<'_>) -> Result<Forest> {
+        snapshot_reg_with(&self.query, &self.tables, env)
+    }
+}
+
 /// Snapshot evaluation of a positive+reg query (direct NFA walk).
 pub fn snapshot_reg(q: &RegQuery, env: &Env<'_>) -> Result<Forest> {
+    let tables: Vec<NfaTable> = q.body.iter().map(|(_, p)| nfa_table(p)).collect();
+    snapshot_reg_with(q, &tables, env)
+}
+
+fn snapshot_reg_with(q: &RegQuery, tables: &[NfaTable], env: &Env<'_>) -> Result<Forest> {
     let mut combined: Vec<Binding> = vec![Binding::new()];
-    for (doc, pattern) in &q.body {
+    for ((doc, pattern), nfas) in q.body.iter().zip(tables) {
         let t = env.get(*doc).ok_or(AxmlError::UnknownDocument(*doc))?;
-        let matches = match_rnode(pattern, pattern.root(), t, t.root(), &Binding::new());
+        let matches = match_rnode(pattern, nfas, pattern.root(), t, t.root(), &Binding::new());
         if matches.is_empty() {
             return Ok(Forest::new());
         }

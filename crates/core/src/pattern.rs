@@ -184,6 +184,23 @@ impl Pattern {
         self.variables().is_empty()
     }
 
+    /// Structural equality as ordered trees: identical items and child
+    /// lists, recursively. Conservative for the unordered pattern
+    /// semantics (reordered children compare unequal), which is exactly
+    /// what the duplicate-conjunct pass in [`crate::compile`] needs — a
+    /// sound, cheap witness that two atoms denote the same relation.
+    pub fn structurally_eq(&self, other: &Pattern) -> bool {
+        fn go(a: &Pattern, an: PNodeId, b: &Pattern, bn: PNodeId) -> bool {
+            a.item(an) == b.item(bn)
+                && a.children(an).len() == b.children(bn).len()
+                && a.children(an)
+                    .iter()
+                    .zip(b.children(bn))
+                    .all(|(&ac, &bc)| go(a, ac, b, bc))
+        }
+        go(self, self.root, other, other.root)
+    }
+
     /// Convert a ground pattern into a tree. Errors with the offending
     /// variable if the pattern is not ground.
     pub fn to_tree(&self) -> Result<Tree> {

@@ -262,6 +262,33 @@ pub enum EventKind {
         /// Wall-clock duration of the evaluation phase, nanoseconds.
         dur_ns: u64,
     },
+    /// A service query was lowered, optimized, and emitted as a
+    /// [`crate::compile::MatchProgram`].
+    PlanCompiled {
+        /// The service whose query was compiled.
+        service: Sym,
+        /// Body atoms retained after conjunct elimination.
+        atoms: u32,
+        /// Ops in the emitted program (after hash-consing).
+        ops: u32,
+        /// Ops shared between subpattern occurrences (factoring).
+        shared: u32,
+        /// Wall-clock compile time, nanoseconds.
+        dur_ns: u64,
+    },
+    /// A [`crate::compile::ProgramCache`] lookup was answered from
+    /// cache.
+    ProgramCacheHit {
+        /// The service whose program was served.
+        service: Sym,
+    },
+    /// A [`crate::compile::ProgramCache`] lookup missed (first
+    /// compilation, or the index generation moved); a
+    /// [`EventKind::PlanCompiled`] follows.
+    ProgramCacheMiss {
+        /// The service whose program was (re)compiled.
+        service: Sym,
+    },
 }
 
 /// One journal entry: an [`EventKind`] stamped by the recording sink
@@ -707,6 +734,18 @@ pub struct GlobalMetrics {
     pub workers_max: u32,
     /// Total wall-clock time spent in parallel evaluation phases, ns.
     pub parallel_eval_ns: u64,
+    /// Match programs compiled ([`EventKind::PlanCompiled`]).
+    pub programs_compiled: u64,
+    /// Program-cache lookups served from cache.
+    pub program_cache_hits: u64,
+    /// Program-cache lookups that missed (and compiled).
+    pub program_cache_misses: u64,
+    /// Ops across all compiled programs.
+    pub program_ops: u64,
+    /// Shared (factored) ops across all compiled programs.
+    pub program_shared_ops: u64,
+    /// Total wall-clock time spent compiling programs, ns.
+    pub compile_ns: u64,
 }
 
 struct MetricsInner {
@@ -832,6 +871,26 @@ impl MetricsRegistry {
                 );
             }
             let _ = writeln!(out, "{line}");
+        }
+        if g.programs_compiled > 0 || g.program_cache_hits + g.program_cache_misses > 0 {
+            let lookups = g.program_cache_hits + g.program_cache_misses;
+            let hit_rate = if lookups == 0 {
+                0.0
+            } else {
+                100.0 * g.program_cache_hits as f64 / lookups as f64
+            };
+            let _ = writeln!(
+                out,
+                "compile: programs {}  ops {} ({} shared)  cache hits {} / {} (hit rate {:.1}%)  \
+                 compile time {} us",
+                g.programs_compiled,
+                g.program_ops,
+                g.program_shared_ops,
+                g.program_cache_hits,
+                lookups,
+                hit_rate,
+                g.compile_ns / 1_000,
+            );
         }
         let _ = writeln!(
             out,
@@ -979,6 +1038,24 @@ impl TraceSink for MetricsRegistry {
                 inner.globals.workers_max = inner.globals.workers_max.max(workers);
                 inner.globals.parallel_eval_ns =
                     inner.globals.parallel_eval_ns.saturating_add(dur_ns);
+            }
+            EventKind::PlanCompiled {
+                ops,
+                shared,
+                dur_ns,
+                ..
+            } => {
+                inner.globals.programs_compiled += 1;
+                inner.globals.program_ops += u64::from(ops);
+                inner.globals.program_shared_ops += u64::from(shared);
+                inner.globals.compile_ns =
+                    inner.globals.compile_ns.saturating_add(dur_ns);
+            }
+            EventKind::ProgramCacheHit { .. } => {
+                inner.globals.program_cache_hits += 1;
+            }
+            EventKind::ProgramCacheMiss { .. } => {
+                inner.globals.program_cache_misses += 1;
             }
         }
     }
@@ -1263,6 +1340,27 @@ fn chrome_row(ev: &TraceEvent, tid: u64) -> String {
                 common(&format!("parallel round {round}"), "X", "parallel", start),
                 us(dur_ns),
             )
+        }
+        EventKind::PlanCompiled {
+            service,
+            atoms,
+            ops,
+            shared,
+            dur_ns,
+        } => {
+            let start = us(ev.ts_ns.saturating_sub(dur_ns));
+            format!(
+                "{},\"dur\":{:.3},\"args\":{{\"atoms\":{atoms},\"ops\":{ops},\
+                 \"shared\":{shared}}}}}",
+                common(&format!("compile {service}"), "X", "compile", start),
+                us(dur_ns),
+            )
+        }
+        EventKind::ProgramCacheHit { service } => {
+            instant(&format!("program hit {service}"), "compile", String::new())
+        }
+        EventKind::ProgramCacheMiss { service } => {
+            instant(&format!("program miss {service}"), "compile", String::new())
         }
     }
 }

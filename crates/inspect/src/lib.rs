@@ -10,7 +10,10 @@
 //!   workload rendered through [`axml_core::trace::MetricsRegistry`];
 //! * [`deepest_provenance_dot`] — a live run with provenance enabled,
 //!   rendered as the DOT derivation DAG of the deepest explainable
-//!   closure answer.
+//!   closure answer;
+//! * [`render_plan`] — the optimized plan IR and match program every
+//!   positive service of the tc-digraph workload (or an ad-hoc rule)
+//!   compiles to, via [`axml_core::compile`].
 //!
 //! The binary (`src/main.rs`) is a thin argument parser over these.
 
@@ -19,8 +22,10 @@
 
 use std::fmt::Write as _;
 
+use axml_core::compile::compile_query;
 use axml_core::engine::{run_with_provenance, EngineConfig, EngineMode};
-use axml_core::matcher::match_pattern;
+use axml_core::eval::Env;
+use axml_core::matcher::{match_pattern, MatchStrategy};
 use axml_core::provenance::{Provenance, ProvenanceStore};
 use axml_core::trace::{
     ChromeEvent, EventKind, Fanout, Journal, MetricsRegistry, MsgKind,
@@ -210,6 +215,55 @@ pub fn deepest_provenance_dot(
     (ex.lineage.to_dot(), summary)
 }
 
+/// Compile and pretty-print match programs against the tc-digraph
+/// workload: run the closure to fixpoint first (so the marking indexes
+/// carry live selectivity statistics), then compile either the ad-hoc
+/// `query` rule or every positive service of the system, and render
+/// each [`axml_core::compile::CompiledQuery`]'s plan + program dump.
+pub fn render_plan(
+    n: usize,
+    shards: usize,
+    seed: u64,
+    query: Option<&str>,
+    strategy: MatchStrategy,
+) -> Result<String, String> {
+    let mut sys = axml_bench::tc_random_digraph(n, shards, seed);
+    axml_core::engine::run(&mut sys, &EngineConfig::with_mode(EngineMode::Delta))
+        .map_err(|e| e.to_string())?;
+    let mut env = Env::new();
+    for &d in sys.doc_names() {
+        env.insert(d, sys.doc(d).expect("doc_names lists stored documents"));
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "workload: tc_random_digraph(n={n}, shards={shards}, seed={seed}), \
+         strategy {strategy:?}"
+    );
+    match query {
+        Some(src) => {
+            let q = parse_query(src).map_err(|e| e.to_string())?;
+            let _ = writeln!(out, "\nquery: {src}");
+            out.push_str(&compile_query(&q, Some(&env), strategy).dump());
+        }
+        None => {
+            let mut any = false;
+            for &svc in sys.service_names() {
+                let Some(q) = sys.service_query(svc) else {
+                    continue;
+                };
+                any = true;
+                let _ = writeln!(out, "\nservice {}:", svc.as_str());
+                out.push_str(&compile_query(q, Some(&env), strategy).dump());
+            }
+            if !any {
+                let _ = writeln!(out, "\n(no positive services)");
+            }
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -273,6 +327,27 @@ mod tests {
         assert!(m.contains("portal"));
         assert!(m.contains("store0"));
         assert!(m.contains("3 calls, 1 responses"));
+    }
+
+    #[test]
+    fn plan_dump_lists_services_and_programs() {
+        let out = render_plan(24, 2, 7, None, MatchStrategy::Indexed).unwrap();
+        assert!(out.contains("service "));
+        assert!(out.contains("plan: "));
+        assert!(out.contains("program: "));
+        // The workload ran to fixpoint first, so constant items carry
+        // live index-bucket estimates.
+        assert!(out.contains("~bucket"));
+        let adhoc = render_plan(
+            24,
+            2,
+            7,
+            Some("p{$x} :- d0/r{t{from{$x},to{$x}}}, d0/r{t{from{$x},to{$x}}}"),
+            MatchStrategy::Indexed,
+        )
+        .unwrap();
+        assert!(adhoc.contains("1 eliminated"));
+        assert!(adhoc.contains("duplicate of #0"));
     }
 
     #[test]

@@ -5,6 +5,7 @@
 //! axml-inspect events <trace.json> [--cat C] [--ph P] [--contains S] [--limit N]
 //! axml-inspect matrix [--peers K] [--rounds R]
 //! axml-inspect provenance [--n N] [--shards S] [--seed X] [--out FILE]
+//! axml-inspect plan [--n N] [--shards S] [--seed X] [--query RULE] [--scan]
 //! ```
 //!
 //! * `report` runs the tc-digraph closure workload live on the delta
@@ -16,11 +17,14 @@
 //! * `provenance` runs the closure workload with provenance enabled and
 //!   prints (or writes) the DOT derivation DAG of the deepest
 //!   explainable `path` answer — pipe it to `dot -Tsvg`.
+//! * `plan` compiles every positive service of the closure workload (or
+//!   the ad-hoc `--query` rule) after running it to fixpoint, and prints
+//!   the optimized plan IR and match program of each.
 
 use std::process::ExitCode;
 
 use axml_inspect::{
-    deepest_provenance_dot, matrix_from_events, render_events,
+    deepest_provenance_dot, matrix_from_events, render_events, render_plan,
     run_metrics_report, EventFilter,
 };
 
@@ -30,7 +34,8 @@ fn usage() -> ExitCode {
          axml-inspect report [--n N] [--shards S] [--seed X]\n  \
          axml-inspect events <trace.json> [--cat C] [--ph P] [--contains S] [--limit N]\n  \
          axml-inspect matrix [--peers K] [--rounds R]\n  \
-         axml-inspect provenance [--n N] [--shards S] [--seed X] [--out FILE]"
+         axml-inspect provenance [--n N] [--shards S] [--seed X] [--out FILE]\n  \
+         axml-inspect plan [--n N] [--shards S] [--seed X] [--query RULE] [--scan]"
     );
     ExitCode::from(2)
 }
@@ -70,6 +75,7 @@ fn main() -> ExitCode {
         "events" => cmd_events(&mut args),
         "matrix" => cmd_matrix(&mut args),
         "provenance" => cmd_provenance(&mut args),
+        "plan" => cmd_plan(&mut args),
         _ => return usage(),
     };
     match result {
@@ -142,6 +148,32 @@ fn cmd_provenance(args: &mut Vec<String>) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+fn cmd_plan(args: &mut Vec<String>) -> Result<(), String> {
+    let n = take_num(args, "--n", 32usize)?;
+    let shards = take_num(args, "--shards", 3usize)?;
+    let seed = take_num(args, "--seed", 12u64)?;
+    let query = take_opt(args, "--query");
+    let strategy = if take_flag(args, "--scan") {
+        axml_core::MatchStrategy::Scan
+    } else {
+        axml_core::MatchStrategy::Indexed
+    };
+    reject_extra(args)?;
+    print!("{}", render_plan(n, shards, seed, query.as_deref(), strategy)?);
+    Ok(())
+}
+
+/// Pull a bare `--flag` out of `args`; removes it when found.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> bool {
+    match args.iter().position(|a| a == flag) {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    }
 }
 
 fn reject_extra(args: &[String]) -> Result<(), String> {

@@ -1,0 +1,382 @@
+//! Differential coverage for compiled pattern matching: the compiled
+//! path (`EngineConfig { compile: true }`) must be bit-for-bit
+//! equivalent to the recursive interpreter across the full
+//! {Naive,Delta} × {Scan,Indexed} × {Sequential,Workers} matrix —
+//! identical fixpoints, invocation/productive/skip/round counts, final
+//! node counts, snapshot-level bindings, and explain/provenance DAGs.
+//!
+//! Soundness background (see `docs/compilation.md`): the optimization
+//! passes only remove work the interpreter would have proved redundant
+//! (duplicate and ground-implied conjuncts with earlier surviving
+//! witnesses), the emitted program evaluates the same canonical
+//! (sorted + deduplicated) binding sets per level, and the runtime
+//! still orders child joins by actual candidate size exactly like the
+//! interpreter does.
+
+use positive_axml::core::compile::ProgramCache;
+use positive_axml::core::engine::{
+    run, EngineConfig, EngineMode, Parallelism, RunStatus,
+};
+use positive_axml::core::eval::{snapshot_compiled, snapshot_with_strategy, Env};
+use positive_axml::core::gensys::{random_simple_system, GenConfig};
+use positive_axml::core::matcher::MatchStrategy;
+use positive_axml::core::{parse_query, Sym};
+use proptest::prelude::*;
+
+const BUDGET: usize = 5_000;
+
+fn gen_cfg(knob: u64) -> GenConfig {
+    GenConfig {
+        services: 2 + (knob % 3) as usize,
+        docs: 1 + (knob % 2) as usize,
+        head_call_prob: 0.15 + 0.2 * ((knob % 4) as f64),
+        ..GenConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The full matrix on random simple positive systems: every
+    /// (mode, strategy, parallelism) cell computes the identical
+    /// fixpoint and the identical run statistics with compilation on
+    /// and off. The compiled run additionally reports program-cache
+    /// traffic; the interpreted run never compiles anything.
+    #[test]
+    fn compiled_runs_reproduce_interpreted_runs(
+        seed in 0u64..1_000_000,
+        knob in 0u64..24,
+    ) {
+        let sys = random_simple_system(&gen_cfg(knob), seed);
+        for mode in [EngineMode::Naive, EngineMode::Delta] {
+            for strategy in [MatchStrategy::Scan, MatchStrategy::Indexed] {
+                for parallelism in
+                    [Parallelism::Sequential, Parallelism::Workers(2)]
+                {
+                    let base = EngineConfig {
+                        mode,
+                        match_strategy: strategy,
+                        parallelism,
+                        ..EngineConfig::with_budget(BUDGET)
+                    };
+                    let mut interp = sys.clone();
+                    let (i_status, i_stats) = run(
+                        &mut interp,
+                        &EngineConfig { compile: false, ..base },
+                    )
+                    .unwrap();
+                    if i_status != RunStatus::Terminated {
+                        // Budget-exhausted prefixes are compared by the
+                        // small-budget test below; their documents can
+                        // be too deep for recursive canonicalization.
+                        continue;
+                    }
+                    let mut comp = sys.clone();
+                    let (c_status, c_stats) = run(
+                        &mut comp,
+                        &EngineConfig { compile: true, ..base },
+                    )
+                    .unwrap();
+                    prop_assert!(
+                        c_status == i_status,
+                        "seed {} knob {} {:?}/{:?}/{:?}: status {:?} vs {:?}",
+                        seed, knob, mode, strategy, parallelism,
+                        c_status, i_status
+                    );
+                    prop_assert!(
+                        comp.canonical_key() == interp.canonical_key(),
+                        "seed {} knob {} {:?}/{:?}/{:?}: fixpoint diverged",
+                        seed, knob, mode, strategy, parallelism
+                    );
+                    prop_assert!(c_stats.invocations == i_stats.invocations);
+                    prop_assert!(c_stats.productive == i_stats.productive);
+                    prop_assert!(c_stats.skipped == i_stats.skipped);
+                    prop_assert!(c_stats.rounds == i_stats.rounds);
+                    prop_assert!(c_stats.final_nodes == i_stats.final_nodes);
+                    prop_assert!(c_stats.cache_hits == i_stats.cache_hits);
+                    prop_assert!(c_stats.cache_misses == i_stats.cache_misses);
+                    // Program-cache traffic is the only divergence.
+                    prop_assert!(
+                        i_stats.programs_compiled == 0
+                            && i_stats.program_cache_hits == 0
+                            && i_stats.program_cache_misses == 0
+                    );
+                    if c_stats.invocations > 0 {
+                        prop_assert!(
+                            c_stats.program_cache_hits
+                                + c_stats.program_cache_misses
+                                > 0,
+                            "seed {} knob {}: compiled run never consulted \
+                             the program cache",
+                            seed, knob
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Budget-bounded prefixes: even when a random system does *not*
+    /// terminate inside the budget, the compiled run's prefix must be
+    /// identical to the interpreter's (same status, stats, and final
+    /// canonical state).
+    #[test]
+    fn nonterminating_prefixes_identical_with_and_without_compilation(
+        seed in 0u64..1_000_000,
+    ) {
+        let sys = random_simple_system(
+            &GenConfig { head_call_prob: 0.9, ..GenConfig::default() },
+            seed,
+        );
+        let mut outcomes = Vec::new();
+        for compile in [false, true] {
+            let mut runner = sys.clone();
+            let cfg = EngineConfig {
+                mode: EngineMode::Delta,
+                compile,
+                ..EngineConfig::with_budget(200)
+            };
+            let (status, stats) = run(&mut runner, &cfg).unwrap();
+            outcomes.push((status, stats, runner.canonical_key()));
+        }
+        prop_assert!(outcomes[0].0 == outcomes[1].0);
+        prop_assert!(outcomes[0].1.invocations == outcomes[1].1.invocations);
+        prop_assert!(outcomes[0].1.rounds == outcomes[1].1.rounds);
+        prop_assert!(outcomes[0].1.skipped == outcomes[1].1.skipped);
+        prop_assert!(
+            outcomes[0].2 == outcomes[1].2,
+            "seed {}: prefix state diverged",
+            seed
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Snapshot-level differential: on the documents a terminated run
+    /// leaves behind, every positive service's compiled snapshot equals
+    /// the interpreted snapshot tree-for-tree (same trees, same order —
+    /// the binding sets are canonical, so equality is bit-for-bit).
+    #[test]
+    fn compiled_snapshots_are_bit_identical(
+        seed in 0u64..1_000_000,
+        knob in 0u64..24,
+    ) {
+        let mut sys = random_simple_system(&gen_cfg(knob), seed);
+        let (status, _) = run(&mut sys, &EngineConfig::with_budget(200)).unwrap();
+        if status == RunStatus::NodeBudget {
+            return Ok(());
+        }
+        let mut env = Env::new();
+        for &d in sys.doc_names() {
+            env.insert(d, sys.doc(d).unwrap());
+        }
+        for strategy in [MatchStrategy::Scan, MatchStrategy::Indexed] {
+            let mut programs = ProgramCache::new();
+            for &svc in sys.service_names() {
+                let Some(q) = sys.service_query(svc) else { continue };
+                let interp = snapshot_with_strategy(q, &env, strategy);
+                let comp = snapshot_compiled(q, &env, svc, &mut programs, strategy);
+                match (interp, comp) {
+                    (Ok((fi, _)), Ok((fc, _))) => {
+                        let ti: Vec<String> =
+                            fi.trees().iter().map(|t| t.to_string()).collect();
+                        let tc: Vec<String> =
+                            fc.trees().iter().map(|t| t.to_string()).collect();
+                        prop_assert!(
+                            ti == tc,
+                            "seed {} knob {} {:?} service {}: forests diverged",
+                            seed, knob, strategy, svc.as_str()
+                        );
+                    }
+                    (Err(ei), Err(ec)) => prop_assert!(
+                        ei.to_string() == ec.to_string(),
+                        "seed {} knob {}: errors diverged: {ei} vs {ec}",
+                        seed, knob
+                    ),
+                    (i, c) => prop_assert!(
+                        false,
+                        "seed {} knob {}: one path errored: {:?} vs {:?}",
+                        seed, knob, i.is_ok(), c.is_ok()
+                    ),
+                }
+            }
+        }
+    }
+}
+
+/// Provenance differential on the deterministic closure workload: the
+/// compiled engine grafts the same nodes through the same invocation
+/// records, so every answer's derivation DAG renders to the identical
+/// DOT text as the interpreter's.
+#[test]
+fn explain_answer_dags_identical_with_and_without_compilation() {
+    use positive_axml::core::engine::run_with_provenance;
+    use positive_axml::core::matcher::match_pattern;
+    use positive_axml::core::provenance::{Provenance, ProvenanceStore};
+    use positive_axml::core::trace::Tracer;
+
+    let mut dots: Vec<Vec<String>> = Vec::new();
+    for compile in [false, true] {
+        let mut sys = axml_bench::tc_random_digraph(32, 3, 12);
+        let store = ProvenanceStore::new();
+        let cfg = EngineConfig {
+            compile,
+            ..EngineConfig::with_mode(EngineMode::Delta)
+        };
+        let (status, _) =
+            run_with_provenance(&mut sys, &cfg, Tracer::disabled(), Provenance::new(&store))
+                .unwrap();
+        assert_eq!(status, RunStatus::Terminated);
+
+        let q = parse_query("path{$x,$y} :- d1/r{t{from{$x},to{$y}}}").unwrap();
+        let t = sys.doc(Sym::intern("d1")).unwrap();
+        let bindings = match_pattern(&q.body[0].pattern, t);
+        assert!(!bindings.is_empty());
+        let rendered: Vec<String> = bindings
+            .iter()
+            .map(|b| store.explain_answer(&sys, &q, b).lineage.to_dot())
+            .collect();
+        dots.push(rendered);
+    }
+    assert_eq!(
+        dots[0], dots[1],
+        "derivation DAGs diverged between interpreter and compiled engine"
+    );
+}
+
+/// Redundant conjuncts: a service body with a literal duplicate atom
+/// and a ground atom implied by it compiles to a one-atom program, and
+/// the compiled fixpoint still matches the interpreter's exactly.
+#[test]
+fn redundant_conjuncts_are_eliminated_without_observable_effect() {
+    let build = || {
+        let mut sys = positive_axml::core::System::new();
+        sys.add_document_text(
+            "d0",
+            r#"r{t{from{"1"},to{"2"}}, t{from{"2"},to{"3"}}, @f}"#,
+        )
+        .unwrap();
+        sys.add_service_text(
+            "f",
+            "t{from{$x},to{$y}} :- \
+             d0/r{t{from{$x},to{$z}}, t{from{$z},to{$y}}}, \
+             d0/r{t{from{$x},to{$z}}, t{from{$z},to{$y}}}, \
+             d0/r{t}",
+        )
+        .unwrap();
+        sys
+    };
+    // The pattern itself compiles down to one atom...
+    let sys = build();
+    let q = sys.service_query(Sym::intern("f")).unwrap();
+    let compiled = positive_axml::core::compile::compile_query(
+        q,
+        None,
+        MatchStrategy::Indexed,
+    );
+    assert_eq!(compiled.plan().atoms.len(), 1);
+    assert_eq!(compiled.plan().eliminated.len(), 2);
+    // ...and both engines agree on the closure.
+    let mut interp = build();
+    let (s1, st1) = run(&mut interp, &EngineConfig::with_compile(false)).unwrap();
+    let mut comp = build();
+    let (s2, st2) = run(&mut comp, &EngineConfig::with_compile(true)).unwrap();
+    assert_eq!(s1, RunStatus::Terminated);
+    assert_eq!(s2, RunStatus::Terminated);
+    assert_eq!(interp.canonical_key(), comp.canonical_key());
+    assert_eq!(st1.invocations, st2.invocations);
+    assert_eq!(st1.productive, st2.productive);
+    assert!(st2.programs_compiled > 0);
+}
+
+/// The compiled run emits its compile-category trace events, and they
+/// are the *only* difference between the two engines' journals.
+#[test]
+fn trace_streams_differ_only_in_compile_events() {
+    use positive_axml::core::trace::{EventKind, Journal, Tracer};
+
+    let journal_of = |compile: bool| {
+        let mut sys = axml_bench::tc_system(10);
+        let journal = Journal::new();
+        let cfg = EngineConfig {
+            compile,
+            ..EngineConfig::with_mode(EngineMode::Delta)
+        };
+        positive_axml::core::engine::run_traced(&mut sys, &cfg, Tracer::new(&journal))
+            .unwrap();
+        journal.snapshot()
+    };
+    let is_compile_event = |k: &EventKind| {
+        matches!(
+            k,
+            EventKind::PlanCompiled { .. }
+                | EventKind::ProgramCacheHit { .. }
+                | EventKind::ProgramCacheMiss { .. }
+        )
+    };
+    let interp = journal_of(false);
+    let comp = journal_of(true);
+    assert!(!interp.iter().any(|e| is_compile_event(&e.kind)));
+    assert!(comp.iter().any(|e| matches!(e.kind, EventKind::PlanCompiled { .. })));
+    assert!(comp.iter().any(|e| matches!(e.kind, EventKind::ProgramCacheHit { .. })));
+    // Zero out wall-clock fields (run-specific) and index-probe tallies
+    // (the decorrelated evaluator computes each child relation once per
+    // level instead of once per parent binding, so it legitimately
+    // probes *less* — the only accounting the two paths don't share).
+    // Everything else must be identical.
+    let zero_after = |s: String, field: &str| -> String {
+        let mut out = String::new();
+        let mut rest = s.as_str();
+        while let Some(i) = rest.find(field) {
+            let j = i + field.len();
+            out.push_str(&rest[..j]);
+            out.push('0');
+            let tail = &rest[j..];
+            let k = tail
+                .find(|c: char| !c.is_ascii_digit())
+                .unwrap_or(tail.len());
+            rest = &tail[k..];
+        }
+        out.push_str(rest);
+        out
+    };
+    let norm = |s: String| -> String {
+        ["dur_ns: ", "probes: ", "probe_hits: ", "fallbacks: "]
+            .iter()
+            .fold(s, |s, f| zero_after(s, f))
+    };
+    let strip = |evs: &[positive_axml::core::trace::TraceEvent]| -> Vec<String> {
+        evs.iter()
+            .filter(|e| !is_compile_event(&e.kind))
+            .map(|e| norm(format!("{:?}", e.kind)))
+            .collect()
+    };
+    assert_eq!(
+        strip(&interp),
+        strip(&comp),
+        "non-compile event streams diverged"
+    );
+}
+
+/// The forced-interpreter escape hatch: `AXML_FORCE_INTERPRET` only
+/// flips the *default*; an explicit `compile` in the config always
+/// wins, which is what this suite sweeps.
+#[test]
+fn explicit_compile_overrides_are_independent() {
+    let build = || axml_bench::tc_system(12);
+    let mut interp = build();
+    let (s1, st1) = run(&mut interp, &EngineConfig::with_compile(false)).unwrap();
+    let mut comp = build();
+    let (s2, st2) = run(&mut comp, &EngineConfig::with_compile(true)).unwrap();
+    assert_eq!(s1, RunStatus::Terminated);
+    assert_eq!(s2, RunStatus::Terminated);
+    assert_eq!(interp.canonical_key(), comp.canonical_key());
+    assert_eq!(st1.programs_compiled, 0);
+    assert!(st2.programs_compiled > 0);
+}
