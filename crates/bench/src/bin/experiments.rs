@@ -1196,6 +1196,79 @@ fn x18() {
     println!(" provenance are bit-for-bit the interpreter's)");
 }
 
+/// X19 — serving: wire-protocol request latency under batching.
+fn x19() {
+    use axml_server::load::{run as load_run, LoadConfig};
+    use axml_server::{Server, ServerConfig};
+
+    header(
+        "X19",
+        "serving — request latency vs batch width over the wire protocol (axml-server + axml-load)",
+    );
+
+    // Closed-loop load against an in-process server on an ephemeral
+    // port: each connection opens its own session, streams a
+    // transitive-closure subscription to fixpoint, then issues
+    // point-lookup queries — latency is the client-observed frame
+    // round trip, so wider batches amortize framing and session-lock
+    // acquisition across more queries per frame.
+    println!(
+        "{:>6} {:>9} {:>8} {:>10} {:>9} {:>9} {:>9} {:>11}",
+        "batch", "requests", "frames", "thrpt/s", "p50(us)", "p99(us)", "max(us)", "trees"
+    );
+    let mut last_report = String::new();
+    let mut last_trace = String::new();
+    for &batch in &[1usize, 4, 16] {
+        let mut handle = Server::spawn("127.0.0.1:0", ServerConfig::default())
+            .expect("ephemeral listen address is bindable");
+        let cfg = LoadConfig {
+            addr: handle.addr().to_string(),
+            conns: 2,
+            requests: 128,
+            batch,
+            subscribe: true,
+            shutdown: true,
+            ..LoadConfig::default()
+        };
+        let rep = load_run(&cfg).expect("the load loop completes against a live server");
+        handle.join();
+        assert_eq!(rep.errors, 0, "no error frames under a clean load");
+        assert_eq!(
+            rep.answer_trees, rep.requests,
+            "every point lookup hits exactly one pair"
+        );
+        assert!(rep.deltas >= 2, "the tc subscription streams multiple deltas");
+        let frames = rep.latency.count();
+        println!(
+            "{batch:>6} {:>9} {frames:>8} {:>10.0} {:>9} {:>9} {:>9} {:>11}",
+            rep.requests,
+            rep.throughput(),
+            rep.latency.quantile(0.50) / 1_000,
+            rep.latency.quantile(0.99) / 1_000,
+            rep.latency.max() / 1_000,
+            rep.answer_trees,
+        );
+        last_report = handle.report(&format!("x19 serving (conns=2, batch={batch})"));
+        last_trace = handle.sink().chrome_trace();
+    }
+    assert!(
+        last_report.contains("server:"),
+        "metrics report must show the server block"
+    );
+    let n = validate_chrome_trace(&last_trace)
+        .expect("the server journal exports a valid Chrome trace");
+    assert!(
+        last_trace.contains("\"name\":\"server\""),
+        "the trace must name the dedicated server lane"
+    );
+    print!("\n{last_report}");
+    println!("(chrome trace: {n} events, server lane validated)");
+    println!("(claim: the engine serves concurrent sessions over a versioned JSON");
+    println!(" protocol — batched queries answer bit-for-bit like direct evaluation,");
+    println!(" subscriptions stream the fixpoint delta-by-delta, and wider batches");
+    println!(" trade per-query latency for fewer round trips; see docs/protocol.md)");
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let all = args.is_empty();
@@ -1254,6 +1327,9 @@ fn main() {
     }
     if want("x18") {
         x18();
+    }
+    if want("x19") {
+        x19();
     }
     println!("\nall requested experiments completed in {:.1}s", t0.elapsed().as_secs_f64());
 }

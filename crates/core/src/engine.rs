@@ -383,58 +383,226 @@ pub fn run_restricted_with_provenance(
     tracer: Tracer<'_>,
     prov: Provenance<'_>,
 ) -> Result<(RunStatus, RunStats)> {
-    prov.with(|st| st.seed_system(sys));
-    let mut stats = RunStats::default();
-    let mut rng = match cfg.strategy {
-        Strategy::Random(seed) => Some(StdRng::seed_from_u64(seed)),
-        _ => None,
-    };
-    let delta = cfg.mode == EngineMode::Delta;
+    let mut runner = RoundRunner::new(cfg);
+    loop {
+        if let Some(status) =
+            runner.step_restricted_with_provenance(sys, &allow, tracer, prov)?
+        {
+            return Ok((status, runner.stats(sys)));
+        }
+    }
+}
 
-    // Delta-mode bookkeeping. Read sets are derivable once per run: the
-    // document and service name spaces of a system are fixed, only
-    // document *contents* evolve. Logical time is a single counter that
-    // ticks on every document change; a call may be skipped iff no
-    // document of its read set changed after the call's last invocation.
-    let read_sets: FxHashMap<Sym, ReadSet> = if delta {
-        sys.service_names()
-            .iter()
-            .map(|&f| (f, read_set(sys, f)))
-            .collect()
-    } else {
-        FxHashMap::default()
-    };
-    let mut stamp: u64 = 0;
-    let mut doc_changed_at: FxHashMap<Sym, u64> = FxHashMap::default();
-    let mut invoked_at: FxHashMap<(Sym, NodeId), u64> = FxHashMap::default();
-    let mut cache = MatchCache::new();
-    // Program cache: compiled match programs per service, kept for the
-    // whole run (unlike the delta-only match cache it pays off in every
-    // mode — a service's pattern never changes mid-run).
-    let mut pcache = ProgramCache::new();
+/// A resumable fair-rewriting driver: the engine's run loop with its
+/// per-run state (delta bookkeeping, match/program caches, strategy
+/// RNG, counters) hoisted into a value, exposing **one round per
+/// [`RoundRunner::step`] call**.
+///
+/// [`run_restricted_with_provenance`] — and therefore every `run_*`
+/// entry point — is a thin loop over `step`, so a stepped run is
+/// bit-for-bit identical (documents, stats, trace journal, provenance)
+/// to the equivalent one-shot run. The point of stepping is what can
+/// happen *between* rounds: the `axml-server` crate drains
+/// [`crate::eval::QueryCursor`]s there to stream subscription deltas
+/// while the fixpoint is still growing, and interleaves batched
+/// snapshot queries against the round-consistent intermediate system.
+///
+/// After `step` returns `Some(status)` the run is over; further calls
+/// return the same status without touching the system. Final statistics
+/// (cache counters, node counts) are assembled by [`RoundRunner::stats`].
+///
+/// ```
+/// use axml_core::engine::{run, EngineConfig, RoundRunner};
+/// use axml_core::system::System;
+/// use axml_core::trace::Tracer;
+///
+/// let build = || -> System {
+///     let mut sys = System::new();
+///     sys.add_document_text(
+///         "edges",
+///         r#"r{t{from{"1"},to{"2"}}, t{from{"2"},to{"3"}}, @tc}"#,
+///     )
+///     .unwrap();
+///     sys.add_service_text(
+///         "tc",
+///         "t{from{$x},to{$y}} :- edges/r{t{from{$x},to{$z}}, t{from{$z},to{$y}}}",
+///     )
+///     .unwrap();
+///     sys
+/// };
+///
+/// // Stepped run…
+/// let cfg = EngineConfig::default();
+/// let mut sys = build();
+/// let mut runner = RoundRunner::new(&cfg);
+/// let status = loop {
+///     if let Some(s) = runner.step(&mut sys, Tracer::disabled())? {
+///         break s;
+///     }
+///     // …a server would serve queries / push deltas here…
+/// };
+/// let stats = runner.stats(&sys);
+///
+/// // …is bit-for-bit the one-shot run.
+/// let mut sys2 = build();
+/// let (status2, stats2) = run(&mut sys2, &cfg)?;
+/// assert_eq!(status, status2);
+/// assert_eq!(stats.rounds, stats2.rounds);
+/// assert_eq!(sys.canonical_key(), sys2.canonical_key());
+/// # Ok::<(), axml_core::AxmlError>(())
+/// ```
+pub struct RoundRunner {
+    cfg: EngineConfig,
+    stats: RunStats,
+    rng: Option<StdRng>,
+    /// Delta-mode read sets, derived from the system on the first step
+    /// (name spaces are fixed for a run; only contents evolve).
+    read_sets: Option<FxHashMap<Sym, ReadSet>>,
+    stamp: u64,
+    doc_changed_at: FxHashMap<Sym, u64>,
+    invoked_at: FxHashMap<(Sym, NodeId), u64>,
+    cache: MatchCache,
+    /// Program cache: compiled match programs per service, kept for the
+    /// whole run (unlike the delta-only match cache it pays off in
+    /// every mode — a service's pattern never changes mid-run).
+    pcache: ProgramCache,
+    /// Parallel-mode state: one persistent match cache per worker (the
+    /// job→worker assignment is a fixed stride, so a worker tends to
+    /// see the same calls every round and its cache keeps paying off).
+    /// Same per-worker ownership for the program caches.
+    wcaches: Vec<MatchCache>,
+    wpcaches: Vec<ProgramCache>,
+    seeded: bool,
+    status: Option<RunStatus>,
+}
 
-    // Parallel-mode state: one persistent match cache per worker (the
-    // job→worker assignment is a fixed stride, so a worker tends to see
-    // the same calls every round and its cache keeps paying off). Same
-    // per-worker ownership for the program caches.
-    let workers = cfg.parallelism.worker_count();
-    let mut wcaches: Vec<MatchCache> = Vec::new();
-    wcaches.resize_with(workers, MatchCache::new);
-    let mut wpcaches: Vec<ProgramCache> = Vec::new();
-    wpcaches.resize_with(workers, ProgramCache::new);
+impl RoundRunner {
+    /// A fresh runner for one run of a system under `cfg`.
+    pub fn new(cfg: &EngineConfig) -> RoundRunner {
+        let workers = cfg.parallelism.worker_count();
+        let mut wcaches: Vec<MatchCache> = Vec::new();
+        wcaches.resize_with(workers, MatchCache::new);
+        let mut wpcaches: Vec<ProgramCache> = Vec::new();
+        wpcaches.resize_with(workers, ProgramCache::new);
+        RoundRunner {
+            cfg: *cfg,
+            stats: RunStats::default(),
+            rng: match cfg.strategy {
+                Strategy::Random(seed) => Some(StdRng::seed_from_u64(seed)),
+                _ => None,
+            },
+            read_sets: None,
+            stamp: 0,
+            doc_changed_at: FxHashMap::default(),
+            invoked_at: FxHashMap::default(),
+            cache: MatchCache::new(),
+            pcache: ProgramCache::new(),
+            wcaches,
+            wpcaches,
+            seeded: false,
+            status: None,
+        }
+    }
 
-    let status = 'run: loop {
+    /// Why the run stopped, once it has ([`RoundRunner::step`] returned
+    /// `Some`); `None` while rounds remain.
+    pub fn status(&self) -> Option<RunStatus> {
+        self.status
+    }
+
+    /// Complete rounds executed so far.
+    pub fn rounds(&self) -> usize {
+        self.stats.rounds
+    }
+
+    /// Execute one fair round: all live calls, no restriction, no
+    /// provenance. Returns `Some(status)` when the run is over (this
+    /// round hit a fixpoint or a budget), `None` when more rounds
+    /// remain.
+    pub fn step(
+        &mut self,
+        sys: &mut System,
+        tracer: Tracer<'_>,
+    ) -> Result<Option<RunStatus>> {
+        self.step_restricted_with_provenance(
+            sys,
+            &|_, _| true,
+            tracer,
+            Provenance::disabled(),
+        )
+    }
+
+    /// The statistics of the run so far, with the end-of-run fields
+    /// (final node count, cache and program counters summed across
+    /// evaluation lanes) assembled from the current state.
+    pub fn stats(&self, sys: &System) -> RunStats {
+        let mut stats = self.stats.clone();
+        stats.final_nodes = sys.node_count();
+        stats.cache_hits =
+            self.cache.hits() + self.wcaches.iter().map(MatchCache::hits).sum::<usize>();
+        stats.cache_misses = self.cache.misses()
+            + self.wcaches.iter().map(MatchCache::misses).sum::<usize>();
+        let pcaches = std::iter::once(&self.pcache).chain(self.wpcaches.iter());
+        for pc in pcaches {
+            stats.programs_compiled += pc.compiles() as usize;
+            stats.program_cache_hits += pc.hits() as usize;
+            stats.program_cache_misses += pc.misses() as usize;
+        }
+        stats
+    }
+
+    /// [`RoundRunner::step`] restricted to `allow` and recording
+    /// provenance — the full-generality round body shared by every
+    /// `run_*` entry point.
+    pub fn step_restricted_with_provenance(
+        &mut self,
+        sys: &mut System,
+        allow: &impl Fn(Sym, NodeId) -> bool,
+        tracer: Tracer<'_>,
+        prov: Provenance<'_>,
+    ) -> Result<Option<RunStatus>> {
+        if self.status.is_some() {
+            return Ok(self.status);
+        }
+        if !self.seeded {
+            prov.with(|st| st.seed_system(sys));
+            self.seeded = true;
+        }
+        let cfg = &self.cfg;
+        let delta = cfg.mode == EngineMode::Delta;
+        // Delta-mode bookkeeping. Read sets are derivable once per run:
+        // the document and service name spaces of a system are fixed,
+        // only document *contents* evolve. Logical time is a single
+        // counter that ticks on every document change; a call may be
+        // skipped iff no document of its read set changed after the
+        // call's last invocation.
+        let read_sets: &FxHashMap<Sym, ReadSet> =
+            self.read_sets.get_or_insert_with(|| {
+                if delta {
+                    sys.service_names()
+                        .iter()
+                        .map(|&f| (f, read_set(sys, f)))
+                        .collect()
+                } else {
+                    FxHashMap::default()
+                }
+            });
+        let doc_changed_at = &mut self.doc_changed_at;
+        let invoked_at = &mut self.invoked_at;
+        let stats = &mut self.stats;
+        let workers = cfg.parallelism.worker_count();
+
         let mut pending = sys.function_nodes();
         match cfg.strategy {
             Strategy::RoundRobin => {}
             Strategy::Reverse => pending.reverse(),
-            Strategy::Random(_) => {
-                pending.shuffle(rng.as_mut().expect("random strategy has an rng"))
-            }
+            Strategy::Random(_) => pending
+                .shuffle(self.rng.as_mut().expect("random strategy has an rng")),
         }
         pending.retain(|&(d, n)| allow(d, n));
         if pending.is_empty() {
-            break 'run RunStatus::Terminated;
+            self.status = Some(RunStatus::Terminated);
+            return Ok(self.status);
         }
         let round = stats.rounds as u64;
         tracer.emit(|| EventKind::RoundStart { round });
@@ -457,7 +625,7 @@ pub fn run_restricted_with_provenance(
                 };
                 if delta
                     && delta_skip(
-                        sys, &read_sets, &doc_changed_at, &invoked_at, d, n,
+                        sys, read_sets, doc_changed_at, invoked_at, d, n,
                         fname, round, tracer, prov,
                     )
                 {
@@ -488,6 +656,8 @@ pub fn run_restricted_with_provenance(
                 let prov_on = prov.enabled();
                 let match_strategy = cfg.match_strategy;
                 let eval_t0 = Instant::now();
+                let wcaches = &mut self.wcaches;
+                let wpcaches = &mut self.wpcaches;
                 let sys_ref: &System = sys;
                 let jobs_ref: &[(Sym, NodeId, Sym)] = &jobs;
                 type WorkerOut = (Vec<(usize, Result<GraftPlan>)>, Option<Journal>);
@@ -580,7 +750,7 @@ pub fn run_restricted_with_provenance(
                 // subsumption inside `apply_plan` re-checks against the
                 // current siblings, so a plan whose data an earlier
                 // same-round commit already produced grafts nothing.
-                let round_stamp = stamp;
+                let round_stamp = self.stamp;
                 for (i, &(d, n, fname)) in jobs.iter().enumerate() {
                     let plan = plans[i]
                         .take()
@@ -621,8 +791,8 @@ pub fn run_restricted_with_provenance(
                         // round.
                         invoked_at.insert((d, n), round_stamp);
                         if outcome.changed {
-                            stamp += 1;
-                            doc_changed_at.insert(d, stamp);
+                            self.stamp += 1;
+                            doc_changed_at.insert(d, self.stamp);
                         }
                     }
                     if outcome.changed {
@@ -630,12 +800,14 @@ pub fn run_restricted_with_provenance(
                         any_change = true;
                     }
                     if sys.node_count() > cfg.max_nodes {
-                        break 'run RunStatus::NodeBudget;
+                        self.status = Some(RunStatus::NodeBudget);
+                        return Ok(self.status);
                     }
                 }
             }
             if over_budget {
-                break 'run RunStatus::InvocationBudget;
+                self.status = Some(RunStatus::InvocationBudget);
+                return Ok(self.status);
             }
         } else {
             for (d, n) in pending {
@@ -651,7 +823,7 @@ pub fn run_restricted_with_provenance(
                 };
                 if delta
                     && delta_skip(
-                        sys, &read_sets, &doc_changed_at, &invoked_at, d, n,
+                        sys, read_sets, doc_changed_at, invoked_at, d, n,
                         fname, round, tracer, prov,
                     )
                 {
@@ -659,7 +831,8 @@ pub fn run_restricted_with_provenance(
                     continue;
                 }
                 if stats.invocations >= cfg.max_invocations {
-                    break 'run RunStatus::InvocationBudget;
+                    self.status = Some(RunStatus::InvocationBudget);
+                    return Ok(self.status);
                 }
                 tracer.emit(|| EventKind::CallSelected {
                     doc: d,
@@ -671,8 +844,8 @@ pub fn run_restricted_with_provenance(
                     sys,
                     d,
                     n,
-                    delta.then_some(&mut cache),
-                    cfg.compile.then_some(&mut pcache),
+                    delta.then_some(&mut self.cache),
+                    cfg.compile.then_some(&mut self.pcache),
                     tracer,
                     prov,
                     round,
@@ -696,10 +869,10 @@ pub fn run_restricted_with_provenance(
                     // The invocation read state at time `stamp`; its own
                     // change (if any) is stamped strictly later so calls
                     // reading their host document re-fire.
-                    invoked_at.insert((d, n), stamp);
+                    invoked_at.insert((d, n), self.stamp);
                     if outcome.changed {
-                        stamp += 1;
-                        doc_changed_at.insert(d, stamp);
+                        self.stamp += 1;
+                        doc_changed_at.insert(d, self.stamp);
                     }
                 }
                 if outcome.changed {
@@ -707,7 +880,8 @@ pub fn run_restricted_with_provenance(
                     any_change = true;
                 }
                 if sys.node_count() > cfg.max_nodes {
-                    break 'run RunStatus::NodeBudget;
+                    self.status = Some(RunStatus::NodeBudget);
+                    return Ok(self.status);
                 }
             }
         }
@@ -717,20 +891,10 @@ pub fn run_restricted_with_provenance(
             changed: any_change,
         });
         if !any_change {
-            break 'run RunStatus::Terminated;
+            self.status = Some(RunStatus::Terminated);
         }
-    };
-    stats.final_nodes = sys.node_count();
-    stats.cache_hits = cache.hits() + wcaches.iter().map(MatchCache::hits).sum::<usize>();
-    stats.cache_misses =
-        cache.misses() + wcaches.iter().map(MatchCache::misses).sum::<usize>();
-    let pcaches = std::iter::once(&pcache).chain(wpcaches.iter());
-    for pc in pcaches {
-        stats.programs_compiled += pc.compiles() as usize;
-        stats.program_cache_hits += pc.hits() as usize;
-        stats.program_cache_misses += pc.misses() as usize;
+        Ok(self.status)
     }
-    Ok((status, stats))
 }
 
 #[cfg(test)]

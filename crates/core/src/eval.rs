@@ -50,6 +50,18 @@ impl<'a> Env<'a> {
         }
     }
 
+    /// The environment of a top-level (client-side) snapshot query:
+    /// every stored document of `sys`, nothing else. Constant-time —
+    /// documents are resolved lazily via `sys`. This is what the
+    /// `axml-server` crate evaluates `query`/`batch`/`subscribe` frames
+    /// under.
+    pub fn for_system(sys: &'a System) -> Env<'a> {
+        Env {
+            docs: FxHashMap::default(),
+            sys: Some(sys),
+        }
+    }
+
     /// Register document `name`.
     pub fn insert(&mut self, name: Sym, doc: &'a Tree) {
         self.docs.insert(name, doc);
@@ -420,6 +432,76 @@ fn build_children(
         build_children(head, hc, out, oc, b)?;
     }
     Ok(())
+}
+
+/// A continuous-query delta extractor: repeated [`QueryCursor::poll`]s
+/// against a growing [`System`] return only the answer trees **not yet
+/// seen** by this cursor, keyed by canonical equivalence
+/// ([`crate::reduce::canonical_key`], Definition 2.2).
+///
+/// Snapshot evaluation is monotone (Proposition 3.1 (1)): as the system
+/// grows under fair rewriting, `q(I)` only gains answers (up to
+/// subsumption), so the concatenation of all polled deltas *is* the
+/// final answer set — the invariant behind the `axml-server`
+/// subscription protocol, which polls a cursor between
+/// [`crate::engine::RoundRunner::step`]s and streams each non-empty
+/// delta as one wire frame.
+///
+/// ```
+/// use axml_core::eval::QueryCursor;
+/// use axml_core::query::parse_query;
+/// use axml_core::system::System;
+///
+/// let mut sys = System::new();
+/// sys.add_document_text("db", r#"db{entry{"a"}}"#)?;
+/// let q = parse_query("hit{$x} :- db/db{entry{$x}}")?;
+/// let mut cursor = QueryCursor::new(q);
+///
+/// // First poll sees the one answer…
+/// assert_eq!(cursor.poll(&sys)?.len(), 1);
+/// // …a second poll over the unchanged system sees nothing new.
+/// assert!(cursor.poll(&sys)?.is_empty());
+/// # Ok::<(), axml_core::AxmlError>(())
+/// ```
+pub struct QueryCursor {
+    query: Query,
+    seen: crate::sym::FxHashSet<crate::reduce::CanonKey>,
+}
+
+impl QueryCursor {
+    /// A fresh cursor for `query`; nothing seen yet.
+    pub fn new(query: Query) -> QueryCursor {
+        QueryCursor {
+            query,
+            seen: crate::sym::FxHashSet::default(),
+        }
+    }
+
+    /// The registered query.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// Distinct (up to equivalence) answer trees returned so far.
+    pub fn seen(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Evaluate the query against the system's current documents and
+    /// return the answer trees not seen by any earlier poll, in the
+    /// evaluation's (deterministic) result order. An unchanged system
+    /// yields an empty delta.
+    pub fn poll(&mut self, sys: &System) -> Result<Vec<Tree>> {
+        let env = Env::for_system(sys);
+        let forest = snapshot(&self.query, &env)?;
+        let mut fresh = Vec::new();
+        for t in forest.trees() {
+            if self.seen.insert(crate::reduce::canonical_key(t)) {
+                fresh.push(t.clone());
+            }
+        }
+        Ok(fresh)
+    }
 }
 
 #[cfg(test)]

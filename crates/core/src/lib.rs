@@ -28,7 +28,12 @@
 //! * **observability** (implementation-level, not from the paper):
 //!   structured trace journal, per-service metrics, Chrome-trace export —
 //!   [`trace`]; per-node data lineage and derivation explanations —
-//!   [`provenance`].
+//!   [`provenance`];
+//! * **serving entry points** (implementation-level, not from the
+//!   paper): resumable round-at-a-time engine stepping
+//!   ([`engine::RoundRunner`]) and continuous-query delta extraction
+//!   ([`eval::QueryCursor`]) — the hooks the `axml-server` crate builds
+//!   its batched requests and streaming subscriptions on.
 //!
 //! # Quickstart
 //!
@@ -95,15 +100,17 @@ pub use depgraph::{read_set, ReadSet};
 pub use error::{AxmlError, Result};
 pub use forest::Forest;
 pub use engine::{
-    run, run_traced, EngineConfig, EngineMode, RunStats, RunStatus, Strategy,
+    run, run_traced, EngineConfig, EngineMode, RoundRunner, RunStats, RunStatus,
+    Strategy,
 };
-pub use eval::{snapshot, snapshot_with_cache, Env, MatchCache};
+pub use eval::{snapshot, snapshot_with_cache, Env, MatchCache, QueryCursor};
 pub use index::{DocIndex, IndexStats};
 pub use invoke::{invoke_node, invoke_node_cached};
 pub use matcher::MatchStrategy;
 pub use trace::{
-    chrome_trace, parse_chrome_trace, validate_chrome_trace, ChromeEvent,
-    EventKind, Journal, MetricsRegistry, TraceEvent, TraceSink, Tracer,
+    chrome_trace, json_escape, parse_chrome_trace, parse_json,
+    validate_chrome_trace, ChromeEvent, EventKind, JsonValue, Journal,
+    MetricsRegistry, ReqKind, SessionMetrics, TraceEvent, TraceSink, Tracer,
 };
 pub use provenance::{
     DerivationDag, InvocationRecord, Origin, Provenance, ProvenanceStore, SkipRecord,

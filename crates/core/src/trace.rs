@@ -9,9 +9,11 @@
 //!
 //! * [`EventKind`] / [`TraceEvent`] — the event taxonomy: engine phases
 //!   (round start/end), call selection and delta-skips, match-cache
-//!   traffic, grafts, reductions, subsumption checks, and p2p message
-//!   send/receive. Every recorded event carries a strictly increasing
-//!   sequence number and a monotone nanosecond timestamp.
+//!   traffic, grafts, reductions, subsumption checks, p2p message
+//!   send/receive, and the `axml-server` request lifecycle
+//!   (receive/serve/batch/subscription-push). Every recorded event
+//!   carries a strictly increasing sequence number and a monotone
+//!   nanosecond timestamp.
 //! * [`TraceSink`] — where events go. Implementations: [`Journal`]
 //!   (an in-memory ordered log, the basis for exporters and for tests
 //!   asserting on event streams), [`MetricsRegistry`] (aggregation into
@@ -79,6 +81,49 @@ impl MsgKind {
             MsgKind::Response => "response",
             MsgKind::Changed => "changed",
             MsgKind::Poll => "poll",
+        }
+    }
+}
+
+/// The kind of a server request frame, for [`EventKind::RequestRecv`] /
+/// [`EventKind::RequestServed`]. Mirrors the request catalogue of
+/// `docs/protocol.md` (the `axml-server` wire spec).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReqKind {
+    /// Protocol handshake (`hello`).
+    Hello,
+    /// Session creation (`open`).
+    Open,
+    /// Run a session's system to fixpoint or budget (`run`).
+    Run,
+    /// One snapshot query (`query`).
+    Query,
+    /// An explicit batch of snapshot queries (`batch`).
+    Batch,
+    /// A streaming continuous query (`subscribe`).
+    Subscribe,
+    /// Session teardown (`close`).
+    Close,
+    /// Server/session counters (`stats`).
+    Stats,
+    /// Server shutdown (`shutdown`).
+    Shutdown,
+}
+
+impl ReqKind {
+    /// Short lowercase name, matching the frame's `type` tag on the
+    /// wire (used by exporters).
+    pub fn name(self) -> &'static str {
+        match self {
+            ReqKind::Hello => "hello",
+            ReqKind::Open => "open",
+            ReqKind::Run => "run",
+            ReqKind::Query => "query",
+            ReqKind::Batch => "batch",
+            ReqKind::Subscribe => "subscribe",
+            ReqKind::Close => "close",
+            ReqKind::Stats => "stats",
+            ReqKind::Shutdown => "shutdown",
         }
     }
 }
@@ -288,6 +333,59 @@ pub enum EventKind {
     ProgramCacheMiss {
         /// The service whose program was (re)compiled.
         service: Sym,
+    },
+    /// An `axml-server` request frame was received and admitted. The
+    /// matching [`EventKind::RequestServed`] carries the latency.
+    RequestRecv {
+        /// Session the request addresses (`-` for session-less frames
+        /// such as `hello` and `shutdown`).
+        session: Sym,
+        /// Request frame kind.
+        kind: ReqKind,
+        /// Client-chosen request id echoed on the response (0 if the
+        /// frame carried none).
+        id: u64,
+    },
+    /// An `axml-server` request was served: the response (or error)
+    /// frame was written back to the client.
+    RequestServed {
+        /// Session the request addressed (`-` for session-less frames).
+        session: Sym,
+        /// Request frame kind.
+        kind: ReqKind,
+        /// Client-chosen request id echoed on the response (0 if none).
+        id: u64,
+        /// `false` iff the response was an `error` frame.
+        ok: bool,
+        /// Wall-clock receive-to-response latency, nanoseconds.
+        dur_ns: u64,
+    },
+    /// The server's dataloader coalesced `size` compatible query
+    /// requests into one batch evaluated under a single session lock
+    /// (one snapshot, shared caches) — see `docs/protocol.md`.
+    BatchFormed {
+        /// Session the batch evaluated against.
+        session: Sym,
+        /// Query requests coalesced into the batch.
+        size: u32,
+        /// Wall-clock evaluation time for the whole batch, nanoseconds.
+        dur_ns: u64,
+    },
+    /// A subscription delta push: `trees` not-yet-seen answer trees
+    /// streamed to the subscriber after engine round `round`, with the
+    /// subscribed system at version `version` (the delta stamp).
+    SubscriptionPush {
+        /// Session the subscription reads.
+        session: Sym,
+        /// Client-chosen subscription id.
+        sub: u64,
+        /// New answer trees in this push.
+        trees: u32,
+        /// Engine round after which the delta was extracted.
+        round: u64,
+        /// The subscribed system's version counter (sum of document
+        /// versions) at push time.
+        version: u64,
     },
 }
 
@@ -746,6 +844,41 @@ pub struct GlobalMetrics {
     pub program_shared_ops: u64,
     /// Total wall-clock time spent compiling programs, ns.
     pub compile_ns: u64,
+    /// Server request frames received ([`EventKind::RequestRecv`]).
+    pub requests_recv: u64,
+    /// Server requests served ([`EventKind::RequestServed`]).
+    pub requests_served: u64,
+    /// Served requests whose response was an `error` frame.
+    pub request_errors: u64,
+    /// Query batches formed by the server's dataloader
+    /// ([`EventKind::BatchFormed`]).
+    pub batches_formed: u64,
+    /// Query requests coalesced into those batches, total.
+    pub batched_requests: u64,
+    /// Largest batch coalesced.
+    pub batch_max: u32,
+    /// Subscription delta pushes ([`EventKind::SubscriptionPush`]).
+    pub subscription_pushes: u64,
+    /// Answer trees streamed across all subscription pushes.
+    pub pushed_trees: u64,
+}
+
+/// Per-session aggregates maintained by a [`MetricsRegistry`] from the
+/// `axml-server` request events.
+#[derive(Clone, Debug, Default)]
+pub struct SessionMetrics {
+    /// Request frames received for this session.
+    pub requests: u64,
+    /// Requests answered with an `error` frame.
+    pub errors: u64,
+    /// Query batches evaluated against this session.
+    pub batches: u64,
+    /// Subscription delta pushes from this session.
+    pub pushes: u64,
+    /// Answer trees streamed to this session's subscribers.
+    pub pushed_trees: u64,
+    /// Receive-to-response request latency distribution, nanoseconds.
+    pub latency_ns: Histogram,
 }
 
 struct MetricsInner {
@@ -753,6 +886,10 @@ struct MetricsInner {
     globals: GlobalMetrics,
     /// Worker-side evaluation latency, per worker id (0-based).
     workers: FxHashMap<u32, Histogram>,
+    /// Per-session server request aggregates.
+    sessions: FxHashMap<Sym, SessionMetrics>,
+    /// Server request latency across all sessions (the p50/p99 source).
+    requests: Histogram,
 }
 
 /// A [`TraceSink`] that aggregates the event stream into per-service
@@ -777,6 +914,8 @@ impl MetricsRegistry {
                 services: FxHashMap::default(),
                 globals: GlobalMetrics::default(),
                 workers: FxHashMap::default(),
+                sessions: FxHashMap::default(),
+                requests: Histogram::new(),
             }),
         }
     }
@@ -797,6 +936,26 @@ impl MetricsRegistry {
     /// The aggregates for one service, if it appeared in the stream.
     pub fn service(&self, name: Sym) -> Option<ServiceMetrics> {
         self.inner.borrow().services.get(&name).cloned()
+    }
+
+    /// The server-request aggregates for one session, if it appeared in
+    /// the stream.
+    pub fn session(&self, name: Sym) -> Option<SessionMetrics> {
+        self.inner.borrow().sessions.get(&name).cloned()
+    }
+
+    /// Names of all sessions seen, sorted by name.
+    pub fn session_names(&self) -> Vec<Sym> {
+        let mut names: Vec<Sym> = self.inner.borrow().sessions.keys().copied().collect();
+        names.sort_unstable_by_key(|s| s.as_str());
+        names
+    }
+
+    /// The all-sessions server request latency histogram (nanoseconds),
+    /// fed by [`EventKind::RequestServed`] — the p50/p99 source of the
+    /// `server:` report line and the X19 experiment.
+    pub fn request_latency(&self) -> Histogram {
+        self.inner.borrow().requests.clone()
     }
 
     /// Names of all services seen, sorted by name.
@@ -891,6 +1050,43 @@ impl MetricsRegistry {
                 hit_rate,
                 g.compile_ns / 1_000,
             );
+        }
+        if g.requests_recv > 0 || g.requests_served > 0 {
+            let h = &inner.requests;
+            let _ = writeln!(
+                out,
+                "server: requests {} served {} (errors {})  p50 {} us  p99 {} us  max {} us  \
+                 batches {} (reqs {} max {})  pushes {} ({} trees)",
+                g.requests_recv,
+                g.requests_served,
+                g.request_errors,
+                h.quantile(0.5) / 1_000,
+                h.quantile(0.99) / 1_000,
+                h.max() / 1_000,
+                g.batches_formed,
+                g.batched_requests,
+                g.batch_max,
+                g.subscription_pushes,
+                g.pushed_trees,
+            );
+            let mut names: Vec<Sym> = inner.sessions.keys().copied().collect();
+            names.sort_unstable_by_key(|s| s.as_str());
+            for name in names {
+                let s = &inner.sessions[&name];
+                let _ = writeln!(
+                    out,
+                    "  session {:<14} requests {:>6} (errors {})  batches {:>5}  \
+                     pushes {:>5} ({} trees)  p50 {} us  p99 {} us",
+                    name.as_str(),
+                    s.requests,
+                    s.errors,
+                    s.batches,
+                    s.pushes,
+                    s.pushed_trees,
+                    s.latency_ns.quantile(0.5) / 1_000,
+                    s.latency_ns.quantile(0.99) / 1_000,
+                );
+            }
         }
         let _ = writeln!(
             out,
@@ -1057,11 +1253,46 @@ impl TraceSink for MetricsRegistry {
             EventKind::ProgramCacheMiss { .. } => {
                 inner.globals.program_cache_misses += 1;
             }
+            EventKind::RequestRecv { session, .. } => {
+                inner.globals.requests_recv += 1;
+                inner.sessions.entry(session).or_default().requests += 1;
+            }
+            EventKind::RequestServed {
+                session,
+                ok,
+                dur_ns,
+                ..
+            } => {
+                inner.globals.requests_served += 1;
+                inner.globals.request_errors += u64::from(!ok);
+                inner.requests.record(dur_ns);
+                let s = inner.sessions.entry(session).or_default();
+                s.errors += u64::from(!ok);
+                s.latency_ns.record(dur_ns);
+            }
+            EventKind::BatchFormed { session, size, .. } => {
+                inner.globals.batches_formed += 1;
+                inner.globals.batched_requests += u64::from(size);
+                inner.globals.batch_max = inner.globals.batch_max.max(size);
+                inner.sessions.entry(session).or_default().batches += 1;
+            }
+            EventKind::SubscriptionPush {
+                session, trees, ..
+            } => {
+                inner.globals.subscription_pushes += 1;
+                inner.globals.pushed_trees += u64::from(trees);
+                let s = inner.sessions.entry(session).or_default();
+                s.pushes += 1;
+                s.pushed_trees += u64::from(trees);
+            }
         }
     }
 }
 
-fn json_escape(s: &str) -> String {
+/// Escape a string for embedding between JSON double quotes (the
+/// exporter-side counterpart of the in-repo parser; also used by the
+/// `axml-server` wire layer).
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     for c in s.chars() {
         match c {
@@ -1083,6 +1314,11 @@ fn us(ts_ns: u64) -> f64 {
     ts_ns as f64 / 1_000.0
 }
 
+/// The fixed Chrome-trace thread lane (`tid`) of the `axml-server`
+/// request events — between the peer lanes (2+) and the worker lanes
+/// (1000+), so neither range shifts when a trace mixes all three.
+pub const SERVER_TID: u64 = 500;
+
 /// Export a journal as Chrome `trace_event` JSON (the
 /// `{"traceEvents": [...]}` object format). Load the result in
 /// `chrome://tracing` or <https://ui.perfetto.dev>:
@@ -1098,10 +1334,14 @@ fn us(ts_ns: u64) -> f64 {
 /// in order of first appearance, tids 2+), and parallel-engine
 /// [`EventKind::WorkerEval`] events get one lane per worker at
 /// `tid 1000 + worker` — disjoint from the peer range so peer lane
-/// numbering is unaffected by parallelism. The export leads with
-/// `ph:"M"` metadata events naming the process and every thread lane,
-/// and stable-sorts the events by sequence number so an out-of-order
-/// slice (e.g. a hand-merged journal) still renders deterministically.
+/// numbering is unaffected by parallelism. `axml-server` request events
+/// ([`EventKind::RequestRecv`] / [`EventKind::RequestServed`] /
+/// [`EventKind::BatchFormed`] / [`EventKind::SubscriptionPush`]) share
+/// the fixed `tid` 500 — the "server" swimlane, between the peer and
+/// worker ranges. The export leads with `ph:"M"` metadata events naming
+/// the process and every thread lane, and stable-sorts the events by
+/// sequence number so an out-of-order slice (e.g. a hand-merged
+/// journal) still renders deterministically.
 pub fn chrome_trace(events: &[TraceEvent]) -> String {
     // Stable order: by the journal's own seq stamp. Merged journals
     // are already seq-ordered; this makes the export robust to callers
@@ -1113,6 +1353,7 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
     // parallel worker gets the fixed lane 1000 + its id.
     let mut lanes: Vec<(Sym, u64)> = Vec::new();
     let mut worker_lanes: Vec<u64> = Vec::new();
+    let mut server_lane = false;
     let lane = |lanes: &mut Vec<(Sym, u64)>, peer: Sym| -> u64 {
         if let Some(&(_, t)) = lanes.iter().find(|(p, _)| *p == peer) {
             return t;
@@ -1135,6 +1376,13 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
                     }
                     t
                 }
+                EventKind::RequestRecv { .. }
+                | EventKind::RequestServed { .. }
+                | EventKind::BatchFormed { .. }
+                | EventKind::SubscriptionPush { .. } => {
+                    server_lane = true;
+                    SERVER_TID
+                }
                 _ => 1,
             };
             chrome_row(ev, tid)
@@ -1155,6 +1403,13 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
             ",\n{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\
              \"tid\":{tid},\"args\":{{\"name\":\"{}\"}}}}",
             json_escape(peer.as_str())
+        );
+    }
+    if server_lane {
+        let _ = write!(
+            out,
+            ",\n{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\
+             \"tid\":{SERVER_TID},\"args\":{{\"name\":\"server\"}}}}",
         );
     }
     for tid in &worker_lanes {
@@ -1362,6 +1617,54 @@ fn chrome_row(ev: &TraceEvent, tid: u64) -> String {
         EventKind::ProgramCacheMiss { service } => {
             instant(&format!("program miss {service}"), "compile", String::new())
         }
+        EventKind::RequestRecv { session, kind, id } => instant(
+            &format!("recv {}", kind.name()),
+            "server",
+            format!("\"session\":\"{}\",\"id\":{id}", json_escape(session.as_str())),
+        ),
+        EventKind::RequestServed {
+            session,
+            kind,
+            id,
+            ok,
+            dur_ns,
+        } => {
+            let start = us(ev.ts_ns.saturating_sub(dur_ns));
+            format!(
+                "{},\"dur\":{:.3},\"args\":{{\"session\":\"{}\",\"id\":{id},\"ok\":{ok}}}}}",
+                common(&format!("serve {}", kind.name()), "X", "server", start),
+                us(dur_ns),
+                json_escape(session.as_str()),
+            )
+        }
+        EventKind::BatchFormed {
+            session,
+            size,
+            dur_ns,
+        } => {
+            let start = us(ev.ts_ns.saturating_sub(dur_ns));
+            format!(
+                "{},\"dur\":{:.3},\"args\":{{\"session\":\"{}\",\"size\":{size}}}}}",
+                common("batch", "X", "server", start),
+                us(dur_ns),
+                json_escape(session.as_str()),
+            )
+        }
+        EventKind::SubscriptionPush {
+            session,
+            sub,
+            trees,
+            round,
+            version,
+        } => instant(
+            "push",
+            "server",
+            format!(
+                "\"session\":\"{}\",\"sub\":{sub},\"trees\":{trees},\
+                 \"round\":{round},\"version\":{version}",
+                json_escape(session.as_str())
+            ),
+        ),
     }
 }
 
@@ -1614,18 +1917,79 @@ impl<'a> JsonParser<'a> {
 }
 
 /// A fully-decoded JSON value (strings with their escapes resolved,
-/// including `\uXXXX` surrogate pairs).
+/// including `\uXXXX` surrogate pairs). Parsed by [`parse_json`]; the
+/// decode side of the trace exporters and the `axml-server` wire layer.
 #[derive(Clone, Debug, PartialEq)]
-enum JsonValue {
+pub enum JsonValue {
+    /// `null`.
     Null,
+    /// `true` / `false`.
     Bool(bool),
+    /// A number (JSON numbers are IEEE doubles).
     Num(f64),
+    /// A string, escapes resolved.
     Str(String),
+    /// An array.
     Arr(Vec<JsonValue>),
+    /// An object: fields in source order (duplicate keys preserved;
+    /// lookups take the first).
     Obj(Vec<(String, JsonValue)>),
 }
 
 impl JsonValue {
+    /// Object-field lookup by key (first match; `None` on non-objects).
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => {
+                fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as a `u64`, if this is a non-negative
+    /// integral number in `u64` range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= 1.8e19 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
     /// Render a scalar for [`ChromeEvent::args`]; containers summarize.
     fn render(&self) -> String {
         match self {
@@ -1643,6 +2007,20 @@ impl JsonValue {
             JsonValue::Obj(fields) => format!("{{{} keys}}", fields.len()),
         }
     }
+}
+
+/// Parse one complete JSON document into a [`JsonValue`], rejecting
+/// trailing non-whitespace — the in-repo replacement for a JSON
+/// dependency, shared by [`parse_chrome_trace`] and the `axml-server`
+/// frame decoder. Errors carry the byte offset of the failure.
+pub fn parse_json(s: &str) -> Result<JsonValue, String> {
+    let mut p = JsonParser::new(s);
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.peek().is_some() {
+        return Err(p.err("trailing content after JSON document"));
+    }
+    Ok(v)
 }
 
 /// One event parsed back from a [`chrome_trace`] export.

@@ -13,7 +13,11 @@
 //!   closure answer;
 //! * [`render_plan`] — the optimized plan IR and match program every
 //!   positive service of the tc-digraph workload (or an ad-hoc rule)
-//!   compiles to, via [`axml_core::compile`].
+//!   compiles to, via [`axml_core::compile`];
+//! * [`serve_report`] — a live in-process `axml-server` driven
+//!   closed-loop by the `axml-load` generator, rendered through the
+//!   same metrics registry (the `server:` block with p50/p99 request
+//!   latency and per-session rows).
 //!
 //! The binary (`src/main.rs`) is a thin argument parser over these.
 
@@ -167,6 +171,43 @@ pub fn run_metrics_report(n: usize, shards: usize, seed: u64) -> String {
         journal.len()
     );
     out
+}
+
+/// Spawn an in-process [`axml_server::Server`] on an ephemeral port,
+/// drive it closed-loop with the `axml-load` generator (one session
+/// per connection, a streaming subscription, then `requests`
+/// point-lookup queries at the given batch width), shut it down, and
+/// return the load line plus the server's rendered metrics report —
+/// the `server:` block with p50/p99 request latency and per-session
+/// rows.
+pub fn serve_report(
+    conns: usize,
+    requests: usize,
+    batch: usize,
+) -> Result<String, String> {
+    let mut handle = axml_server::Server::spawn(
+        "127.0.0.1:0",
+        axml_server::ServerConfig::default(),
+    )
+    .map_err(|e| format!("spawn: {e}"))?;
+    let cfg = axml_server::load::LoadConfig {
+        addr: handle.addr().to_string(),
+        conns,
+        requests,
+        batch,
+        subscribe: true,
+        shutdown: true,
+        ..axml_server::load::LoadConfig::default()
+    };
+    let report = axml_server::load::run(&cfg).map_err(|e| format!("load: {e}"))?;
+    handle.join();
+    Ok(format!(
+        "{}\n{}",
+        report.render(&cfg),
+        handle.report(&format!(
+            "axml-server closed-loop (conns={conns}, requests={requests}, batch={batch})"
+        ))
+    ))
 }
 
 /// Run the tc-digraph closure workload with provenance enabled and

@@ -6,6 +6,7 @@
 //! axml-inspect matrix [--peers K] [--rounds R]
 //! axml-inspect provenance [--n N] [--shards S] [--seed X] [--out FILE]
 //! axml-inspect plan [--n N] [--shards S] [--seed X] [--query RULE] [--scan]
+//! axml-inspect serve [--conns N] [--requests N] [--batch N]
 //! ```
 //!
 //! * `report` runs the tc-digraph closure workload live on the delta
@@ -20,12 +21,16 @@
 //! * `plan` compiles every positive service of the closure workload (or
 //!   the ad-hoc `--query` rule) after running it to fixpoint, and prints
 //!   the optimized plan IR and match program of each.
+//! * `serve` spawns an in-process `axml-server` on an ephemeral port,
+//!   drives it closed-loop with the `axml-load` generator, and prints
+//!   the load line plus the server's metrics report (the `server:`
+//!   block with p50/p99 request latency and per-session rows).
 
 use std::process::ExitCode;
 
 use axml_inspect::{
     deepest_provenance_dot, matrix_from_events, render_events, render_plan,
-    run_metrics_report, EventFilter,
+    run_metrics_report, serve_report, EventFilter,
 };
 
 fn usage() -> ExitCode {
@@ -35,7 +40,8 @@ fn usage() -> ExitCode {
          axml-inspect events <trace.json> [--cat C] [--ph P] [--contains S] [--limit N]\n  \
          axml-inspect matrix [--peers K] [--rounds R]\n  \
          axml-inspect provenance [--n N] [--shards S] [--seed X] [--out FILE]\n  \
-         axml-inspect plan [--n N] [--shards S] [--seed X] [--query RULE] [--scan]"
+         axml-inspect plan [--n N] [--shards S] [--seed X] [--query RULE] [--scan]\n  \
+         axml-inspect serve [--conns N] [--requests N] [--batch N]"
     );
     ExitCode::from(2)
 }
@@ -76,6 +82,7 @@ fn main() -> ExitCode {
         "matrix" => cmd_matrix(&mut args),
         "provenance" => cmd_provenance(&mut args),
         "plan" => cmd_plan(&mut args),
+        "serve" => cmd_serve(&mut args),
         _ => return usage(),
     };
     match result {
@@ -162,6 +169,15 @@ fn cmd_plan(args: &mut Vec<String>) -> Result<(), String> {
     };
     reject_extra(args)?;
     print!("{}", render_plan(n, shards, seed, query.as_deref(), strategy)?);
+    Ok(())
+}
+
+fn cmd_serve(args: &mut Vec<String>) -> Result<(), String> {
+    let conns = take_num(args, "--conns", 2usize)?;
+    let requests = take_num(args, "--requests", 64usize)?;
+    let batch = take_num(args, "--batch", 4usize)?;
+    reject_extra(args)?;
+    print!("{}", serve_report(conns, requests, batch)?);
     Ok(())
 }
 

@@ -1,0 +1,67 @@
+//! `axml-load` — closed-loop load generator for `axml-server`.
+//!
+//! ```text
+//! axml-load [--addr HOST:PORT] [--conns N] [--requests N] [--batch N]
+//!           [--entries N] [--subscribe] [--shutdown]
+//! ```
+//!
+//! Each connection opens its own session, runs it, then issues
+//! `--requests` point-lookup queries in frames of `--batch`, measuring
+//! the client-observed round trip. Prints a one-line report with
+//! p50/p99/max latency and throughput. `--subscribe` additionally
+//! streams a transitive-closure fixpoint per connection; `--shutdown`
+//! stops the server afterwards (the CI smoke job uses both).
+
+use axml_server::load::{run, LoadConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: axml-load [--addr HOST:PORT] [--conns N] [--requests N] [--batch N]\n\
+         \x20                [--entries N] [--subscribe] [--shutdown]"
+    );
+    std::process::exit(2)
+}
+
+fn main() {
+    let mut cfg = LoadConfig::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut val = |name: &str| args.next().unwrap_or_else(|| {
+            eprintln!("missing value for {name}");
+            usage()
+        });
+        match arg.as_str() {
+            "--addr" => cfg.addr = val("--addr"),
+            "--conns" => cfg.conns = parse(&val("--conns")),
+            "--requests" => cfg.requests = parse(&val("--requests")),
+            "--batch" => cfg.batch = parse(&val("--batch")).max(1),
+            "--entries" => cfg.entries = parse(&val("--entries")).max(1),
+            "--subscribe" => cfg.subscribe = true,
+            "--shutdown" => cfg.shutdown = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+    match run(&cfg) {
+        Ok(report) => {
+            println!("{}", report.render(&cfg));
+            if report.errors > 0 {
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("axml-load: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn parse(s: &str) -> usize {
+    s.parse().unwrap_or_else(|_| {
+        eprintln!("not a number: {s:?}");
+        usage()
+    })
+}

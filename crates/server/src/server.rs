@@ -1,0 +1,815 @@
+//! The served engine: TCP accept loop, session table, dataloader
+//! batching, and streaming subscriptions.
+//!
+//! One OS thread per connection (plus a reader thread feeding it
+//! through a channel — the queue the dataloader drains), sessions in a
+//! server-wide table shared across connections, and a [`SharedSink`]
+//! funneling both server-lifecycle and (optionally) engine trace events
+//! into one [`Journal`] + [`MetricsRegistry`] pair behind a mutex.
+//!
+//! The batching discipline is the dataloader one: the handler blocks
+//! for the first frame, then drains whatever else has already arrived;
+//! consecutive `query` frames for the same session inside that drain
+//! are served under a single session lock as one batch (one
+//! [`EventKind::BatchFormed`] event). An explicit `batch` frame is
+//! always its own batch. Answers are bit-for-bit what a direct
+//! [`axml_core::snapshot`] against the same system returns.
+
+use crate::protocol::{codes, ProtoError, Request, Response, PROTOCOL_VERSION};
+use axml_core::engine::{EngineConfig, EngineMode, RunStatus};
+use axml_core::trace::{
+    chrome_trace, EventKind, Histogram, Journal, MetricsRegistry, ReqKind, TraceEvent, TraceSink,
+    Tracer,
+};
+use axml_core::{snapshot, Env, QueryCursor, RoundRunner, Sym, System};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
+use std::thread;
+use std::time::Instant;
+
+/// The server identification string sent in `hello_ok`.
+pub const SERVER_IDENT: &str = concat!("axml-server/", env!("CARGO_PKG_VERSION"));
+
+/// Admission-control knobs and engine defaults. See `docs/server.md`.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Connections accepted concurrently; further ones are refused
+    /// with an `overloaded` error frame.
+    pub max_conns: usize,
+    /// Live sessions server-wide; further `open`s fail `overloaded`.
+    pub max_sessions: usize,
+    /// Most queries served under one session lock — the cap both on
+    /// explicit `batch` frames and on dataloader coalescing.
+    pub max_batch: usize,
+    /// Longest accepted frame line, bytes; longer ones fail
+    /// `too-large` and the connection is closed (the stream can no
+    /// longer be framed).
+    pub max_frame_bytes: usize,
+    /// Engine configuration sessions run with (`run` may override the
+    /// mode and invocation budget per request).
+    pub engine: EngineConfig,
+    /// Record engine-internal events (rounds, invocations, grafts …)
+    /// in the server journal too, not only the server-lifecycle
+    /// events. Verbose; off by default.
+    pub trace_engine: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            max_conns: 64,
+            max_sessions: 256,
+            max_batch: 256,
+            max_frame_bytes: 1 << 20,
+            engine: EngineConfig {
+                mode: EngineMode::Delta,
+                ..EngineConfig::default()
+            },
+            trace_engine: false,
+        }
+    }
+}
+
+/// A `Sync` trace sink: one [`Journal`] and one [`MetricsRegistry`]
+/// behind a mutex, so connection threads (and, with
+/// [`ServerConfig::trace_engine`], the engine itself) can record into a
+/// single timeline. Sequence numbers are stamped in lock-acquisition
+/// order, which keeps the journal strictly ordered.
+pub struct SharedSink {
+    inner: Mutex<SinkInner>,
+}
+
+struct SinkInner {
+    journal: Journal,
+    metrics: MetricsRegistry,
+}
+
+impl SharedSink {
+    /// A fresh sink with its own epoch.
+    pub fn new() -> SharedSink {
+        SharedSink {
+            inner: Mutex::new(SinkInner {
+                journal: Journal::new(),
+                metrics: MetricsRegistry::new(),
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, SinkInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The metrics report (includes the `server:` line once any
+    /// request was served).
+    pub fn report(&self, title: &str) -> String {
+        self.lock().metrics.render_report(title)
+    }
+
+    /// The journal exported as a Chrome trace (server events on the
+    /// dedicated server lane).
+    pub fn chrome_trace(&self) -> String {
+        chrome_trace(&self.lock().journal.snapshot())
+    }
+
+    /// Events recorded so far.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.lock().journal.snapshot()
+    }
+
+    /// The all-sessions request-latency histogram (nanoseconds).
+    pub fn request_latency(&self) -> Histogram {
+        self.lock().metrics.request_latency()
+    }
+
+    /// A snapshot of the global metric counters.
+    pub fn globals(&self) -> axml_core::trace::GlobalMetrics {
+        self.lock().metrics.globals()
+    }
+}
+
+impl Default for SharedSink {
+    fn default() -> SharedSink {
+        SharedSink::new()
+    }
+}
+
+impl TraceSink for SharedSink {
+    fn record(&self, kind: EventKind) {
+        let inner = self.lock();
+        inner.journal.record(kind);
+        inner.metrics.record(kind);
+    }
+
+    fn record_stamped(&self, ev: TraceEvent) {
+        let inner = self.lock();
+        inner.journal.record_stamped(ev);
+        inner.metrics.record_stamped(ev);
+    }
+
+    fn epoch(&self) -> Option<Instant> {
+        self.lock().journal.epoch()
+    }
+}
+
+/// One session: a named AXML [`System`] shared by every connection
+/// that names it.
+struct Session {
+    sys: System,
+}
+
+struct Shared {
+    cfg: ServerConfig,
+    sink: SharedSink,
+    sessions: Mutex<HashMap<String, Arc<Mutex<Session>>>>,
+    conns: AtomicUsize,
+    shutdown: AtomicBool,
+    listen_addr: SocketAddr,
+}
+
+/// The server entry point — see [`Server::spawn`].
+pub struct Server;
+
+/// A handle on a spawned server: its bound address, a shutdown switch,
+/// and access to the shared trace sink for reports and Chrome-trace
+/// export.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<thread::JoinHandle<()>>,
+    conn_threads: Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// serve on a background thread. Returns once the listener is
+    /// bound, so [`ServerHandle::addr`] is immediately connectable.
+    pub fn spawn(addr: impl ToSocketAddrs, cfg: ServerConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            cfg,
+            sink: SharedSink::new(),
+            sessions: Mutex::new(HashMap::new()),
+            conns: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            listen_addr: addr,
+        });
+        let conn_threads = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let shared = Arc::clone(&shared);
+            let conn_threads = Arc::clone(&conn_threads);
+            thread::spawn(move || accept_loop(listener, shared, conn_threads))
+        };
+        Ok(ServerHandle {
+            addr,
+            shared,
+            accept: Some(accept),
+            conn_threads,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound listen address.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether a `shutdown` frame (or [`ServerHandle::shutdown`]) has
+    /// stopped admission.
+    pub fn is_shutting_down(&self) -> bool {
+        self.shared.shutdown.load(Ordering::SeqCst)
+    }
+
+    /// Stop accepting connections (idempotent). Existing connections
+    /// are served until their client disconnects.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Poke the accept loop out of `accept()`.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Wait for the accept loop and every connection thread to finish.
+    /// Call after [`ServerHandle::shutdown`] once clients have
+    /// disconnected; blocks while any connection is still open.
+    pub fn join(&mut self) {
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let handles = std::mem::take(&mut *lock(&self.conn_threads));
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    /// The metrics report rendered from the shared sink.
+    pub fn report(&self, title: &str) -> String {
+        self.shared.sink.report(title)
+    }
+
+    /// The shared sink (journal + metrics) for trace export.
+    pub fn sink(&self) -> &SharedSink {
+        &self.shared.sink
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    conn_threads: Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
+) {
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        // Request/response frames are small; Nagle's algorithm would
+        // stall each one behind the peer's delayed ACK.
+        let _ = stream.set_nodelay(true);
+        let prev = shared.conns.fetch_add(1, Ordering::SeqCst);
+        if prev >= shared.cfg.max_conns {
+            shared.conns.fetch_sub(1, Ordering::SeqCst);
+            refuse(stream, codes::OVERLOADED, "connection limit reached");
+            continue;
+        }
+        let shared = Arc::clone(&shared);
+        let h = thread::spawn(move || {
+            let _ = handle_connection(&stream, &shared);
+            drop(stream);
+            shared.conns.fetch_sub(1, Ordering::SeqCst);
+        });
+        lock(&conn_threads).push(h);
+    }
+}
+
+fn refuse(mut stream: TcpStream, code: &'static str, msg: &str) {
+    let frame = Response::from_error(0, ProtoError::new(code, msg));
+    let _ = writeln!(stream, "{}", frame.to_json());
+}
+
+/// What the reader thread hands the serving loop: a parsed request or
+/// the protocol error its line produced. `RequestRecv` is emitted at
+/// read time, so receive timestamps are honest under batching.
+type Inbound = Result<Request, ProtoError>;
+
+fn handle_connection(stream: &TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
+    let mut out = stream.try_clone()?;
+    let (tx, rx) = mpsc::channel::<Inbound>();
+    let reader_shared = Arc::clone(shared);
+    let reader_stream = stream.try_clone()?;
+    let reader = thread::spawn(move || read_loop(reader_stream, &reader_shared, &tx));
+
+    let mut pending: std::collections::VecDeque<Inbound> = std::collections::VecDeque::new();
+    'serve: loop {
+        if pending.is_empty() {
+            match rx.recv() {
+                Ok(m) => pending.push_back(m),
+                Err(_) => break 'serve, // reader hung up: EOF or I/O error
+            }
+        }
+        while let Ok(m) = rx.try_recv() {
+            pending.push_back(m);
+        }
+        let first = pending.pop_front().expect("refilled above");
+        match first {
+            Err(e) => {
+                // Unparseable frames get an error frame on the wire but
+                // no RequestRecv/RequestServed pair — the metrics track
+                // frames the protocol could attribute.
+                let fatal = e.code == codes::TOO_LARGE;
+                write_frame(&mut out, &Response::from_error(0, e))?;
+                if fatal {
+                    break 'serve; // framing is lost; the stream is unusable
+                }
+            }
+            Ok(req @ Request::Query { .. }) => {
+                // Dataloader coalescing: drain consecutive already-arrived
+                // queries for the same session into one batch.
+                let mut group = vec![req];
+                while group.len() < shared.cfg.max_batch {
+                    match pending.front() {
+                        Some(Ok(Request::Query { session, .. }))
+                            if Some(session.as_str()) == group[0].session() =>
+                        {
+                            let Some(Ok(q)) = pending.pop_front() else {
+                                unreachable!()
+                            };
+                            group.push(q);
+                        }
+                        _ => break,
+                    }
+                }
+                serve_query_group(shared, &mut out, &group)?;
+            }
+            Ok(req) => serve_one(shared, &mut out, req)?,
+        }
+    }
+    drop(rx); // unblocks the reader's send() if it is mid-frame
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+    let _ = reader.join();
+    Ok(())
+}
+
+/// Read frames off the socket, parse them, emit `RequestRecv`, and
+/// queue them for the serving loop. Runs on its own thread so frames
+/// arriving while the server is busy pile up in the channel — the
+/// queue the dataloader batches from.
+fn read_loop(stream: TcpStream, shared: &Arc<Shared>, tx: &mpsc::Sender<Inbound>) {
+    let max = shared.cfg.max_frame_bytes as u64;
+    let mut reader = BufReader::new(stream).take(0);
+    let mut line = String::new();
+    loop {
+        line.clear();
+        reader.set_limit(max + 1);
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // EOF
+            Ok(_) => {}
+            Err(_) => return,
+        }
+        if !line.ends_with('\n') && line.len() as u64 > max {
+            let e = ProtoError::new(
+                codes::TOO_LARGE,
+                format!("frame exceeds max_frame_bytes ({max})"),
+            );
+            let _ = tx.send(Err(e));
+            return; // cannot resynchronize on the stream
+        }
+        let msg = Request::parse(&line);
+        if let Ok(req) = &msg {
+            shared.sink.record(EventKind::RequestRecv {
+                session: session_sym(req.session()),
+                kind: req_kind(req),
+                id: req.id(),
+            });
+        }
+        if tx.send(msg).is_err() {
+            return; // server side of the connection is gone
+        }
+    }
+}
+
+fn session_sym(name: Option<&str>) -> Sym {
+    Sym::intern(name.unwrap_or("-"))
+}
+
+fn req_kind(req: &Request) -> ReqKind {
+    match req {
+        Request::Hello { .. } => ReqKind::Hello,
+        Request::Open { .. } => ReqKind::Open,
+        Request::Run { .. } => ReqKind::Run,
+        Request::Query { .. } => ReqKind::Query,
+        Request::Batch { .. } => ReqKind::Batch,
+        Request::Subscribe { .. } => ReqKind::Subscribe,
+        Request::Close { .. } => ReqKind::Close,
+        Request::Stats { .. } => ReqKind::Stats,
+        Request::Shutdown { .. } => ReqKind::Shutdown,
+    }
+}
+
+fn write_frame(out: &mut TcpStream, frame: &Response) -> std::io::Result<()> {
+    writeln!(out, "{}", frame.to_json())
+}
+
+fn served(shared: &Shared, session: Sym, kind: ReqKind, id: u64, ok: bool, started: Instant) {
+    shared.sink.record(EventKind::RequestServed {
+        session,
+        kind,
+        id,
+        ok,
+        dur_ns: started.elapsed().as_nanos() as u64,
+    });
+}
+
+/// Serve one non-query request (queries batch through
+/// [`serve_query_group`]). The connection always stays open — even
+/// after `shutdown`, the client decides when to hang up.
+fn serve_one(shared: &Arc<Shared>, out: &mut TcpStream, req: Request) -> std::io::Result<()> {
+    let started = Instant::now();
+    let (id, kind) = (req.id(), req_kind(&req));
+    let sym = session_sym(req.session());
+    let reply = dispatch(shared, out, &req)?;
+    match reply {
+        Ok(frame) => {
+            write_frame(out, &frame)?;
+            served(shared, sym, kind, id, true, started);
+        }
+        Err(e) => {
+            write_frame(out, &Response::from_error(id, e))?;
+            served(shared, sym, kind, id, false, started);
+        }
+    }
+    Ok(())
+}
+
+/// Serve every request frame except `query` (those batch through
+/// [`serve_query_group`]). `subscribe` writes its own stream of frames
+/// and reports the terminal `sub_done` as its reply.
+fn dispatch(
+    shared: &Arc<Shared>,
+    out: &mut TcpStream,
+    req: &Request,
+) -> std::io::Result<Result<Response, ProtoError>> {
+    Ok(match req {
+        Request::Hello {
+            id,
+            version,
+            client: _,
+        } => {
+            if *version == PROTOCOL_VERSION {
+                Ok(Response::HelloOk {
+                    id: *id,
+                    version: PROTOCOL_VERSION,
+                    server: SERVER_IDENT.to_string(),
+                })
+            } else {
+                Err(ProtoError::new(
+                    codes::UNSUPPORTED_VERSION,
+                    format!("server speaks protocol v{PROTOCOL_VERSION}, client asked for v{version}"),
+                ))
+            }
+        }
+        Request::Open {
+            id,
+            session,
+            docs,
+            services,
+        } => open_session(shared, *id, session, docs, services),
+        Request::Run {
+            id,
+            session,
+            mode,
+            max_invocations,
+        } => run_session(shared, *id, session, mode.as_deref(), *max_invocations),
+        Request::Batch {
+            id,
+            session,
+            queries,
+        } => serve_batch_frame(shared, *id, session, queries),
+        Request::Subscribe { id, session, query } => {
+            return serve_subscribe(shared, out, *id, session, query)
+        }
+        Request::Close { id, session } => {
+            match lock(&shared.sessions).remove(session) {
+                Some(_) => Ok(Response::Closed {
+                    id: *id,
+                    session: session.clone(),
+                }),
+                None => Err(unknown_session(session)),
+            }
+        }
+        Request::Stats { id } => {
+            let g = shared.sink.globals();
+            Ok(Response::StatsOk {
+                id: *id,
+                sessions: lock(&shared.sessions).len() as u64,
+                requests: g.requests_recv,
+                served: g.requests_served,
+                errors: g.request_errors,
+                batches: g.batches_formed,
+                pushes: g.subscription_pushes,
+            })
+        }
+        Request::Shutdown { id } => {
+            if shared.shutdown.swap(true, Ordering::SeqCst) {
+                Err(ProtoError::new(codes::SHUTTING_DOWN, "already shutting down"))
+            } else {
+                // Poke the accept loop so it notices the flag.
+                let _ = TcpStream::connect(shared.listen_addr);
+                Ok(Response::ShutdownOk { id: *id })
+            }
+        }
+        Request::Query { .. } => unreachable!("queries go through serve_query_group"),
+    })
+}
+
+fn unknown_session(session: &str) -> ProtoError {
+    ProtoError::new(codes::UNKNOWN_SESSION, format!("no session {session:?}"))
+}
+
+fn open_session(
+    shared: &Shared,
+    id: u64,
+    session: &str,
+    docs: &[(String, String)],
+    services: &[(String, String)],
+) -> Result<Response, ProtoError> {
+    if shared.shutdown.load(Ordering::SeqCst) {
+        return Err(ProtoError::new(codes::SHUTTING_DOWN, "server is draining"));
+    }
+    let mut sys = System::new();
+    for (name, text) in docs {
+        sys.add_document_text(name, text)
+            .map_err(|e| ProtoError::new(codes::BAD_SYSTEM, format!("document {name:?}: {e}")))?;
+    }
+    for (name, rule) in services {
+        sys.add_service_text(name, rule)
+            .map_err(|e| ProtoError::new(codes::BAD_SYSTEM, format!("service {name:?}: {e}")))?;
+    }
+    let mut table = lock(&shared.sessions);
+    if table.len() >= shared.cfg.max_sessions {
+        return Err(ProtoError::new(codes::OVERLOADED, "session limit reached"));
+    }
+    if table.contains_key(session) {
+        return Err(ProtoError::new(
+            codes::SESSION_EXISTS,
+            format!("session {session:?} already exists"),
+        ));
+    }
+    table.insert(session.to_string(), Arc::new(Mutex::new(Session { sys })));
+    Ok(Response::OpenOk {
+        id,
+        session: session.to_string(),
+        docs: docs.len() as u64,
+        services: services.len() as u64,
+    })
+}
+
+fn get_session(shared: &Shared, session: &str) -> Result<Arc<Mutex<Session>>, ProtoError> {
+    lock(&shared.sessions)
+        .get(session)
+        .cloned()
+        .ok_or_else(|| unknown_session(session))
+}
+
+fn engine_cfg(
+    base: &EngineConfig,
+    mode: Option<&str>,
+    max_invocations: Option<u64>,
+) -> Result<EngineConfig, ProtoError> {
+    let mut cfg = *base;
+    match mode {
+        None => {}
+        Some("naive") => cfg.mode = EngineMode::Naive,
+        Some("delta") => cfg.mode = EngineMode::Delta,
+        Some(other) => {
+            return Err(ProtoError::new(
+                codes::BAD_FIELD,
+                format!("mode must be \"naive\" or \"delta\", got {other:?}"),
+            ))
+        }
+    }
+    if let Some(b) = max_invocations {
+        cfg.max_invocations = b as usize;
+    }
+    Ok(cfg)
+}
+
+fn status_str(status: RunStatus) -> &'static str {
+    match status {
+        RunStatus::Terminated => "terminated",
+        RunStatus::InvocationBudget => "invocation-budget",
+        RunStatus::NodeBudget => "node-budget",
+    }
+}
+
+fn run_session(
+    shared: &Shared,
+    id: u64,
+    session: &str,
+    mode: Option<&str>,
+    max_invocations: Option<u64>,
+) -> Result<Response, ProtoError> {
+    let cfg = engine_cfg(&shared.cfg.engine, mode, max_invocations)?;
+    let sess = get_session(shared, session)?;
+    let mut sess = lock(&sess);
+    let tracer = if shared.cfg.trace_engine {
+        Tracer::new(&shared.sink)
+    } else {
+        Tracer::disabled()
+    };
+    let mut runner = RoundRunner::new(&cfg);
+    let status = loop {
+        match runner.step(&mut sess.sys, tracer) {
+            Ok(Some(status)) => break status,
+            Ok(None) => {}
+            Err(e) => return Err(ProtoError::new(codes::ENGINE_FAILED, e.to_string())),
+        }
+    };
+    let stats = runner.stats(&sess.sys);
+    Ok(Response::RunOk {
+        id,
+        session: session.to_string(),
+        status: status_str(status).to_string(),
+        rounds: stats.rounds as u64,
+        invocations: stats.invocations as u64,
+        version: sess.sys.version(),
+    })
+}
+
+fn eval_query(sys: &System, query: &str) -> Result<Vec<String>, ProtoError> {
+    let q = axml_core::parse_query(query)
+        .map_err(|e| ProtoError::new(codes::BAD_QUERY, e.to_string()))?;
+    let env = Env::for_system(sys);
+    let forest = snapshot(&q, &env).map_err(|e| ProtoError::new(codes::ENGINE_FAILED, e.to_string()))?;
+    Ok(forest.trees().iter().map(|t| t.to_string()).collect())
+}
+
+/// Serve a dataloader batch of `query` frames: one session lock, one
+/// [`EventKind::BatchFormed`], one `answers` (or `error`) frame per
+/// member, in arrival order.
+fn serve_query_group(
+    shared: &Shared,
+    out: &mut TcpStream,
+    group: &[Request],
+) -> std::io::Result<()> {
+    let batch_start = Instant::now();
+    let session = group[0].session().expect("queries carry a session");
+    let sym = session_sym(Some(session));
+    let sess = get_session(shared, session);
+    for req in group {
+        let Request::Query { id, query, .. } = req else {
+            unreachable!()
+        };
+        let started = Instant::now();
+        let reply = match &sess {
+            Err(e) => Err(e.clone()),
+            Ok(sess) => eval_query(&lock(sess).sys, query).map(|trees| Response::Answers {
+                id: *id,
+                session: session.to_string(),
+                trees,
+            }),
+        };
+        let ok = reply.is_ok();
+        match reply {
+            Ok(frame) => write_frame(out, &frame)?,
+            Err(e) => write_frame(out, &Response::from_error(*id, e))?,
+        }
+        served(shared, sym, ReqKind::Query, *id, ok, started);
+    }
+    shared.sink.record(EventKind::BatchFormed {
+        session: sym,
+        size: group.len() as u32,
+        dur_ns: batch_start.elapsed().as_nanos() as u64,
+    });
+    Ok(())
+}
+
+/// Serve an explicit `batch` frame: all queries under one session
+/// lock, answers gathered into a single `batch_ok`. One bad query
+/// fails the whole frame (the batch is atomic on the wire).
+fn serve_batch_frame(
+    shared: &Shared,
+    id: u64,
+    session: &str,
+    queries: &[String],
+) -> Result<Response, ProtoError> {
+    let started = Instant::now();
+    if queries.len() > shared.cfg.max_batch {
+        return Err(ProtoError::new(
+            codes::OVERLOADED,
+            format!(
+                "batch of {} exceeds max_batch {}",
+                queries.len(),
+                shared.cfg.max_batch
+            ),
+        ));
+    }
+    let sess = get_session(shared, session)?;
+    let sess = lock(&sess);
+    let mut answers = Vec::with_capacity(queries.len());
+    for q in queries {
+        answers.push(eval_query(&sess.sys, q)?);
+    }
+    shared.sink.record(EventKind::BatchFormed {
+        session: session_sym(Some(session)),
+        size: queries.len() as u32,
+        dur_ns: started.elapsed().as_nanos() as u64,
+    });
+    Ok(Response::BatchOk {
+        id,
+        session: session.to_string(),
+        answers,
+    })
+}
+
+/// Serve a `subscribe`: `sub_ok`, then drive the session's rewriting
+/// round by round, pushing a `delta` frame whenever the continuous
+/// query's answer set grew, and finish with `sub_done`. The session
+/// lock is held for the whole drive — the fixpoint the subscriber
+/// observes is exactly one fair run.
+fn serve_subscribe(
+    shared: &Shared,
+    out: &mut TcpStream,
+    id: u64,
+    session: &str,
+    query: &str,
+) -> std::io::Result<Result<Response, ProtoError>> {
+    let q = match axml_core::parse_query(query) {
+        Ok(q) => q,
+        Err(e) => return Ok(Err(ProtoError::new(codes::BAD_QUERY, e.to_string()))),
+    };
+    let sess = match get_session(shared, session) {
+        Ok(s) => s,
+        Err(e) => return Ok(Err(e)),
+    };
+    let mut sess = lock(&sess);
+    let sym = session_sym(Some(session));
+    write_frame(
+        out,
+        &Response::SubOk {
+            id,
+            session: session.to_string(),
+        },
+    )?;
+    let mut cursor = QueryCursor::new(q);
+    let mut runner = RoundRunner::new(&shared.cfg.engine);
+    let tracer = if shared.cfg.trace_engine {
+        Tracer::new(&shared.sink)
+    } else {
+        Tracer::disabled()
+    };
+    let mut pushes = 0u64;
+    let mut done: Option<RunStatus> = None;
+    let status = loop {
+        // Poll before the first round (answers already present in the
+        // opened system are the round-0 delta) and once more after the
+        // terminal round (it may still have derived answers).
+        let fresh = match cursor.poll(&sess.sys) {
+            Ok(fresh) => fresh,
+            Err(e) => return Ok(Err(ProtoError::new(codes::ENGINE_FAILED, e.to_string()))),
+        };
+        if !fresh.is_empty() {
+            let trees: Vec<String> = fresh.iter().map(|t| t.to_string()).collect();
+            shared.sink.record(EventKind::SubscriptionPush {
+                session: sym,
+                sub: id,
+                trees: trees.len() as u32,
+                round: runner.rounds() as u64,
+                version: sess.sys.version(),
+            });
+            write_frame(
+                out,
+                &Response::Delta {
+                    id,
+                    session: session.to_string(),
+                    round: runner.rounds() as u64,
+                    version: sess.sys.version(),
+                    trees,
+                },
+            )?;
+            pushes += 1;
+        }
+        if let Some(status) = done {
+            break status;
+        }
+        match runner.step(&mut sess.sys, tracer) {
+            Ok(step) => done = step,
+            Err(e) => return Ok(Err(ProtoError::new(codes::ENGINE_FAILED, e.to_string()))),
+        }
+    };
+    Ok(Ok(Response::SubDone {
+        id,
+        session: session.to_string(),
+        status: status_str(status).to_string(),
+        rounds: runner.rounds() as u64,
+        pushes,
+    }))
+}

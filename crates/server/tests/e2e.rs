@@ -1,0 +1,428 @@
+//! End-to-end: an in-process `axml-server`, driven over real TCP by
+//! the [`axml_server::load::Client`] protocol client.
+//!
+//! Pins the PR's acceptance criteria: concurrent sessions; batched
+//! query answers bit-for-bit identical to a direct
+//! [`axml_core::engine::run_traced`] + [`axml_core::snapshot`] against
+//! the same system; subscription pushes that reconstruct the fixpoint
+//! answer set delta-by-delta; and a Chrome trace with the server lane
+//! that the in-repo validator accepts.
+
+use axml_core::engine::{run_traced, EngineConfig, EngineMode, RunStatus};
+use axml_core::trace::Tracer;
+use axml_core::{snapshot, validate_chrome_trace, Env, System};
+use axml_server::load::Client;
+use axml_server::protocol::{codes, Request, Response, PROTOCOL_VERSION};
+use axml_server::server::{Server, ServerConfig, ServerHandle};
+
+const EDGES: &str = r#"r{t{from{"1"},to{"2"}}, t{from{"2"},to{"3"}}, t{from{"3"},to{"4"}}, @tc}"#;
+const TC: &str = "t{from{$x},to{$y}} :- edges/r{t{from{$x},to{$z}}, t{from{$z},to{$y}}}";
+const REACH_FROM_1: &str = "hit{$y} :- edges/r{t{from{\"1\"},to{$y}}}";
+const REACH_FROM_2: &str = "hit{$y} :- edges/r{t{from{\"2\"},to{$y}}}";
+
+/// The reference: the same system run directly through the library,
+/// with the engine configuration the server defaults to.
+fn reference_answers(queries: &[&str]) -> (Vec<Vec<String>>, u64) {
+    let mut sys = System::new();
+    sys.add_document_text("edges", EDGES).unwrap();
+    sys.add_service_text("tc", TC).unwrap();
+    let cfg = EngineConfig {
+        mode: EngineMode::Delta,
+        ..EngineConfig::default()
+    };
+    let (status, _) = run_traced(&mut sys, &cfg, Tracer::disabled()).unwrap();
+    assert_eq!(status, RunStatus::Terminated);
+    let answers = queries
+        .iter()
+        .map(|q| {
+            let q = axml_core::parse_query(q).unwrap();
+            let env = Env::for_system(&sys);
+            snapshot(&q, &env)
+                .unwrap()
+                .trees()
+                .iter()
+                .map(|t| t.to_string())
+                .collect()
+        })
+        .collect();
+    (answers, sys.version())
+}
+
+fn spawn() -> ServerHandle {
+    Server::spawn("127.0.0.1:0", ServerConfig::default()).expect("bind ephemeral port")
+}
+
+fn open_and_run(c: &mut Client, session: &str) {
+    let resp = c
+        .call(&Request::Open {
+            id: 1,
+            session: session.to_string(),
+            docs: vec![("edges".to_string(), EDGES.to_string())],
+            services: vec![("tc".to_string(), TC.to_string())],
+        })
+        .unwrap();
+    assert!(matches!(resp, Response::OpenOk { docs: 1, services: 1, .. }), "{resp:?}");
+    let resp = c
+        .call(&Request::Run {
+            id: 2,
+            session: session.to_string(),
+            mode: None,
+            max_invocations: None,
+        })
+        .unwrap();
+    let Response::RunOk { status, version, .. } = resp else {
+        panic!("expected run_ok, got {resp:?}")
+    };
+    assert_eq!(status, "terminated");
+    assert!(version > 0);
+}
+
+#[test]
+fn batched_queries_match_direct_evaluation_bit_for_bit() {
+    let (want, want_version) = reference_answers(&[REACH_FROM_1, REACH_FROM_2]);
+    let mut handle = spawn();
+    let mut c = Client::connect(&handle.addr().to_string()).unwrap();
+    open_and_run(&mut c, "s1");
+
+    // Single `query` frames.
+    for (q, want) in [REACH_FROM_1, REACH_FROM_2].iter().zip(&want) {
+        let resp = c
+            .call(&Request::Query {
+                id: 10,
+                session: "s1".to_string(),
+                query: q.to_string(),
+            })
+            .unwrap();
+        let Response::Answers { trees, .. } = resp else {
+            panic!("expected answers")
+        };
+        assert_eq!(&trees, want, "query {q} answers differ from direct snapshot");
+    }
+
+    // An explicit `batch` frame: same answers, same order.
+    let resp = c
+        .call(&Request::Batch {
+            id: 11,
+            session: "s1".to_string(),
+            queries: vec![REACH_FROM_1.to_string(), REACH_FROM_2.to_string()],
+        })
+        .unwrap();
+    let Response::BatchOk { answers, .. } = resp else {
+        panic!("expected batch_ok")
+    };
+    assert_eq!(answers, want, "batched answers differ from direct snapshot");
+
+    // The server's session reached the same version stamp.
+    let resp = c
+        .call(&Request::Run {
+            id: 12,
+            session: "s1".to_string(),
+            mode: None,
+            max_invocations: None,
+        })
+        .unwrap();
+    let Response::RunOk { version, rounds, .. } = resp else {
+        panic!("expected run_ok")
+    };
+    assert_eq!(version, want_version, "server fixpoint version differs");
+    assert_eq!(rounds, 1, "re-running a fixpoint is one empty-ish round");
+
+    handle.shutdown();
+    drop(c);
+    handle.join();
+}
+
+#[test]
+fn pipelined_queries_coalesce_and_answer_in_order() {
+    let (want, _) = reference_answers(&[REACH_FROM_1]);
+    let mut handle = spawn();
+    let mut c = Client::connect(&handle.addr().to_string()).unwrap();
+    open_and_run(&mut c, "s1");
+
+    // Pipeline 8 query frames without waiting — the dataloader may
+    // coalesce any suffix of them; answers must still come back one
+    // per request, in order, each bit-for-bit correct.
+    for id in 100..108u64 {
+        c.send(&Request::Query {
+            id,
+            session: "s1".to_string(),
+            query: REACH_FROM_1.to_string(),
+        })
+        .unwrap();
+    }
+    for id in 100..108u64 {
+        let resp = c.recv().unwrap();
+        let Response::Answers { id: got, trees, .. } = resp else {
+            panic!("expected answers")
+        };
+        assert_eq!(got, id, "answers out of order");
+        assert_eq!(trees, want[0]);
+    }
+
+    handle.shutdown();
+    drop(c);
+    handle.join();
+
+    // Every query was answered and batches were formed (sizes sum to
+    // the request count even when coalescing happened to be 1-wide).
+    let g = handle.sink().globals();
+    assert_eq!(g.requests_served, 8 + 2 + 1); // 8 queries + open/run + hello
+    assert_eq!(g.request_errors, 0);
+    assert!(g.batches_formed >= 1);
+    assert!(g.batched_requests == 8, "batched {}", g.batched_requests);
+}
+
+#[test]
+fn subscription_reconstructs_fixpoint_delta_by_delta() {
+    // Reference: the final answer set and version of a direct run.
+    let (want, want_version) = reference_answers(&[REACH_FROM_1]);
+    let want_set: std::collections::BTreeSet<&String> = want[0].iter().collect();
+
+    let mut handle = spawn();
+    let mut c = Client::connect(&handle.addr().to_string()).unwrap();
+    // Open but do NOT run — the subscription itself drives the
+    // rewriting and streams the growth.
+    let resp = c
+        .call(&Request::Open {
+            id: 1,
+            session: "sub".to_string(),
+            docs: vec![("edges".to_string(), EDGES.to_string())],
+            services: vec![("tc".to_string(), TC.to_string())],
+        })
+        .unwrap();
+    assert!(matches!(resp, Response::OpenOk { .. }));
+
+    c.send(&Request::Subscribe {
+        id: 7,
+        session: "sub".to_string(),
+        query: REACH_FROM_1.to_string(),
+    })
+    .unwrap();
+    assert!(matches!(c.recv().unwrap(), Response::SubOk { id: 7, .. }));
+
+    let mut pushed: Vec<String> = Vec::new();
+    let mut deltas = 0u64;
+    let (mut last_round, mut last_version) = (0u64, 0u64);
+    let done = loop {
+        match c.recv().unwrap() {
+            Response::Delta {
+                id,
+                round,
+                version,
+                trees,
+                ..
+            } => {
+                assert_eq!(id, 7);
+                assert!(!trees.is_empty(), "empty deltas are never pushed");
+                assert!(round >= last_round, "rounds must be nondecreasing");
+                assert!(version >= last_version, "version stamps must grow");
+                (last_round, last_version) = (round, version);
+                deltas += 1;
+                for t in trees {
+                    assert!(!pushed.contains(&t), "tree {t} pushed twice");
+                    pushed.push(t);
+                }
+            }
+            done @ Response::SubDone { .. } => break done,
+            other => panic!("unexpected frame {other:?}"),
+        }
+    };
+    let Response::SubDone { status, pushes, .. } = done else {
+        unreachable!()
+    };
+    assert_eq!(status, "terminated");
+    assert_eq!(pushes, deltas);
+    // With reachability growing one hop per round, the closure from
+    // node 1 over a 3-hop chain needs more than one push.
+    assert!(deltas >= 2, "expected an actual stream, got {deltas} delta(s)");
+
+    // Delta-by-delta reconstruction: the union of pushes is exactly
+    // the direct fixpoint answer set, and the final stamp matches.
+    let got_set: std::collections::BTreeSet<&String> = pushed.iter().collect();
+    assert_eq!(got_set, want_set, "pushed union differs from direct snapshot");
+    assert_eq!(last_version, want_version, "final version stamp differs");
+
+    handle.shutdown();
+    drop(c);
+    handle.join();
+}
+
+#[test]
+fn concurrent_sessions_are_isolated_and_shared_by_name() {
+    let mut handle = spawn();
+    let addr = handle.addr().to_string();
+
+    // Two clients, two sessions, concurrently.
+    let t1 = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut c = Client::connect(&addr).unwrap();
+            open_and_run(&mut c, "alice");
+            let resp = c
+                .call(&Request::Query {
+                    id: 3,
+                    session: "alice".to_string(),
+                    query: REACH_FROM_1.to_string(),
+                })
+                .unwrap();
+            let Response::Answers { trees, .. } = resp else {
+                panic!("expected answers")
+            };
+            trees
+        })
+    };
+    let t2 = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut c = Client::connect(&addr).unwrap();
+            open_and_run(&mut c, "bob");
+            let resp = c
+                .call(&Request::Query {
+                    id: 3,
+                    session: "bob".to_string(),
+                    query: REACH_FROM_2.to_string(),
+                })
+                .unwrap();
+            let Response::Answers { trees, .. } = resp else {
+                panic!("expected answers")
+            };
+            trees
+        })
+    };
+    let (a, b) = (t1.join().unwrap(), t2.join().unwrap());
+    let (want, _) = reference_answers(&[REACH_FROM_1, REACH_FROM_2]);
+    assert_eq!(a, want[0]);
+    assert_eq!(b, want[1]);
+
+    // Sessions are server-wide: a third connection reads "alice".
+    let mut c = Client::connect(&addr).unwrap();
+    let resp = c
+        .call(&Request::Query {
+            id: 4,
+            session: "alice".to_string(),
+            query: REACH_FROM_1.to_string(),
+        })
+        .unwrap();
+    let Response::Answers { trees, .. } = resp else {
+        panic!("expected answers")
+    };
+    assert_eq!(trees, want[0]);
+
+    // Stats sees both sessions; per-session metrics rows exist.
+    let resp = c.call(&Request::Stats { id: 5 }).unwrap();
+    let Response::StatsOk { sessions, errors, .. } = resp else {
+        panic!("expected stats_ok")
+    };
+    assert_eq!(sessions, 2);
+    assert_eq!(errors, 0);
+
+    handle.shutdown();
+    drop(c);
+    handle.join();
+
+    let report = handle.report("e2e");
+    assert!(report.contains("server: requests"), "report:\n{report}");
+    assert!(report.contains("session alice"), "report:\n{report}");
+    assert!(report.contains("session bob"), "report:\n{report}");
+}
+
+#[test]
+fn error_frames_and_version_negotiation() {
+    let mut handle = spawn();
+    let addr = handle.addr().to_string();
+    let mut c = Client::connect(&addr).unwrap();
+
+    // Unknown session.
+    let resp = c
+        .call(&Request::Query {
+            id: 1,
+            session: "nope".to_string(),
+            query: REACH_FROM_1.to_string(),
+        })
+        .unwrap();
+    let Response::Error { code, .. } = resp else {
+        panic!("expected error")
+    };
+    assert_eq!(code, codes::UNKNOWN_SESSION);
+
+    // Bad query on a real session.
+    open_and_run(&mut c, "s");
+    let resp = c
+        .call(&Request::Query {
+            id: 2,
+            session: "s".to_string(),
+            query: "this is not a query".to_string(),
+        })
+        .unwrap();
+    let Response::Error { code, .. } = resp else {
+        panic!("expected error")
+    };
+    assert_eq!(code, codes::BAD_QUERY);
+
+    // Re-opening an existing session.
+    let resp = c
+        .call(&Request::Open {
+            id: 3,
+            session: "s".to_string(),
+            docs: vec![],
+            services: vec![],
+        })
+        .unwrap();
+    let Response::Error { code, .. } = resp else {
+        panic!("expected error")
+    };
+    assert_eq!(code, codes::SESSION_EXISTS);
+
+    // Unsupported protocol version (raw frames, bypassing Client).
+    let resp = c
+        .call(&Request::Hello {
+            id: 4,
+            version: PROTOCOL_VERSION + 1,
+            client: String::new(),
+        })
+        .unwrap();
+    let Response::Error { code, .. } = resp else {
+        panic!("expected error")
+    };
+    assert_eq!(code, codes::UNSUPPORTED_VERSION);
+
+    // Malformed JSON still gets a well-formed error frame.
+    use std::io::{BufRead, BufReader, Write as _};
+    let mut raw = std::net::TcpStream::connect(&addr).unwrap();
+    writeln!(raw, "{{not json").unwrap();
+    let mut line = String::new();
+    BufReader::new(raw.try_clone().unwrap()).read_line(&mut line).unwrap();
+    let Response::Error { code, .. } = Response::parse(&line).unwrap() else {
+        panic!("expected error frame, got {line}")
+    };
+    assert_eq!(code, codes::BAD_JSON);
+
+    handle.shutdown();
+    drop(c);
+    drop(raw);
+    handle.join();
+}
+
+#[test]
+fn chrome_trace_has_validated_server_lane() {
+    let mut handle = spawn();
+    let mut c = Client::connect(&handle.addr().to_string()).unwrap();
+    open_and_run(&mut c, "s1");
+    let _ = c
+        .call(&Request::Query {
+            id: 9,
+            session: "s1".to_string(),
+            query: REACH_FROM_1.to_string(),
+        })
+        .unwrap();
+    handle.shutdown();
+    drop(c);
+    handle.join();
+
+    let json = handle.sink().chrome_trace();
+    let n = validate_chrome_trace(&json).expect("server trace must validate");
+    assert!(n > 0);
+    assert!(json.contains(r#""name":"server""#), "server lane metadata missing");
+    assert!(json.contains("serve query"), "request slices missing");
+    assert!(json.contains(r#""cat":"server""#), "server category missing");
+}

@@ -1,0 +1,73 @@
+//! The acceptance-criteria docs gate: every frame type the server
+//! accepts or emits, and every error code, must be documented in
+//! `docs/protocol.md`. Adding a frame to the protocol without
+//! documenting it fails this test.
+
+use axml_server::protocol::{Request, Response, ERROR_CODES, PROTOCOL_VERSION};
+
+fn spec() -> &'static str {
+    include_str!("../../../docs/protocol.md")
+}
+
+#[test]
+fn every_request_frame_is_documented() {
+    for kind in Request::KINDS {
+        let heading = format!("### `{kind}`");
+        assert!(
+            spec().contains(&heading),
+            "request frame `{kind}` has no `{heading}` section in docs/protocol.md"
+        );
+    }
+}
+
+#[test]
+fn every_response_frame_is_documented() {
+    for kind in Response::KINDS {
+        let heading = format!("### `{kind}`");
+        assert!(
+            spec().contains(&heading),
+            "response frame `{kind}` has no `{heading}` section in docs/protocol.md"
+        );
+    }
+}
+
+#[test]
+fn every_error_code_is_documented() {
+    for code in ERROR_CODES {
+        let tagged = format!("`{code}`");
+        assert!(
+            spec().contains(&tagged),
+            "error code {code} is not mentioned in docs/protocol.md"
+        );
+    }
+}
+
+#[test]
+fn spec_states_the_protocol_version() {
+    assert!(
+        spec().contains(&format!("Protocol version: **{PROTOCOL_VERSION}**")),
+        "docs/protocol.md must state `Protocol version: **{PROTOCOL_VERSION}**`"
+    );
+}
+
+#[test]
+fn spec_frame_inventory_matches_the_code() {
+    // The spec's inventory table lists every frame tag in backticks;
+    // conversely, no `### `tag`` section may name a frame the code
+    // does not know (drift in either direction fails).
+    let known: std::collections::HashSet<&str> = Request::KINDS
+        .iter()
+        .chain(Response::KINDS.iter())
+        .copied()
+        .collect();
+    for line in spec().lines() {
+        if let Some(rest) = line.strip_prefix("### `") {
+            if let Some(tag) = rest.strip_suffix('`') {
+                assert!(
+                    known.contains(tag),
+                    "docs/protocol.md documents frame `{tag}` the code does not define"
+                );
+            }
+        }
+    }
+}

@@ -10,4 +10,5 @@ pub use axml_automata as automata;
 pub use axml_core as core;
 pub use axml_datalog as datalog;
 pub use axml_p2p as p2p;
+pub use axml_server as server;
 pub use axml_tm as tm;
