@@ -1814,7 +1814,7 @@ impl<'a> JsonParser<'a> {
         }
     }
 
-    fn parse_number(&mut self) -> Result<f64, String> {
+    fn parse_number(&mut self) -> Result<JsonValue, String> {
         let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
@@ -1822,13 +1822,16 @@ impl<'a> JsonParser<'a> {
         while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
             self.pos += 1;
         }
+        let mut integral = true;
         if self.peek() == Some(b'.') {
+            integral = false;
             self.pos += 1;
             while matches!(self.peek(), Some(b) if b.is_ascii_digit()) {
                 self.pos += 1;
             }
         }
         if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
             self.pos += 1;
             if matches!(self.peek(), Some(b'+' | b'-')) {
                 self.pos += 1;
@@ -1840,9 +1843,20 @@ impl<'a> JsonParser<'a> {
         if self.pos == start {
             return Err(self.err("expected number"));
         }
-        std::str::from_utf8(&self.bytes[start..self.pos])
-            .expect("digits are ASCII")
-            .parse::<f64>()
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .expect("digits are ASCII");
+        // Integral numbers spanning the full i64/u64 range are kept
+        // lossless — request ids must be echoed verbatim
+        // (docs/protocol.md) and f64 rounds above 2^53.
+        if integral {
+            if let Ok(n) = text.parse::<i128>() {
+                if (i64::MIN as i128..=u64::MAX as i128).contains(&n) {
+                    return Ok(JsonValue::Int(n));
+                }
+            }
+        }
+        text.parse::<f64>()
+            .map(JsonValue::Num)
             .map_err(|_| self.err("bad number"))
     }
 
@@ -1901,7 +1915,7 @@ impl<'a> JsonParser<'a> {
             Some(b't') => self.literal("true", JsonValue::Bool(true)),
             Some(b'f') => self.literal("false", JsonValue::Bool(false)),
             Some(b'n') => self.literal("null", JsonValue::Null),
-            Some(_) => Ok(JsonValue::Num(self.parse_number()?)),
+            Some(_) => self.parse_number(),
             None => Err(self.err("unexpected end of input")),
         }
     }
@@ -1925,7 +1939,11 @@ pub enum JsonValue {
     Null,
     /// `true` / `false`.
     Bool(bool),
-    /// A number (JSON numbers are IEEE doubles).
+    /// An integral number within the `i64`/`u64` span, kept lossless
+    /// (`i128` covers both ends) so 64-bit ids survive a round trip.
+    Int(i128),
+    /// Any other number (fractional, exponent form, or beyond 64-bit
+    /// integer range), as an IEEE double.
     Num(f64),
     /// A string, escapes resolved.
     Str(String),
@@ -1955,18 +1973,23 @@ impl JsonValue {
         }
     }
 
-    /// The numeric payload, if this is a number.
+    /// The numeric payload, if this is a number (lossy above 2^53 for
+    /// [`JsonValue::Int`] values outside `f64`'s exact-integer range).
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             JsonValue::Num(n) => Some(*n),
+            JsonValue::Int(n) => Some(*n as f64),
             _ => None,
         }
     }
 
     /// The numeric payload as a `u64`, if this is a non-negative
-    /// integral number in `u64` range.
+    /// integral number in `u64` range. Lossless for
+    /// [`JsonValue::Int`] — the variant every plain integer literal
+    /// parses into.
     pub fn as_u64(&self) -> Option<u64> {
         match self {
+            JsonValue::Int(n) => u64::try_from(*n).ok(),
             JsonValue::Num(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= 1.8e19 => {
                 Some(*n as u64)
             }
@@ -1995,6 +2018,7 @@ impl JsonValue {
         match self {
             JsonValue::Null => "null".to_string(),
             JsonValue::Bool(b) => b.to_string(),
+            JsonValue::Int(n) => n.to_string(),
             JsonValue::Num(n) => {
                 if n.fract() == 0.0 && n.abs() < 9.0e15 {
                     format!("{}", *n as i64)
@@ -2091,9 +2115,9 @@ pub fn parse_chrome_trace(json: &str) -> Result<Vec<ChromeEvent>, String> {
             Some(_) => Err(format!("event {i}: key \"{k}\" is not a string")),
             None => Err(format!("event {i} is missing key \"{k}\"")),
         };
-        let num_field = |k: &str| match get(k) {
-            Some(JsonValue::Num(n)) => Ok(*n),
-            Some(_) => Err(format!("event {i}: key \"{k}\" is not a number")),
+        let num_field = |k: &str| match get(k).map(JsonValue::as_f64) {
+            Some(Some(n)) => Ok(n),
+            Some(None) => Err(format!("event {i}: key \"{k}\" is not a number")),
             None => Err(format!("event {i} is missing key \"{k}\"")),
         };
         let name = str_field("name")?;
@@ -2496,6 +2520,32 @@ mod tests {
         assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
         assert_eq!(json_escape("n\nl"), "n\\nl");
         assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn parser_keeps_64_bit_integers_lossless() {
+        // Above 2^53 an f64 rounds; ids must round-trip verbatim.
+        for id in [u64::MAX, u64::MAX - 1, (1 << 53) + 1, 0] {
+            let v = parse_json(&id.to_string()).unwrap();
+            assert_eq!(v, JsonValue::Int(id as i128), "{id}");
+            assert_eq!(v.as_u64(), Some(id), "{id}");
+            assert_eq!(v.render(), id.to_string(), "{id}");
+        }
+        assert_eq!(
+            parse_json("-9223372036854775808").unwrap(),
+            JsonValue::Int(i64::MIN as i128)
+        );
+        assert_eq!(parse_json("-1").unwrap().as_u64(), None);
+        // Fractional, exponent-form, and beyond-64-bit numbers stay
+        // doubles.
+        assert_eq!(parse_json("1.5").unwrap(), JsonValue::Num(1.5));
+        assert_eq!(parse_json("1e3").unwrap(), JsonValue::Num(1000.0));
+        assert_eq!(parse_json("2.0").unwrap().as_u64(), Some(2));
+        assert_eq!(
+            parse_json("99999999999999999999999").unwrap(),
+            JsonValue::Num(1e23)
+        );
+        assert_eq!(parse_json("18446744073709551615").unwrap().as_f64(), Some(u64::MAX as f64));
     }
 
     #[test]

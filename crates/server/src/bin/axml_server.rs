@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! axml-server [--addr HOST:PORT] [--max-conns N] [--max-sessions N]
-//!             [--max-batch N] [--max-frame-bytes N] [--mode naive|delta]
-//!             [--trace-engine] [--trace FILE] [--report]
+//!             [--max-batch N] [--max-frame-bytes N] [--write-timeout SECS]
+//!             [--mode naive|delta] [--trace-engine] [--trace FILE] [--report]
 //! ```
 //!
 //! Speaks protocol v1 (`docs/protocol.md`); `docs/server.md` is the
@@ -18,8 +18,8 @@ use std::io::Write;
 fn usage() -> ! {
     eprintln!(
         "usage: axml-server [--addr HOST:PORT] [--max-conns N] [--max-sessions N]\n\
-         \x20                  [--max-batch N] [--max-frame-bytes N] [--mode naive|delta]\n\
-         \x20                  [--trace-engine] [--trace FILE] [--report]"
+         \x20                  [--max-batch N] [--max-frame-bytes N] [--write-timeout SECS]\n\
+         \x20                  [--mode naive|delta] [--trace-engine] [--trace FILE] [--report]"
     );
     std::process::exit(2)
 }
@@ -42,6 +42,14 @@ fn main() {
             "--max-sessions" => cfg.max_sessions = parse(&val("--max-sessions")),
             "--max-batch" => cfg.max_batch = parse(&val("--max-batch")),
             "--max-frame-bytes" => cfg.max_frame_bytes = parse(&val("--max-frame-bytes")),
+            "--write-timeout" => {
+                // 0 disables the bound (a stalled client then holds
+                // its session lock until the OS gives up the socket).
+                cfg.write_timeout = match parse(&val("--write-timeout")) {
+                    0 => None,
+                    secs => Some(std::time::Duration::from_secs(secs as u64)),
+                }
+            }
             "--mode" => {
                 cfg.engine.mode = match val("--mode").as_str() {
                     "naive" => EngineMode::Naive,

@@ -1098,6 +1098,24 @@ mod tests {
     }
 
     #[test]
+    fn ids_above_2_pow_53_echo_verbatim() {
+        // docs/protocol.md: the id is echoed verbatim; f64 would round
+        // anything above 2^53, so the whole u64 range must round-trip.
+        for id in [u64::MAX, (1 << 53) + 1] {
+            let line = format!(r#"{{"type":"query","id":{id},"session":"s","query":"q"}}"#);
+            let req = Request::parse(&line).unwrap();
+            assert_eq!(req.id(), id);
+            let resp = Response::Answers {
+                id,
+                session: "s".into(),
+                trees: vec![],
+            };
+            let back = Response::parse(&resp.to_json()).unwrap();
+            assert_eq!(back, resp, "response id {id} survives the wire");
+        }
+    }
+
+    #[test]
     fn malformed_frames_map_to_error_codes() {
         let cases: &[(&str, &str)] = &[
             ("{not json", codes::BAD_JSON),

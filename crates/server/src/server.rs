@@ -29,7 +29,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// The server identification string sent in `hello_ok`.
 pub const SERVER_IDENT: &str = concat!("axml-server/", env!("CARGO_PKG_VERSION"));
@@ -56,6 +56,12 @@ pub struct ServerConfig {
     /// in the server journal too, not only the server-lifecycle
     /// events. Verbose; off by default.
     pub trace_engine: bool,
+    /// Socket write timeout. `subscribe` (and batched answers) write
+    /// while holding the session lock, so a client that stops reading
+    /// would wedge the session for everyone; after this long stuck in
+    /// one write the connection errors out and is closed instead.
+    /// `None` disables the bound.
+    pub write_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -70,6 +76,7 @@ impl Default for ServerConfig {
                 ..EngineConfig::default()
             },
             trace_engine: false,
+            write_timeout: Some(Duration::from_secs(30)),
         }
     }
 }
@@ -280,13 +287,22 @@ fn accept_loop(
             refuse(stream, codes::OVERLOADED, "connection limit reached");
             continue;
         }
+        // A subscriber that stops reading would hold its session lock
+        // across a blocked write forever; with a timeout the write
+        // fails instead and the connection is dropped, releasing the
+        // lock.
+        let _ = stream.set_write_timeout(shared.cfg.write_timeout);
         let shared = Arc::clone(&shared);
         let h = thread::spawn(move || {
             let _ = handle_connection(&stream, &shared);
             drop(stream);
             shared.conns.fetch_sub(1, Ordering::SeqCst);
         });
-        lock(&conn_threads).push(h);
+        let mut threads = lock(&conn_threads);
+        // Reap finished handles so a long-lived server does not grow
+        // this Vec one entry per connection it ever served.
+        threads.retain(|h| !h.is_finished());
+        threads.push(h);
     }
 }
 
@@ -664,18 +680,26 @@ fn serve_query_group(
     let session = group[0].session().expect("queries carry a session");
     let sym = session_sym(Some(session));
     let sess = get_session(shared, session);
+    // One lock acquisition for the whole group — every member answers
+    // against the same system state even while another connection is
+    // mutating the session (docs/protocol.md, Batching semantics).
+    let guard = sess.as_ref().ok().map(|s| lock(s));
     for req in group {
         let Request::Query { id, query, .. } = req else {
             unreachable!()
         };
         let started = Instant::now();
-        let reply = match &sess {
-            Err(e) => Err(e.clone()),
-            Ok(sess) => eval_query(&lock(sess).sys, query).map(|trees| Response::Answers {
+        let reply = match &guard {
+            Some(g) => eval_query(&g.sys, query).map(|trees| Response::Answers {
                 id: *id,
                 session: session.to_string(),
                 trees,
             }),
+            None => Err(sess
+                .as_ref()
+                .err()
+                .cloned()
+                .expect("no guard only when the session lookup failed")),
         };
         let ok = reply.is_ok();
         match reply {

@@ -9,7 +9,7 @@
 //! that the in-repo validator accepts.
 
 use axml_core::engine::{run_traced, EngineConfig, EngineMode, RunStatus};
-use axml_core::trace::Tracer;
+use axml_core::trace::{EventKind, ReqKind, Tracer};
 use axml_core::{snapshot, validate_chrome_trace, Env, System};
 use axml_server::load::Client;
 use axml_server::protocol::{codes, Request, Response, PROTOCOL_VERSION};
@@ -170,6 +170,88 @@ fn pipelined_queries_coalesce_and_answer_in_order() {
     assert_eq!(g.request_errors, 0);
     assert!(g.batches_formed >= 1);
     assert!(g.batched_requests == 8, "batched {}", g.batched_requests);
+}
+
+#[test]
+fn coalesced_groups_answer_against_one_system_state() {
+    let mut handle = spawn();
+    let addr = handle.addr().to_string();
+    let mut c = Client::connect(&addr).unwrap();
+    // Open without running — the concurrent `run` below mutates the
+    // session while the pipelined queries race it.
+    let resp = c
+        .call(&Request::Open {
+            id: 1,
+            session: "race".to_string(),
+            docs: vec![("edges".to_string(), EDGES.to_string())],
+            services: vec![("tc".to_string(), TC.to_string())],
+        })
+        .unwrap();
+    assert!(matches!(resp, Response::OpenOk { .. }));
+    let runner = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut c = Client::connect(&addr).unwrap();
+            let resp = c
+                .call(&Request::Run {
+                    id: 2,
+                    session: "race".to_string(),
+                    mode: None,
+                    max_invocations: None,
+                })
+                .unwrap();
+            assert!(matches!(resp, Response::RunOk { .. }), "{resp:?}");
+        })
+    };
+
+    let mut answers = std::collections::HashMap::new();
+    for id in 100..140u64 {
+        c.send(&Request::Query {
+            id,
+            session: "race".to_string(),
+            query: REACH_FROM_1.to_string(),
+        })
+        .unwrap();
+    }
+    for _ in 100..140u64 {
+        let Response::Answers { id, trees, .. } = c.recv().unwrap() else {
+            panic!("expected answers")
+        };
+        answers.insert(id, trees);
+    }
+    runner.join().unwrap();
+    handle.shutdown();
+    drop(c);
+    handle.join();
+
+    // Reconstruct the dataloader groups from the journal: each
+    // `BatchFormed` closes the `size` most recent served queries.
+    // The protocol promises one session-lock acquisition per group
+    // (docs/protocol.md, Batching semantics), so members of a group
+    // must have answered against one system state — a group whose
+    // answers straddle the concurrent run's mutation breaks it.
+    let mut served: Vec<u64> = Vec::new();
+    for ev in handle.sink().events() {
+        match ev.kind {
+            EventKind::RequestServed {
+                kind: ReqKind::Query,
+                id,
+                ..
+            } => served.push(id),
+            EventKind::BatchFormed { size, .. } => {
+                let members = served.split_off(served.len() - size as usize);
+                for m in &members {
+                    assert_eq!(
+                        answers[m], answers[&members[0]],
+                        "one group answered against two system states"
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+    assert!(served.is_empty(), "every served query belongs to a group");
+    assert_eq!(answers.len(), 40);
 }
 
 #[test]
