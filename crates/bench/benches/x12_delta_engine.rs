@@ -8,10 +8,14 @@
 //! reads its own growing document, so delta degenerates gracefully to
 //! naive cost plus bookkeeping.
 //!
-//! The `delta-traced` entries run the same delta workload with a
-//! [`Journal`] attached, quantifying the observability overhead against
-//! the plain `delta` rows (the disabled-tracer rows must stay within
-//! noise of PR 1's numbers — events cost nothing unless a sink is on).
+//! The `delta-traced` entries run the same delta workload with an
+//! unbounded [`Journal`] attached, quantifying the observability
+//! overhead against the plain `delta` rows (the disabled-tracer rows
+//! must stay within noise of PR 1's numbers — events cost nothing
+//! unless a sink is on). The `delta-ring` entries attach the
+//! *production* journal instead ([`JournalConfig::default`]: a bounded
+//! ring with default sampling) — the always-on configuration, which
+//! must stay within 5% of the detached `delta` rows.
 //! The `delta-provenance` entries attach a [`ProvenanceStore`] instead:
 //! the plain `delta` rows exercise the disabled [`Provenance`] handle
 //! on every graft, so they must likewise stay within run-to-run noise.
@@ -19,7 +23,7 @@
 use axml_bench::tc_random_digraph;
 use axml_core::engine::{run, run_traced, run_with_provenance, EngineConfig, EngineMode};
 use axml_core::provenance::{Provenance, ProvenanceStore};
-use axml_core::trace::{Journal, Tracer};
+use axml_core::trace::{Journal, JournalConfig, Tracer};
 use axml_tm::encode::encode_tm;
 use axml_tm::samples;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -46,6 +50,19 @@ fn bench_tc(c: &mut Criterion) {
             b.iter(|| {
                 let mut runner = s.clone();
                 let journal = Journal::new();
+                let out = run_traced(
+                    &mut runner,
+                    &EngineConfig::with_mode(EngineMode::Delta),
+                    Tracer::new(&journal),
+                )
+                .unwrap();
+                (out, journal.len())
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("delta-ring", n), &sys, |b, s| {
+            b.iter(|| {
+                let mut runner = s.clone();
+                let journal = Journal::with_config(JournalConfig::default());
                 let out = run_traced(
                     &mut runner,
                     &EngineConfig::with_mode(EngineMode::Delta),

@@ -1218,6 +1218,7 @@ fn x19() {
     );
     let mut last_report = String::new();
     let mut last_trace = String::new();
+    let mut last_json = String::new();
     for &batch in &[1usize, 4, 16] {
         let mut handle = Server::spawn("127.0.0.1:0", ServerConfig::default())
             .expect("ephemeral listen address is bindable");
@@ -1232,6 +1233,7 @@ fn x19() {
         };
         let rep = load_run(&cfg).expect("the load loop completes against a live server");
         handle.join();
+        last_json = rep.to_json(&cfg);
         assert_eq!(rep.errors, 0, "no error frames under a clean load");
         assert_eq!(
             rep.answer_trees, rep.requests,
@@ -1263,6 +1265,13 @@ fn x19() {
     );
     print!("\n{last_report}");
     println!("(chrome trace: {n} events, server lane validated)");
+    // The machine-readable trajectory artifact (`axml-load --json`
+    // writes the same shape): widest-batch run, one JSON object.
+    let json_path = "target/x19_load.json";
+    match std::fs::write(json_path, format!("{last_json}\n")) {
+        Ok(()) => println!("(load summary: {json_path})"),
+        Err(e) => println!("(load summary not written: {json_path}: {e})"),
+    }
     println!("(claim: the engine serves concurrent sessions over a versioned JSON");
     println!(" protocol — batched queries answer bit-for-bit like direct evaluation,");
     println!(" subscriptions stream the fixpoint delta-by-delta, and wider batches");

@@ -653,6 +653,7 @@ impl RoundRunner {
                 let compile_on = cfg.compile;
                 let trace_on = tracer.enabled();
                 let epoch = tracer.epoch();
+                let trace_id = tracer.trace_id();
                 let prov_on = prov.enabled();
                 let match_strategy = cfg.match_strategy;
                 let eval_t0 = Instant::now();
@@ -675,8 +676,10 @@ impl RoundRunner {
                                     let mut i = w;
                                     while i < jobs_ref.len() {
                                         let (d, n, fname) = jobs_ref[i];
+                                        // Worker events inherit the round's
+                                        // request-scoped trace id.
                                         let wt = match &journal {
-                                            Some(j) => Tracer::new(j),
+                                            Some(j) => Tracer::new(j).with_trace(trace_id),
                                             None => Tracer::disabled(),
                                         };
                                         let t0 = trace_on.then(Instant::now);

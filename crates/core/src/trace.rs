@@ -106,6 +106,10 @@ pub enum ReqKind {
     Close,
     /// Server/session counters (`stats`).
     Stats,
+    /// Liveness probe (`health`).
+    Health,
+    /// Streaming trace-event subscription (`trace_tail`).
+    TraceTail,
     /// Server shutdown (`shutdown`).
     Shutdown,
 }
@@ -123,6 +127,8 @@ impl ReqKind {
             ReqKind::Subscribe => "subscribe",
             ReqKind::Close => "close",
             ReqKind::Stats => "stats",
+            ReqKind::Health => "health",
+            ReqKind::TraceTail => "trace_tail",
             ReqKind::Shutdown => "shutdown",
         }
     }
@@ -389,6 +395,155 @@ pub enum EventKind {
     },
 }
 
+/// The coarse category of an [`EventKind`] — the same taxonomy the
+/// Chrome-trace exporter stamps as `cat` on every row, reused by
+/// [`JournalConfig`] sampling rates and the `trace_tail` wire filter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventCategory {
+    /// Round start/end markers.
+    Engine,
+    /// Call selection and delta-skips.
+    Schedule,
+    /// Completed invocations.
+    Invoke,
+    /// Match-cache hits and misses.
+    Cache,
+    /// Grafts and subsumption checks.
+    Graft,
+    /// In-place reductions.
+    Reduce,
+    /// Document-index lookups and maintenance.
+    Index,
+    /// P2p message traffic and provider evaluations.
+    P2p,
+    /// Parallel-engine worker evaluations and round phases.
+    Parallel,
+    /// Query compilation and program-cache traffic.
+    Compile,
+    /// `axml-server` request lifecycle events.
+    Server,
+}
+
+impl EventCategory {
+    /// Every category, in stable order — the index into
+    /// [`JournalConfig`] sampling-rate and drop-counter arrays.
+    pub const ALL: [EventCategory; 11] = [
+        EventCategory::Engine,
+        EventCategory::Schedule,
+        EventCategory::Invoke,
+        EventCategory::Cache,
+        EventCategory::Graft,
+        EventCategory::Reduce,
+        EventCategory::Index,
+        EventCategory::P2p,
+        EventCategory::Parallel,
+        EventCategory::Compile,
+        EventCategory::Server,
+    ];
+
+    /// Short lowercase name — identical to the Chrome-trace `cat`
+    /// string of events in this category.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventCategory::Engine => "engine",
+            EventCategory::Schedule => "schedule",
+            EventCategory::Invoke => "invoke",
+            EventCategory::Cache => "cache",
+            EventCategory::Graft => "graft",
+            EventCategory::Reduce => "reduce",
+            EventCategory::Index => "index",
+            EventCategory::P2p => "p2p",
+            EventCategory::Parallel => "parallel",
+            EventCategory::Compile => "compile",
+            EventCategory::Server => "server",
+        }
+    }
+
+    /// Parse a category [`EventCategory::name`] back (`None` on unknown
+    /// names).
+    pub fn parse(s: &str) -> Option<EventCategory> {
+        EventCategory::ALL.iter().copied().find(|c| c.name() == s)
+    }
+}
+
+impl EventKind {
+    /// This event's [`EventCategory`] — always the `cat` the
+    /// Chrome-trace export stamps on the corresponding row.
+    pub fn category(&self) -> EventCategory {
+        match self {
+            EventKind::RoundStart { .. } | EventKind::RoundEnd { .. } => EventCategory::Engine,
+            EventKind::CallSelected { .. } | EventKind::CallSkipped { .. } => {
+                EventCategory::Schedule
+            }
+            EventKind::Invoke { .. } => EventCategory::Invoke,
+            EventKind::CacheHit { .. } | EventKind::CacheMiss { .. } => EventCategory::Cache,
+            EventKind::SubsumeCheck { .. } | EventKind::Graft { .. } => EventCategory::Graft,
+            EventKind::Reduce { .. } => EventCategory::Reduce,
+            EventKind::IndexLookup { .. } | EventKind::IndexMaintain { .. } => EventCategory::Index,
+            EventKind::MsgSend { .. } | EventKind::MsgRecv { .. } | EventKind::PeerEval { .. } => {
+                EventCategory::P2p
+            }
+            EventKind::WorkerEval { .. } | EventKind::ParallelRound { .. } => {
+                EventCategory::Parallel
+            }
+            EventKind::PlanCompiled { .. }
+            | EventKind::ProgramCacheHit { .. }
+            | EventKind::ProgramCacheMiss { .. } => EventCategory::Compile,
+            EventKind::RequestRecv { .. }
+            | EventKind::RequestServed { .. }
+            | EventKind::BatchFormed { .. }
+            | EventKind::SubscriptionPush { .. } => EventCategory::Server,
+        }
+    }
+
+    /// The server session this event belongs to, for the
+    /// [`EventCategory::Server`] lifecycle events (`None` elsewhere).
+    pub fn session(&self) -> Option<Sym> {
+        match self {
+            EventKind::RequestRecv { session, .. }
+            | EventKind::RequestServed { session, .. }
+            | EventKind::BatchFormed { session, .. }
+            | EventKind::SubscriptionPush { session, .. } => Some(*session),
+            _ => None,
+        }
+    }
+
+    /// A short human label for the event — the same `name` the
+    /// Chrome-trace export uses (e.g. `invoke tc`, `recv query`,
+    /// `round 3`), rendered without the args payload. This is what the
+    /// `trace_tail` wire frames carry.
+    pub fn label(&self) -> String {
+        match self {
+            EventKind::RoundStart { round } | EventKind::RoundEnd { round, .. } => {
+                format!("round {round}")
+            }
+            EventKind::CallSelected { service, .. } => format!("select {service}"),
+            EventKind::CallSkipped { service, .. } => format!("skip {service}"),
+            EventKind::Invoke { service, .. } => format!("invoke {service}"),
+            EventKind::CacheHit { service, atom } => format!("hit {service}#{atom}"),
+            EventKind::CacheMiss { service, atom } => format!("miss {service}#{atom}"),
+            EventKind::SubsumeCheck { .. } => "subsume-check".to_string(),
+            EventKind::Graft { .. } => "graft".to_string(),
+            EventKind::Reduce { .. } => "reduce".to_string(),
+            EventKind::IndexLookup { service, atom, .. } => format!("index {service}#{atom}"),
+            EventKind::IndexMaintain { .. } => "index-maintain".to_string(),
+            EventKind::MsgSend { kind, .. } => format!("send {}", kind.name()),
+            EventKind::MsgRecv { kind, .. } => format!("recv {}", kind.name()),
+            EventKind::PeerEval { service, .. } | EventKind::WorkerEval { service, .. } => {
+                format!("eval {service}")
+            }
+            EventKind::ParallelRound { round, .. } => format!("parallel round {round}"),
+            EventKind::PlanCompiled { service, .. } => format!("compile {service}"),
+            EventKind::ProgramCacheHit { service } => format!("program hit {service}"),
+            EventKind::ProgramCacheMiss { service } => format!("program miss {service}"),
+            EventKind::RequestRecv { kind, .. } => format!("recv {}", kind.name()),
+            EventKind::RequestServed { kind, .. } => format!("serve {}", kind.name()),
+            EventKind::BatchFormed { .. } => "batch".to_string(),
+            EventKind::SubscriptionPush { .. } => "push".to_string(),
+        }
+    }
+}
+
 /// One journal entry: an [`EventKind`] stamped by the recording sink
 /// with a strictly increasing sequence number, a monotone timestamp
 /// (nanoseconds since the sink's epoch), and the recording worker's id
@@ -408,6 +563,12 @@ pub struct TraceEvent {
     /// Recording worker id: 0 for the main thread, `w + 1` for parallel
     /// worker `w` (see [`Journal::for_worker`]).
     pub worker: u32,
+    /// The request-scoped trace id the event belongs to (0 =
+    /// unattributed). `axml-server` stamps one per request frame and
+    /// threads it through engine rounds, invocations, worker
+    /// evaluations, and p2p calls, so one query's end-to-end derivation
+    /// is reconstructable from a merged journal.
+    pub trace: u64,
     /// The event itself.
     pub kind: EventKind,
 }
@@ -423,6 +584,16 @@ pub struct TraceEvent {
 pub trait TraceSink {
     /// Record one event.
     fn record(&self, kind: EventKind);
+
+    /// Record one event attributed to request trace id `trace` (0 =
+    /// unattributed). Storing sinks stamp the id onto the stored
+    /// [`TraceEvent`]; the default drops the id and forwards to
+    /// [`TraceSink::record`], which is correct for aggregators that
+    /// never store events.
+    fn record_traced(&self, kind: EventKind, trace: u64) {
+        let _ = trace;
+        self.record(kind);
+    }
 
     /// Record an already-stamped event — the merge path for per-worker
     /// journals. Storing sinks should preserve the event's timestamp
@@ -448,17 +619,37 @@ pub trait TraceSink {
 #[derive(Clone, Copy, Default)]
 pub struct Tracer<'a> {
     sink: Option<&'a dyn TraceSink>,
+    trace: u64,
 }
 
 impl<'a> Tracer<'a> {
     /// A tracer bound to `sink`.
     pub fn new(sink: &'a dyn TraceSink) -> Tracer<'a> {
-        Tracer { sink: Some(sink) }
+        Tracer {
+            sink: Some(sink),
+            trace: 0,
+        }
     }
 
     /// The no-op tracer: every emission is a predictable-false branch.
     pub fn disabled() -> Tracer<'a> {
-        Tracer { sink: None }
+        Tracer {
+            sink: None,
+            trace: 0,
+        }
+    }
+
+    /// This tracer, stamping every emitted event with request trace id
+    /// `trace` (0 = unattributed, the default). Copy-cheap: the server
+    /// derives one per request from its shared tracer.
+    pub fn with_trace(self, trace: u64) -> Tracer<'a> {
+        Tracer { trace, ..self }
+    }
+
+    /// The trace id this tracer stamps (0 = unattributed).
+    #[inline]
+    pub fn trace_id(&self) -> u64 {
+        self.trace
     }
 
     /// Is a sink attached? Use to guard measurement work (e.g. an
@@ -472,7 +663,7 @@ impl<'a> Tracer<'a> {
     #[inline]
     pub fn emit(&self, f: impl FnOnce() -> EventKind) {
         if let Some(sink) = self.sink {
-            sink.record(f());
+            sink.record_traced(f(), self.trace);
         }
     }
 
@@ -492,20 +683,83 @@ impl<'a> Tracer<'a> {
     }
 }
 
+/// Retention policy of a [`Journal`]: an optional ring capacity and
+/// per-[`EventCategory`] sampling rates, for always-on production
+/// tracing with bounded memory. The [`Default`] is the production
+/// profile (a ~64k-event ring, every event kept); use
+/// [`JournalConfig::unbounded`] — what [`Journal::new`] does — to keep
+/// everything, as tests and offline experiments want.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JournalConfig {
+    /// Most events retained at once; when full, the *oldest* event is
+    /// evicted (and counted per category). `None` = unbounded.
+    pub capacity: Option<usize>,
+    /// Per-category keep-one-in-`n` sampling rates, indexed by the
+    /// category's position in [`EventCategory::ALL`]. `0` and `1` both
+    /// mean "keep every event". Sampled-out events still consume a
+    /// sequence number, so seq gaps reveal sampling while the stored
+    /// order stays strictly monotone.
+    pub sample: [u32; EventCategory::ALL.len()],
+}
+
+/// The production default ring capacity (events).
+pub const DEFAULT_JOURNAL_CAPACITY: usize = 65_536;
+
+impl Default for JournalConfig {
+    fn default() -> JournalConfig {
+        JournalConfig {
+            capacity: Some(DEFAULT_JOURNAL_CAPACITY),
+            sample: [1; EventCategory::ALL.len()],
+        }
+    }
+}
+
+impl JournalConfig {
+    /// Keep every event forever — the test/experiment profile.
+    pub fn unbounded() -> JournalConfig {
+        JournalConfig {
+            capacity: None,
+            sample: [1; EventCategory::ALL.len()],
+        }
+    }
+
+    /// This config with a keep-one-in-`n` sampling rate for `cat`.
+    pub fn with_sample(mut self, cat: EventCategory, n: u32) -> JournalConfig {
+        self.sample[cat as usize] = n;
+        self
+    }
+
+    /// The effective keep-one-in-`n` rate for `cat` (never 0).
+    pub fn rate(&self, cat: EventCategory) -> u64 {
+        u64::from(self.sample[cat as usize].max(1))
+    }
+}
+
 struct JournalInner {
     seq: u64,
-    events: Vec<TraceEvent>,
+    events: std::collections::VecDeque<TraceEvent>,
+    /// Events observed per category (kept or not) — the sampling phase.
+    seen: [u64; EventCategory::ALL.len()],
+    /// Events dropped by sampling, per category.
+    sampled_out: [u64; EventCategory::ALL.len()],
+    /// Events evicted by the ring capacity, per category.
+    evicted: [u64; EventCategory::ALL.len()],
 }
 
 /// An in-memory ordered event log. The canonical [`TraceSink`]: stamps
-/// each event with a sequence number and a monotone timestamp, keeps
-/// everything, and feeds the exporters ([`chrome_trace`]) and the
-/// event-stream assertions in tests.
+/// each event with a sequence number and a monotone timestamp and feeds
+/// the exporters ([`chrome_trace`]) and the event-stream assertions in
+/// tests. [`Journal::new`] keeps everything; [`Journal::with_config`]
+/// bounds retention with a ring capacity and per-category sampling
+/// (dropped events are counted, and sequence numbers stay strictly
+/// monotone over whatever is retained, so exports and replay stay
+/// sound).
 pub struct Journal {
     epoch: Instant,
     /// The worker id stamped on events recorded *by this journal*
     /// (0 = main thread; see [`Journal::for_worker`]).
     worker: u32,
+    cfg: JournalConfig,
     inner: RefCell<JournalInner>,
 }
 
@@ -516,21 +770,45 @@ impl Default for Journal {
 }
 
 impl Journal {
-    /// An empty journal; timestamps count from now.
+    /// An empty unbounded journal; timestamps count from now. Keeps
+    /// every event — use [`Journal::with_config`] for the bounded
+    /// production profile.
     pub fn new() -> Journal {
         Journal::with_epoch(Instant::now())
     }
 
-    /// An empty journal whose timestamps count from `epoch` — use the
-    /// main sink's epoch ([`TraceSink::epoch`]) so a worker-local
-    /// journal's timestamps merge onto the same timeline.
+    /// An empty journal with the given retention policy; timestamps
+    /// count from now.
+    pub fn with_config(cfg: JournalConfig) -> Journal {
+        Journal {
+            cfg,
+            ..Journal::new()
+        }
+    }
+
+    /// An empty ring journal holding at most `capacity` events (oldest
+    /// evicted first), no sampling.
+    pub fn bounded(capacity: usize) -> Journal {
+        Journal::with_config(JournalConfig {
+            capacity: Some(capacity),
+            ..JournalConfig::unbounded()
+        })
+    }
+
+    /// An empty unbounded journal whose timestamps count from `epoch` —
+    /// use the main sink's epoch ([`TraceSink::epoch`]) so a
+    /// worker-local journal's timestamps merge onto the same timeline.
     pub fn with_epoch(epoch: Instant) -> Journal {
         Journal {
             epoch,
             worker: 0,
+            cfg: JournalConfig::unbounded(),
             inner: RefCell::new(JournalInner {
                 seq: 0,
-                events: Vec::new(),
+                events: std::collections::VecDeque::new(),
+                seen: [0; EventCategory::ALL.len()],
+                sampled_out: [0; EventCategory::ALL.len()],
+                evicted: [0; EventCategory::ALL.len()],
             }),
         }
     }
@@ -539,7 +817,8 @@ impl Journal {
     /// worker id `worker + 1` (0 is reserved for the main thread) and
     /// timestamps counting from `epoch`. Each parallel worker keeps one
     /// and the engine merges it into the main sink, in worker order, at
-    /// the end of the round's evaluation phase.
+    /// the end of the round's evaluation phase. Unbounded: retention
+    /// policy is the merged-into sink's concern.
     pub fn for_worker(worker: u32, epoch: Option<Instant>) -> Journal {
         Journal {
             worker: worker + 1,
@@ -547,7 +826,12 @@ impl Journal {
         }
     }
 
-    /// Number of recorded events.
+    /// The retention policy.
+    pub fn config(&self) -> &JournalConfig {
+        &self.cfg
+    }
+
+    /// Number of retained events.
     pub fn len(&self) -> usize {
         self.inner.borrow().events.len()
     }
@@ -557,39 +841,118 @@ impl Journal {
         self.len() == 0
     }
 
-    /// A copy of the recorded events, in journal order.
-    pub fn snapshot(&self) -> Vec<TraceEvent> {
-        self.inner.borrow().events.clone()
+    /// Total events dropped (ring evictions + sampled out).
+    pub fn dropped(&self) -> u64 {
+        let inner = self.inner.borrow();
+        inner.evicted.iter().sum::<u64>() + inner.sampled_out.iter().sum::<u64>()
     }
 
-    /// Consume the journal, returning the events.
+    /// Events evicted by the ring capacity.
+    pub fn dropped_evicted(&self) -> u64 {
+        self.inner.borrow().evicted.iter().sum()
+    }
+
+    /// Events dropped by sampling.
+    pub fn dropped_sampled(&self) -> u64 {
+        self.inner.borrow().sampled_out.iter().sum()
+    }
+
+    /// Per-category drop counters: `(category, evicted, sampled_out)`,
+    /// in [`EventCategory::ALL`] order, categories with no drops
+    /// included.
+    pub fn dropped_by_category(&self) -> Vec<(EventCategory, u64, u64)> {
+        let inner = self.inner.borrow();
+        EventCategory::ALL
+            .iter()
+            .map(|&c| (c, inner.evicted[c as usize], inner.sampled_out[c as usize]))
+            .collect()
+    }
+
+    /// A copy of the retained events, in journal order.
+    pub fn snapshot(&self) -> Vec<TraceEvent> {
+        self.inner.borrow().events.iter().copied().collect()
+    }
+
+    /// Consume the journal, returning the retained events.
     pub fn into_events(self) -> Vec<TraceEvent> {
-        self.inner.into_inner().events
+        self.inner.into_inner().events.into_iter().collect()
+    }
+
+    /// Stamp `kind` with the next sequence number, the monotone
+    /// timestamp, this journal's worker id, and `trace`, then retain it
+    /// subject to the sampling and capacity policy. Returns the stamped
+    /// event whether or not it was retained — the server's tail
+    /// subscriptions forward it to live observers either way.
+    pub fn record_event(&self, kind: EventKind, trace: u64) -> TraceEvent {
+        let ts_ns = self.epoch.elapsed().as_nanos() as u64;
+        let mut inner = self.inner.borrow_mut();
+        let seq = inner.seq;
+        inner.seq += 1;
+        let ev = TraceEvent {
+            seq,
+            ts_ns,
+            worker: self.worker,
+            trace,
+            kind,
+        };
+        self.store(&mut inner, ev);
+        ev
+    }
+
+    /// Absorb an already-stamped event (the worker-merge path),
+    /// re-stamping only its sequence number, and return the re-stamped
+    /// event. This is what [`TraceSink::record_stamped`] does for a
+    /// journal; callers that also fan events out to live observers use
+    /// this directly for the authoritative stamp.
+    pub fn record_absorbed(&self, ev: TraceEvent) -> TraceEvent {
+        let mut inner = self.inner.borrow_mut();
+        let seq = inner.seq;
+        inner.seq += 1;
+        let ev = TraceEvent { seq, ..ev };
+        self.store(&mut inner, ev);
+        ev
+    }
+
+    /// The sampling + ring phase, shared by every record path. The
+    /// caller already consumed a sequence number for `ev`.
+    fn store(&self, inner: &mut JournalInner, ev: TraceEvent) {
+        let cat = ev.kind.category() as usize;
+        let nth = inner.seen[cat];
+        inner.seen[cat] += 1;
+        if !nth.is_multiple_of(self.cfg.rate(ev.kind.category())) {
+            inner.sampled_out[cat] += 1;
+            return;
+        }
+        if let Some(capacity) = self.cfg.capacity {
+            if capacity == 0 {
+                inner.evicted[cat] += 1;
+                return;
+            }
+            while inner.events.len() >= capacity {
+                if let Some(old) = inner.events.pop_front() {
+                    inner.evicted[old.kind.category() as usize] += 1;
+                }
+            }
+        }
+        inner.events.push_back(ev);
     }
 }
 
 impl TraceSink for Journal {
     fn record(&self, kind: EventKind) {
-        let ts_ns = self.epoch.elapsed().as_nanos() as u64;
-        let mut inner = self.inner.borrow_mut();
-        let seq = inner.seq;
-        inner.seq += 1;
-        inner.events.push(TraceEvent {
-            seq,
-            ts_ns,
-            worker: self.worker,
-            kind,
-        });
+        self.record_event(kind, 0);
     }
 
-    /// Merged events keep their original timestamp and worker id; only
-    /// the sequence number is re-stamped, in arrival order, so the
-    /// journal stays strictly `seq`-ordered and deterministic.
+    fn record_traced(&self, kind: EventKind, trace: u64) {
+        self.record_event(kind, trace);
+    }
+
+    /// Merged events keep their original timestamp, worker id, and
+    /// trace id; only the sequence number is re-stamped, in arrival
+    /// order, so the journal stays strictly `seq`-ordered and
+    /// deterministic. The retention policy applies as for fresh events.
     fn record_stamped(&self, ev: TraceEvent) {
-        let mut inner = self.inner.borrow_mut();
-        let seq = inner.seq;
-        inner.seq += 1;
-        inner.events.push(TraceEvent { seq, ..ev });
+        self.record_absorbed(ev);
     }
 
     fn epoch(&self) -> Option<Instant> {
@@ -614,6 +977,12 @@ impl TraceSink for Fanout<'_> {
     fn record(&self, kind: EventKind) {
         for s in &self.sinks {
             s.record(kind);
+        }
+    }
+
+    fn record_traced(&self, kind: EventKind, trace: u64) {
+        for s in &self.sinks {
+            s.record_traced(kind, trace);
         }
     }
 
@@ -1343,6 +1712,19 @@ pub const SERVER_TID: u64 = 500;
 /// sequence number so an out-of-order slice (e.g. a hand-merged
 /// journal) still renders deterministically.
 pub fn chrome_trace(events: &[TraceEvent]) -> String {
+    let mut out = Vec::new();
+    chrome_trace_to(events, &mut out).expect("Vec<u8> writes are infallible");
+    String::from_utf8(out).expect("chrome rows are UTF-8")
+}
+
+/// Streaming variant of [`chrome_trace`]: writes the export directly to
+/// `w` (one row at a time) instead of assembling one giant `String`, so
+/// dumping a large ring journal does not double peak memory. Same
+/// output, byte for byte.
+pub fn chrome_trace_to(
+    events: &[TraceEvent],
+    w: &mut impl std::io::Write,
+) -> std::io::Result<()> {
     // Stable order: by the journal's own seq stamp. Merged journals
     // are already seq-ordered; this makes the export robust to callers
     // concatenating event slices themselves.
@@ -1350,7 +1732,9 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
     ordered.sort_by_key(|e| e.seq);
     // Lane assignment: tid 1 is the engine; each peer acting in an
     // event (sender, receiver, or evaluator) gets its own tid; each
-    // parallel worker gets the fixed lane 1000 + its id.
+    // parallel worker gets the fixed lane 1000 + its id. The metadata
+    // header must name every lane before the rows stream out, so a
+    // first pass assigns lanes and a second pass renders.
     let mut lanes: Vec<(Sym, u64)> = Vec::new();
     let mut worker_lanes: Vec<u64> = Vec::new();
     let mut server_lane = false;
@@ -1362,76 +1746,113 @@ pub fn chrome_trace(events: &[TraceEvent]) -> String {
         lanes.push((peer, t));
         t
     };
-    let rows: Vec<String> = ordered
-        .iter()
-        .map(|ev| {
-            let tid = match ev.kind {
-                EventKind::MsgSend { from, .. } => lane(&mut lanes, from),
-                EventKind::MsgRecv { peer, .. }
-                | EventKind::PeerEval { peer, .. } => lane(&mut lanes, peer),
-                EventKind::WorkerEval { worker, .. } => {
-                    let t = 1_000 + u64::from(worker);
-                    if !worker_lanes.contains(&t) {
-                        worker_lanes.push(t);
-                    }
-                    t
+    for ev in &ordered {
+        match ev.kind {
+            EventKind::MsgSend { from, .. } => {
+                lane(&mut lanes, from);
+            }
+            EventKind::MsgRecv { peer, .. } | EventKind::PeerEval { peer, .. } => {
+                lane(&mut lanes, peer);
+            }
+            EventKind::WorkerEval { worker, .. } => {
+                let t = 1_000 + u64::from(worker);
+                if !worker_lanes.contains(&t) {
+                    worker_lanes.push(t);
                 }
-                EventKind::RequestRecv { .. }
-                | EventKind::RequestServed { .. }
-                | EventKind::BatchFormed { .. }
-                | EventKind::SubscriptionPush { .. } => {
-                    server_lane = true;
-                    SERVER_TID
-                }
-                _ => 1,
-            };
-            chrome_row(ev, tid)
-        })
-        .collect();
+            }
+            EventKind::RequestRecv { .. }
+            | EventKind::RequestServed { .. }
+            | EventKind::BatchFormed { .. }
+            | EventKind::SubscriptionPush { .. } => server_lane = true,
+            _ => {}
+        }
+    }
     worker_lanes.sort_unstable();
+    // Second-pass lane lookup: every lane is assigned by now.
+    let tid_of = |ev: &TraceEvent| -> u64 {
+        match ev.kind {
+            EventKind::MsgSend { from, .. } => lanes
+                .iter()
+                .find(|(p, _)| *p == from)
+                .map_or(1, |&(_, t)| t),
+            EventKind::MsgRecv { peer, .. } | EventKind::PeerEval { peer, .. } => lanes
+                .iter()
+                .find(|(p, _)| *p == peer)
+                .map_or(1, |&(_, t)| t),
+            EventKind::WorkerEval { worker, .. } => 1_000 + u64::from(worker),
+            EventKind::RequestRecv { .. }
+            | EventKind::RequestServed { .. }
+            | EventKind::BatchFormed { .. }
+            | EventKind::SubscriptionPush { .. } => SERVER_TID,
+            _ => 1,
+        }
+    };
 
-    let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n");
-    out.push_str(
-        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\
-         \"args\":{\"name\":\"positive-axml\"}},\n\
-         {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\
-         \"args\":{\"name\":\"engine\"}}",
-    );
+    w.write_all(b"{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n")?;
+    w.write_all(
+        b"{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\
+          \"args\":{\"name\":\"positive-axml\"}},\n\
+          {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\
+          \"args\":{\"name\":\"engine\"}}",
+    )?;
     for (peer, tid) in &lanes {
-        let _ = write!(
-            out,
+        write!(
+            w,
             ",\n{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\
              \"tid\":{tid},\"args\":{{\"name\":\"{}\"}}}}",
             json_escape(peer.as_str())
-        );
+        )?;
     }
     if server_lane {
-        let _ = write!(
-            out,
+        write!(
+            w,
             ",\n{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\
              \"tid\":{SERVER_TID},\"args\":{{\"name\":\"server\"}}}}",
-        );
+        )?;
     }
     for tid in &worker_lanes {
-        let _ = write!(
-            out,
+        write!(
+            w,
             ",\n{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\
              \"tid\":{tid},\"args\":{{\"name\":\"worker {}\"}}}}",
             tid - 1_000
-        );
+        )?;
     }
-    for row in rows {
+    for ev in &ordered {
+        let row = chrome_row(ev, tid_of(ev));
         if row.is_empty() {
             continue;
         }
-        out.push_str(",\n");
-        out.push_str(&row);
+        w.write_all(b",\n")?;
+        w.write_all(row.as_bytes())?;
     }
-    out.push_str("\n]}\n");
-    out
+    w.write_all(b"\n]}\n")
 }
 
 fn chrome_row(ev: &TraceEvent, tid: u64) -> String {
+    with_trace_arg(chrome_row_inner(ev, tid), ev.trace)
+}
+
+/// Append `"trace":N` to a rendered row's `args` object (adding the
+/// object when the row has none) so request-scoped trace ids survive
+/// the chrome export. Rows always end with either `…"args":{…}}` or a
+/// bare `…}` (only `RoundStart` rows lack args), so suffix surgery is
+/// unambiguous.
+fn with_trace_arg(row: String, trace: u64) -> String {
+    if trace == 0 || row.is_empty() {
+        return row;
+    }
+    if let Some(stripped) = row.strip_suffix("}}") {
+        let comma = if stripped.ends_with('{') { "" } else { "," };
+        format!("{stripped}{comma}\"trace\":{trace}}}}}")
+    } else if let Some(stripped) = row.strip_suffix('}') {
+        format!("{stripped},\"args\":{{\"trace\":{trace}}}}}")
+    } else {
+        row
+    }
+}
+
+fn chrome_row_inner(ev: &TraceEvent, tid: u64) -> String {
     let common = |name: &str, ph: &str, cat: &str, ts: f64| {
         format!(
             "{{\"name\":\"{}\",\"ph\":\"{ph}\",\"cat\":\"{cat}\",\"ts\":{ts:.3},\"pid\":1,\"tid\":{tid}",
@@ -2336,6 +2757,113 @@ mod tests {
         let t = Tracer::disabled();
         assert!(!t.enabled());
         t.emit(|| panic!("closure must not run when disabled"));
+    }
+
+    #[test]
+    fn ring_journal_evicts_oldest_and_counts_drops() {
+        let j = Journal::bounded(10);
+        for i in 0..25u64 {
+            j.record(EventKind::RoundStart { round: i });
+        }
+        let events = j.snapshot();
+        assert_eq!(j.len(), 10);
+        // The *newest* 10 events survive, seq stamps intact.
+        let seqs: Vec<u64> = events.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, (15..25).collect::<Vec<u64>>());
+        assert_eq!(j.dropped(), 15);
+        assert_eq!(j.dropped_evicted(), 15);
+        assert_eq!(j.dropped_sampled(), 0);
+        let by_cat = j.dropped_by_category();
+        let engine = by_cat
+            .iter()
+            .find(|(c, _, _)| *c == EventCategory::Engine)
+            .unwrap();
+        assert_eq!((engine.1, engine.2), (15, 0));
+        // Seq numbers keep advancing past evictions.
+        let ev = j.record_event(EventKind::RoundStart { round: 99 }, 7);
+        assert_eq!(ev.seq, 25);
+        assert_eq!(ev.trace, 7);
+    }
+
+    #[test]
+    fn sampling_keeps_one_in_n_per_category_and_preserves_seq() {
+        let cfg = JournalConfig::unbounded().with_sample(EventCategory::Cache, 4);
+        let j = Journal::with_config(cfg);
+        for i in 0..12u64 {
+            j.record(EventKind::CacheHit {
+                service: sym("f"),
+                atom: i as u32,
+            });
+            // An unsampled category is untouched by the cache rate.
+            j.record(EventKind::RoundStart { round: i });
+        }
+        let events = j.snapshot();
+        // 3 of 12 cache events kept (every 4th, starting with the
+        // first), all 12 engine events kept.
+        let cache: Vec<&TraceEvent> = events
+            .iter()
+            .filter(|e| e.kind.category() == EventCategory::Cache)
+            .collect();
+        assert_eq!(cache.len(), 3);
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| e.kind.category() == EventCategory::Engine)
+                .count(),
+            12
+        );
+        // Sampled-out events still consumed a seq: the kept cache
+        // events sit 8 seq apart (4 cache slots × 2 interleaved kinds).
+        assert_eq!(cache[1].seq - cache[0].seq, 8);
+        assert_eq!(j.dropped(), 9);
+        assert_eq!(j.dropped_sampled(), 9);
+        assert_eq!(j.dropped_evicted(), 0);
+        // Strict global seq order over whatever is retained.
+        for w in events.windows(2) {
+            assert!(w[0].seq < w[1].seq);
+        }
+    }
+
+    #[test]
+    fn default_journal_config_is_a_bounded_ring() {
+        let cfg = JournalConfig::default();
+        assert_eq!(cfg.capacity, Some(DEFAULT_JOURNAL_CAPACITY));
+        assert!(cfg.sample.iter().all(|&r| r == 1));
+        // record_stamped (the worker-merge path) also honors capacity.
+        let j = Journal::bounded(2);
+        for seq in 0..5u64 {
+            j.record_stamped(TraceEvent {
+                seq,
+                ts_ns: seq,
+                worker: 1,
+                trace: 0,
+                kind: EventKind::RoundStart { round: seq },
+            });
+        }
+        assert_eq!(j.len(), 2);
+        assert_eq!(j.dropped_evicted(), 3);
+    }
+
+    #[test]
+    fn event_categories_parse_and_cover_the_taxonomy() {
+        for &cat in &EventCategory::ALL {
+            assert_eq!(EventCategory::parse(cat.name()), Some(cat));
+        }
+        assert_eq!(EventCategory::parse("nope"), None);
+    }
+
+    #[test]
+    fn tracer_stamps_trace_ids_on_emitted_events() {
+        let j = Journal::new();
+        let t = Tracer::new(&j).with_trace(42);
+        assert_eq!(t.trace_id(), 42);
+        t.emit(|| EventKind::RoundStart { round: 0 });
+        let events = j.snapshot();
+        assert_eq!(events[0].trace, 42);
+        // with_trace_arg surfaces the id in the chrome export.
+        let json = chrome_trace(&events);
+        assert!(json.contains("\"trace\":42"), "{json}");
+        assert!(validate_chrome_trace(&json).is_ok());
     }
 
     #[test]

@@ -185,6 +185,20 @@ pub fn serve_report(
     requests: usize,
     batch: usize,
 ) -> Result<String, String> {
+    serve_report_traced(conns, requests, batch, None)
+}
+
+/// [`serve_report`], optionally streaming the server's Chrome trace to
+/// `trace_path` after the drive (via
+/// [`SharedSink::chrome_trace_to`](axml_server::SharedSink::chrome_trace_to),
+/// so a full 64k-event ring is exported without building the JSON in
+/// memory first).
+pub fn serve_report_traced(
+    conns: usize,
+    requests: usize,
+    batch: usize,
+    trace_path: Option<&str>,
+) -> Result<String, String> {
     let mut handle = axml_server::Server::spawn(
         "127.0.0.1:0",
         axml_server::ServerConfig::default(),
@@ -201,6 +215,15 @@ pub fn serve_report(
     };
     let report = axml_server::load::run(&cfg).map_err(|e| format!("load: {e}"))?;
     handle.join();
+    if let Some(path) = trace_path {
+        std::fs::File::create(path)
+            .and_then(|f| {
+                let mut w = std::io::BufWriter::new(f);
+                handle.sink().chrome_trace_to(&mut w)?;
+                std::io::Write::flush(&mut w)
+            })
+            .map_err(|e| format!("{path}: {e}"))?;
+    }
     Ok(format!(
         "{}\n{}",
         report.render(&cfg),

@@ -6,7 +6,9 @@
 //! axml-inspect matrix [--peers K] [--rounds R]
 //! axml-inspect provenance [--n N] [--shards S] [--seed X] [--out FILE]
 //! axml-inspect plan [--n N] [--shards S] [--seed X] [--query RULE] [--scan]
-//! axml-inspect serve [--conns N] [--requests N] [--batch N]
+//! axml-inspect serve [--conns N] [--requests N] [--batch N] [--trace FILE]
+//! axml-inspect prom <file-or-host:port>
+//! axml-inspect --version
 //! ```
 //!
 //! * `report` runs the tc-digraph closure workload live on the delta
@@ -24,13 +26,19 @@
 //! * `serve` spawns an in-process `axml-server` on an ephemeral port,
 //!   drives it closed-loop with the `axml-load` generator, and prints
 //!   the load line plus the server's metrics report (the `server:`
-//!   block with p50/p99 request latency and per-session rows).
+//!   block with p50/p99 request latency and per-session rows);
+//!   `--trace FILE` additionally streams the server's Chrome trace.
+//! * `prom` validates a Prometheus text-exposition page — read from a
+//!   file, or scraped live from an `axml-server --metrics-addr`
+//!   listener when the argument looks like `host:port` — and prints
+//!   the sample count (the CI metrics smoke uses it as the format
+//!   checker).
 
 use std::process::ExitCode;
 
 use axml_inspect::{
     deepest_provenance_dot, matrix_from_events, render_events, render_plan,
-    run_metrics_report, serve_report, EventFilter,
+    run_metrics_report, serve_report_traced, EventFilter,
 };
 
 fn usage() -> ExitCode {
@@ -41,7 +49,9 @@ fn usage() -> ExitCode {
          axml-inspect matrix [--peers K] [--rounds R]\n  \
          axml-inspect provenance [--n N] [--shards S] [--seed X] [--out FILE]\n  \
          axml-inspect plan [--n N] [--shards S] [--seed X] [--query RULE] [--scan]\n  \
-         axml-inspect serve [--conns N] [--requests N] [--batch N]"
+         axml-inspect serve [--conns N] [--requests N] [--batch N] [--trace FILE]\n  \
+         axml-inspect prom <file-or-host:port>\n  \
+         axml-inspect --version"
     );
     ExitCode::from(2)
 }
@@ -83,6 +93,11 @@ fn main() -> ExitCode {
         "provenance" => cmd_provenance(&mut args),
         "plan" => cmd_plan(&mut args),
         "serve" => cmd_serve(&mut args),
+        "prom" => cmd_prom(&mut args),
+        "--version" | "-V" => {
+            println!("axml-inspect {}", env!("CARGO_PKG_VERSION"));
+            return ExitCode::SUCCESS;
+        }
         _ => return usage(),
     };
     match result {
@@ -176,9 +191,57 @@ fn cmd_serve(args: &mut Vec<String>) -> Result<(), String> {
     let conns = take_num(args, "--conns", 2usize)?;
     let requests = take_num(args, "--requests", 64usize)?;
     let batch = take_num(args, "--batch", 4usize)?;
+    let trace = take_opt(args, "--trace");
     reject_extra(args)?;
-    print!("{}", serve_report(conns, requests, batch)?);
+    print!(
+        "{}",
+        serve_report_traced(conns, requests, batch, trace.as_deref())?
+    );
     Ok(())
+}
+
+fn cmd_prom(args: &mut Vec<String>) -> Result<(), String> {
+    if args.len() != 1 {
+        return Err("prom: expected exactly one <file-or-host:port> argument".into());
+    }
+    let target = args.remove(0);
+    // An existing file wins; anything else with a colon is scraped.
+    let text = if std::path::Path::new(&target).exists() {
+        std::fs::read_to_string(&target).map_err(|e| format!("{target}: {e}"))?
+    } else if target.contains(':') {
+        scrape(&target)?
+    } else {
+        return Err(format!("{target}: no such file (and not a host:port)"));
+    };
+    let samples = axml_server::metrics::validate_prometheus_text(&text)
+        .map_err(|e| format!("{target}: invalid exposition: {e}"))?;
+    println!("{target}: valid Prometheus exposition, {samples} samples");
+    Ok(())
+}
+
+/// One hand-rolled HTTP/1.0 GET against a `--metrics-addr` listener;
+/// returns the response body.
+fn scrape(addr: &str) -> Result<String, String> {
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(addr).map_err(|e| format!("{addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .map_err(|e| e.to_string())?;
+    stream
+        .write_all(format!("GET /metrics HTTP/1.0\r\nHost: {addr}\r\n\r\n").as_bytes())
+        .map_err(|e| format!("{addr}: {e}"))?;
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .map_err(|e| format!("{addr}: {e}"))?;
+    let Some((head, body)) = response.split_once("\r\n\r\n") else {
+        return Err(format!("{addr}: malformed HTTP response"));
+    };
+    let status = head.lines().next().unwrap_or("");
+    if !status.contains(" 200 ") {
+        return Err(format!("{addr}: scrape failed: {status}"));
+    }
+    Ok(body.to_string())
 }
 
 /// Pull a bare `--flag` out of `args`; removes it when found.

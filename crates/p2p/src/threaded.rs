@@ -22,6 +22,8 @@ use axml_core::trace::{EventKind, Journal, MsgKind, TraceEvent, Tracer};
 use axml_core::tree::{NodeId, Tree};
 use crossbeam::channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -35,6 +37,12 @@ enum Msg {
         service: Sym,
         input: Tree,
         context: Tree,
+        /// Request-scoped trace id, assigned by the caller when the
+        /// pull is issued; the provider stamps its receive/eval/send
+        /// events with it and echoes it on the `Response`, so one
+        /// pull's derivation is reconstructable across both peers'
+        /// journals.
+        trace: u64,
     },
     /// The provider's answer for a call site, stamped with the
     /// provider's state digest so the caller knows whether the provider
@@ -50,6 +58,8 @@ enum Msg {
         /// the provider-side [`InvocationRecord`] that produced the
         /// forest (None when provenance is off).
         prov_seq: Option<u64>,
+        /// The originating `Call`'s trace id, echoed back.
+        trace: u64,
     },
     /// A provider's documents changed: past callers should re-pull.
     /// (The §2.2 push view assisting the pull loop — without it, a
@@ -203,6 +213,9 @@ pub fn run_threaded_config(peers: Vec<Peer>, cfg: ThreadedConfig) -> Result<Thre
         receivers.push((peer, rx));
     }
 
+    // One network-wide trace-id well: every pull any peer issues gets
+    // a fresh nonzero id, so ids are unique across the whole run.
+    let trace_ids = Arc::new(AtomicU64::new(0));
     let mut handles = Vec::new();
     for (peer, rx) in receivers {
         let peers_tx = senders.clone();
@@ -212,8 +225,9 @@ pub fn run_threaded_config(peers: Vec<Peer>, cfg: ThreadedConfig) -> Result<Thre
             peer.seed_provenance(&store);
             store
         });
+        let trace_ids = Arc::clone(&trace_ids);
         handles.push(thread::spawn(move || {
-            peer_loop(peer, rx, peers_tx, journal, store, parallelism)
+            peer_loop(peer, rx, peers_tx, journal, store, parallelism, &trace_ids)
         }));
     }
 
@@ -312,6 +326,7 @@ struct PendingCall {
     service: Sym,
     input: Tree,
     context: Tree,
+    trace: u64,
 }
 
 /// The peer's event loop: serve calls, absorb responses, keep pulling.
@@ -322,6 +337,7 @@ fn peer_loop(
     mut journal: Option<Journal>,
     mut store: Option<ProvenanceStore>,
     parallelism: Parallelism,
+    trace_ids: &AtomicU64,
 ) {
     let myname = peer.name;
     let workers = match parallelism {
@@ -354,6 +370,7 @@ fn peer_loop(
                 service,
                 input,
                 context,
+                trace,
             }) => {
                 let mut batch = vec![PendingCall {
                     caller,
@@ -362,6 +379,7 @@ fn peer_loop(
                     service,
                     input,
                     context,
+                    trace,
                 }];
                 if workers > 0 {
                     // Drain every already-queued call into one batch so
@@ -377,6 +395,7 @@ fn peer_loop(
                                 service,
                                 input,
                                 context,
+                                trace,
                             } => batch.push(PendingCall {
                                 caller,
                                 doc,
@@ -384,6 +403,7 @@ fn peer_loop(
                                 service,
                                 input,
                                 context,
+                                trace,
                             }),
                             other => backlog.push_back(other),
                         }
@@ -391,7 +411,7 @@ fn peer_loop(
                 }
                 received += batch.len() as u64;
                 for call in &batch {
-                    tracer.emit(|| EventKind::MsgRecv {
+                    tracer.with_trace(call.trace).emit(|| EventKind::MsgRecv {
                         peer: myname,
                         kind: MsgKind::Call,
                     });
@@ -457,7 +477,7 @@ fn peer_loop(
 
                 for (call, (res, dur_ns)) in batch.iter().zip(evals) {
                     let Ok(forest) = res else { continue };
-                    tracer.emit(|| EventKind::PeerEval {
+                    tracer.with_trace(call.trace).emit(|| EventKind::PeerEval {
                         peer: myname,
                         service: call.service,
                         dur_ns,
@@ -479,7 +499,7 @@ fn peer_loop(
                     });
                     if let Some(tx) = peers_tx.get(&call.caller) {
                         sent += 1;
-                        tracer.emit(|| EventKind::MsgSend {
+                        tracer.with_trace(call.trace).emit(|| EventKind::MsgSend {
                             from: myname,
                             to: call.caller,
                             kind: MsgKind::Response,
@@ -492,6 +512,7 @@ fn peer_loop(
                             service: call.service,
                             provider_digest: peer.digest(),
                             prov_seq,
+                            trace: call.trace,
                         });
                     }
                 }
@@ -504,9 +525,10 @@ fn peer_loop(
                 service,
                 provider_digest,
                 prov_seq,
+                trace,
             }) => {
                 received += 1;
-                tracer.emit(|| EventKind::MsgRecv {
+                tracer.with_trace(trace).emit(|| EventKind::MsgRecv {
                     peer: myname,
                     kind: MsgKind::Response,
                 });
@@ -577,7 +599,11 @@ fn peer_loop(
                         };
                         if let Some(tx) = peers_tx.get(&provider) {
                             sent += 1;
-                            tracer.emit(|| EventKind::MsgSend {
+                            // Every pull is one request: a fresh
+                            // network-unique trace id stamps the send
+                            // and rides the Call to the provider.
+                            let trace = trace_ids.fetch_add(1, Ordering::Relaxed) + 1;
+                            tracer.with_trace(trace).emit(|| EventKind::MsgSend {
                                 from: myname,
                                 to: provider,
                                 kind: MsgKind::Call,
@@ -589,6 +615,7 @@ fn peer_loop(
                                 service,
                                 input,
                                 context,
+                                trace,
                             });
                         }
                     }
@@ -712,6 +739,49 @@ mod tests {
         // Untraced runs ship no journals.
         let plain = run_threaded(build_peers(), 2_000).unwrap();
         assert!(plain.journals.is_empty());
+    }
+
+    #[test]
+    fn trace_ids_reconstruct_a_pull_across_peer_journals() {
+        let out = run_threaded_traced(build_peers(), 2_000, true).unwrap();
+        let hub = &out.journals[&Sym::intern("hub")];
+        let store = &out.journals[&Sym::intern("store")];
+        // Pick one of hub's pulls of the store: its Call send carries a
+        // fresh nonzero trace id...
+        let pull = hub
+            .iter()
+            .find(|e| {
+                matches!(
+                    e.kind,
+                    EventKind::MsgSend { to, kind: MsgKind::Call, .. }
+                        if to == Sym::intern("store")
+                ) && e.trace != 0
+            })
+            .expect("hub pulled the store with a trace id");
+        let id = pull.trace;
+        // ...the provider's receive, evaluation, and response send all
+        // carry the same id...
+        assert!(store.iter().any(|e| e.trace == id
+            && matches!(e.kind, EventKind::MsgRecv { kind: MsgKind::Call, .. })));
+        assert!(store.iter().any(|e| e.trace == id
+            && matches!(
+                e.kind,
+                EventKind::PeerEval { service, .. } if service == Sym::intern("titles")
+            )));
+        assert!(store.iter().any(|e| e.trace == id
+            && matches!(e.kind, EventKind::MsgSend { kind: MsgKind::Response, .. })));
+        // ...and the caller's response receive closes the loop.
+        assert!(hub.iter().any(|e| e.trace == id
+            && matches!(e.kind, EventKind::MsgRecv { kind: MsgKind::Response, .. })));
+        // Ids are network-unique: portal's pulls of the hub never share
+        // an id with hub's pulls of the store.
+        let portal = &out.journals[&Sym::intern("portal")];
+        for e in portal {
+            if matches!(e.kind, EventKind::MsgSend { kind: MsgKind::Call, .. }) {
+                assert_ne!(e.trace, 0, "pulls are always trace-stamped");
+                assert_ne!(e.trace, id, "trace ids are unique per pull");
+            }
+        }
     }
 
     #[test]

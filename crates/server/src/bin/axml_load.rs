@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! axml-load [--addr HOST:PORT] [--conns N] [--requests N] [--batch N]
-//!           [--entries N] [--subscribe] [--shutdown]
+//!           [--entries N] [--subscribe] [--shutdown] [--json PATH]
+//!           [--version]
 //! ```
 //!
 //! Each connection opens its own session, runs it, then issues
@@ -10,20 +11,24 @@
 //! the client-observed round trip. Prints a one-line report with
 //! p50/p99/max latency and throughput. `--subscribe` additionally
 //! streams a transitive-closure fixpoint per connection; `--shutdown`
-//! stops the server afterwards (the CI smoke job uses both).
+//! stops the server afterwards (the CI smoke job uses both); `--json
+//! PATH` also writes the machine-readable summary
+//! ([`LoadReport::to_json`]) to `PATH` for benchmark trajectory files.
 
-use axml_server::load::{run, LoadConfig};
+use axml_server::load::{run, LoadConfig, LoadReport};
 
 fn usage() -> ! {
     eprintln!(
         "usage: axml-load [--addr HOST:PORT] [--conns N] [--requests N] [--batch N]\n\
-         \x20                [--entries N] [--subscribe] [--shutdown]"
+         \x20                [--entries N] [--subscribe] [--shutdown] [--json PATH]\n\
+         \x20                [--version]"
     );
     std::process::exit(2)
 }
 
 fn main() {
     let mut cfg = LoadConfig::default();
+    let mut json_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut val = |name: &str| args.next().unwrap_or_else(|| {
@@ -38,6 +43,11 @@ fn main() {
             "--entries" => cfg.entries = parse(&val("--entries")).max(1),
             "--subscribe" => cfg.subscribe = true,
             "--shutdown" => cfg.shutdown = true,
+            "--json" => json_path = Some(val("--json")),
+            "--version" | "-V" => {
+                println!("axml-load {}", env!("CARGO_PKG_VERSION"));
+                return;
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag {other:?}");
@@ -48,6 +58,10 @@ fn main() {
     match run(&cfg) {
         Ok(report) => {
             println!("{}", report.render(&cfg));
+            if let Err(e) = write_json(json_path.as_deref(), &report, &cfg) {
+                eprintln!("axml-load: writing --json: {e}");
+                std::process::exit(1);
+            }
             if report.errors > 0 {
                 std::process::exit(1);
             }
@@ -57,6 +71,17 @@ fn main() {
             std::process::exit(1);
         }
     }
+}
+
+fn write_json(
+    path: Option<&str>,
+    report: &LoadReport,
+    cfg: &LoadConfig,
+) -> std::io::Result<()> {
+    let Some(path) = path else { return Ok(()) };
+    let mut body = report.to_json(cfg);
+    body.push('\n');
+    std::fs::write(path, body)
 }
 
 fn parse(s: &str) -> usize {

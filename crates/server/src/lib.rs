@@ -74,6 +74,7 @@
 #![warn(missing_docs)]
 
 pub mod load;
+pub mod metrics;
 pub mod protocol;
 pub mod server;
 

@@ -80,6 +80,31 @@ impl LoadReport {
         self.requests as f64 / self.elapsed.as_secs_f64()
     }
 
+    /// Machine-readable run summary: one JSON object on one line, the
+    /// `BENCH_*.json` trajectory format (`axml-load --json PATH`).
+    /// Latencies are nanoseconds; `elapsed_ms` and `throughput_rps`
+    /// are floats.
+    pub fn to_json(&self, cfg: &LoadConfig) -> String {
+        format!(
+            "{{\"conns\":{},\"batch\":{},\"requests\":{},\"elapsed_ms\":{:.3},\
+             \"throughput_rps\":{:.1},\"latency_p50_ns\":{},\"latency_p99_ns\":{},\
+             \"latency_max_ns\":{},\"answer_trees\":{},\"deltas\":{},\
+             \"pushed_trees\":{},\"errors\":{}}}",
+            cfg.conns,
+            cfg.batch,
+            self.requests,
+            self.elapsed.as_secs_f64() * 1e3,
+            self.throughput(),
+            self.latency.quantile(0.50),
+            self.latency.quantile(0.99),
+            self.latency.max(),
+            self.answer_trees,
+            self.deltas,
+            self.pushed_trees,
+            self.errors,
+        )
+    }
+
     /// One-line human summary (latencies in microseconds).
     pub fn render(&self, cfg: &LoadConfig) -> String {
         format!(
@@ -352,4 +377,52 @@ pub fn run(cfg: &LoadConfig) -> std::io::Result<LoadReport> {
         }
     }
     Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axml_core::trace::{parse_json, JsonValue};
+
+    #[test]
+    fn report_json_is_valid_and_complete() {
+        let mut report = LoadReport {
+            requests: 64,
+            answer_trees: 64,
+            errors: 1,
+            deltas: 2,
+            pushed_trees: 9,
+            elapsed: Duration::from_millis(250),
+            ..LoadReport::default()
+        };
+        for v in [10_000u64, 20_000, 1_000_000] {
+            report.latency.record(v);
+        }
+        let json = report.to_json(&LoadConfig::default());
+        let v = parse_json(&json).expect("summary parses as JSON");
+        let JsonValue::Obj(fields) = v else {
+            panic!("summary is not an object")
+        };
+        for key in [
+            "conns",
+            "batch",
+            "requests",
+            "elapsed_ms",
+            "throughput_rps",
+            "latency_p50_ns",
+            "latency_p99_ns",
+            "latency_max_ns",
+            "answer_trees",
+            "deltas",
+            "pushed_trees",
+            "errors",
+        ] {
+            assert!(
+                fields.iter().any(|(k, _)| k == key),
+                "summary is missing {key}"
+            );
+        }
+        assert!(json.contains("\"requests\":64"));
+        assert!(json.contains("\"latency_max_ns\":1000000"));
+    }
 }

@@ -12,7 +12,7 @@
 //! encoders here emit exactly one line without the terminator; the
 //! parsers accept a line with or without it.
 
-use axml_core::trace::{json_escape, parse_json, JsonValue};
+use axml_core::trace::{json_escape, parse_json, Histogram, JsonValue};
 use std::fmt::Write as _;
 
 /// The protocol version this build speaks. Clients state the version
@@ -88,6 +88,53 @@ impl ProtoError {
             code,
             message: message.into(),
         }
+    }
+}
+
+/// A compact latency digest carried by `stats_ok`: sample count plus
+/// p50/p99/max in nanoseconds, extracted from a core
+/// [`Histogram`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct LatencySummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Median latency (ns).
+    pub p50_ns: u64,
+    /// 99th-percentile latency (ns).
+    pub p99_ns: u64,
+    /// Worst observed latency (ns).
+    pub max_ns: u64,
+}
+
+impl LatencySummary {
+    /// Digest a histogram (all zeros when it holds no samples).
+    pub fn from_histogram(h: &Histogram) -> LatencySummary {
+        if h.count() == 0 {
+            return LatencySummary::default();
+        }
+        LatencySummary {
+            count: h.count(),
+            p50_ns: h.quantile(0.5),
+            p99_ns: h.quantile(0.99),
+            max_ns: h.max(),
+        }
+    }
+
+    fn push_fields(&self, o: &mut String) {
+        let _ = write!(
+            o,
+            r#""count":{},"p50_ns":{},"p99_ns":{},"max_ns":{}"#,
+            self.count, self.p50_ns, self.p99_ns, self.max_ns
+        );
+    }
+
+    fn parse_fields(v: &JsonValue) -> Result<LatencySummary, ProtoError> {
+        Ok(LatencySummary {
+            count: opt_u64(v, "count")?.unwrap_or(0),
+            p50_ns: opt_u64(v, "p50_ns")?.unwrap_or(0),
+            p99_ns: opt_u64(v, "p99_ns")?.unwrap_or(0),
+            max_ns: opt_u64(v, "max_ns")?.unwrap_or(0),
+        })
     }
 }
 
@@ -168,6 +215,24 @@ pub enum Request {
     Stats {
         /// Correlation id.
         id: u64,
+    },
+    /// `health` — liveness probe (uptime, sessions, journal drops).
+    Health {
+        /// Correlation id.
+        id: u64,
+    },
+    /// `trace_tail` — stream live trace events as they are recorded.
+    TraceTail {
+        /// Correlation id (identifies the tail on this connection).
+        id: u64,
+        /// Only events of this category (a chrome `cat` name, e.g.
+        /// `"server"`, `"invoke"`); absent = all categories.
+        cat: Option<String>,
+        /// Only events attributed to this session; absent = all.
+        session: Option<String>,
+        /// Stop after this many `trace` frames; absent = until the
+        /// connection closes or the server drains.
+        limit: Option<u64>,
     },
     /// `shutdown` — stop accepting connections; drain and exit.
     Shutdown {
@@ -277,7 +342,8 @@ pub enum Response {
         /// Session name.
         session: String,
     },
-    /// `stats_ok` — server-wide counters.
+    /// `stats_ok` — server-wide counters plus the extended metrics
+    /// snapshot (engine counters, latency digests).
     StatsOk {
         /// Correlation id.
         id: u64,
@@ -293,6 +359,66 @@ pub enum Response {
         batches: u64,
         /// Subscription `delta` frames pushed.
         pushes: u64,
+        /// Engine/server counters from the metrics registry, as
+        /// `(name, value)` pairs in a stable order.
+        counters: Vec<(String, u64)>,
+        /// Request-latency digest over all served frames.
+        latency: LatencySummary,
+        /// Per-service invocation-latency digests, `(service, digest)`.
+        services: Vec<(String, LatencySummary)>,
+        /// Per-session request-latency digests, `(session, digest)`.
+        session_stats: Vec<(String, LatencySummary)>,
+    },
+    /// `health_ok` — liveness snapshot for load balancers.
+    HealthOk {
+        /// Correlation id.
+        id: u64,
+        /// Server identification string (as in `hello_ok`).
+        server: String,
+        /// Milliseconds since the server started.
+        uptime_ms: u64,
+        /// Live sessions.
+        sessions: u64,
+        /// Open connections.
+        conns: u64,
+        /// Events currently retained in the trace ring.
+        journal_len: u64,
+        /// Events dropped by the ring (evictions + sampling) so far.
+        journal_dropped: u64,
+    },
+    /// `tail_ok` — the `trace_tail` is registered; `trace` frames
+    /// follow.
+    TailOk {
+        /// Correlation id (the `trace_tail` id).
+        id: u64,
+    },
+    /// `trace` — one live trace event on a `trace_tail` stream.
+    Trace {
+        /// Correlation id (the `trace_tail` id).
+        id: u64,
+        /// The journal's sequence stamp.
+        seq: u64,
+        /// Nanoseconds since the server's trace epoch.
+        ts_ns: u64,
+        /// Recording lane (0 = main thread, 1+w = worker w).
+        worker: u64,
+        /// Request-scoped trace id (0 = unattributed).
+        trace: u64,
+        /// Event category (a chrome `cat` name).
+        cat: String,
+        /// Human-readable event label (as in the chrome export).
+        name: String,
+        /// Session the event is attributed to (empty = none).
+        session: String,
+    },
+    /// `tail_done` — the `trace_tail` stream ended.
+    TailDone {
+        /// Correlation id (the `trace_tail` id).
+        id: u64,
+        /// `trace` frames delivered.
+        sent: u64,
+        /// Live events dropped because the stream could not keep up.
+        dropped: u64,
     },
     /// `shutdown_ok` — the server is draining.
     ShutdownOk {
@@ -311,7 +437,7 @@ pub enum Response {
 }
 
 /// All request frame `"type"` tags, in spec order.
-pub const REQUEST_KINDS: [&str; 9] = [
+pub const REQUEST_KINDS: [&str; 11] = [
     "hello",
     "open",
     "run",
@@ -320,11 +446,13 @@ pub const REQUEST_KINDS: [&str; 9] = [
     "subscribe",
     "close",
     "stats",
+    "health",
+    "trace_tail",
     "shutdown",
 ];
 
 /// All response frame `"type"` tags, in spec order.
-pub const RESPONSE_KINDS: [&str; 12] = [
+pub const RESPONSE_KINDS: [&str; 16] = [
     "hello_ok",
     "open_ok",
     "run_ok",
@@ -335,13 +463,17 @@ pub const RESPONSE_KINDS: [&str; 12] = [
     "sub_done",
     "closed",
     "stats_ok",
+    "health_ok",
+    "tail_ok",
+    "trace",
+    "tail_done",
     "shutdown_ok",
     "error",
 ];
 
 impl Request {
     /// The machine-readable frame inventory (same as [`REQUEST_KINDS`]).
-    pub const KINDS: [&'static str; 9] = REQUEST_KINDS;
+    pub const KINDS: [&'static str; 11] = REQUEST_KINDS;
 
     /// This frame's `"type"` tag.
     pub fn kind(&self) -> &'static str {
@@ -354,6 +486,8 @@ impl Request {
             Request::Subscribe { .. } => "subscribe",
             Request::Close { .. } => "close",
             Request::Stats { .. } => "stats",
+            Request::Health { .. } => "health",
+            Request::TraceTail { .. } => "trace_tail",
             Request::Shutdown { .. } => "shutdown",
         }
     }
@@ -369,11 +503,15 @@ impl Request {
             | Request::Subscribe { id, .. }
             | Request::Close { id, .. }
             | Request::Stats { id }
+            | Request::Health { id }
+            | Request::TraceTail { id, .. }
             | Request::Shutdown { id } => *id,
         }
     }
 
-    /// The session the frame targets, if it targets one.
+    /// The session the frame targets, if it targets one. A
+    /// `trace_tail`'s `session` is a stream *filter*, not a target, so
+    /// it returns `None` here.
     pub fn session(&self) -> Option<&str> {
         match self {
             Request::Open { session, .. }
@@ -382,7 +520,11 @@ impl Request {
             | Request::Batch { session, .. }
             | Request::Subscribe { session, .. }
             | Request::Close { session, .. } => Some(session),
-            Request::Hello { .. } | Request::Stats { .. } | Request::Shutdown { .. } => None,
+            Request::Hello { .. }
+            | Request::Stats { .. }
+            | Request::Health { .. }
+            | Request::TraceTail { .. }
+            | Request::Shutdown { .. } => None,
         }
     }
 
@@ -475,6 +617,27 @@ impl Request {
             Request::Stats { id } => {
                 let _ = write!(o, r#"{{"type":"stats","id":{id}}}"#);
             }
+            Request::Health { id } => {
+                let _ = write!(o, r#"{{"type":"health","id":{id}}}"#);
+            }
+            Request::TraceTail {
+                id,
+                cat,
+                session,
+                limit,
+            } => {
+                let _ = write!(o, r#"{{"type":"trace_tail","id":{id}"#);
+                if let Some(c) = cat {
+                    let _ = write!(o, r#","cat":"{}""#, json_escape(c));
+                }
+                if let Some(s) = session {
+                    let _ = write!(o, r#","session":"{}""#, json_escape(s));
+                }
+                if let Some(n) = limit {
+                    let _ = write!(o, r#","limit":{n}"#);
+                }
+                o.push('}');
+            }
             Request::Shutdown { id } => {
                 let _ = write!(o, r#"{{"type":"shutdown","id":{id}}}"#);
             }
@@ -526,6 +689,13 @@ impl Request {
                 session: req_str(&v, "session")?,
             }),
             "stats" => Ok(Request::Stats { id }),
+            "health" => Ok(Request::Health { id }),
+            "trace_tail" => Ok(Request::TraceTail {
+                id,
+                cat: opt_str(&v, "cat")?,
+                session: opt_str(&v, "session")?,
+                limit: opt_u64(&v, "limit")?,
+            }),
             "shutdown" => Ok(Request::Shutdown { id }),
             other => Err(ProtoError::new(
                 codes::UNKNOWN_TYPE,
@@ -537,7 +707,7 @@ impl Request {
 
 impl Response {
     /// The machine-readable frame inventory (same as [`RESPONSE_KINDS`]).
-    pub const KINDS: [&'static str; 12] = RESPONSE_KINDS;
+    pub const KINDS: [&'static str; 16] = RESPONSE_KINDS;
 
     /// This frame's `"type"` tag.
     pub fn kind(&self) -> &'static str {
@@ -552,6 +722,10 @@ impl Response {
             Response::SubDone { .. } => "sub_done",
             Response::Closed { .. } => "closed",
             Response::StatsOk { .. } => "stats_ok",
+            Response::HealthOk { .. } => "health_ok",
+            Response::TailOk { .. } => "tail_ok",
+            Response::Trace { .. } => "trace",
+            Response::TailDone { .. } => "tail_done",
             Response::ShutdownOk { .. } => "shutdown_ok",
             Response::Error { .. } => "error",
         }
@@ -686,10 +860,76 @@ impl Response {
                 errors,
                 batches,
                 pushes,
+                counters,
+                latency,
+                services,
+                session_stats,
             } => {
                 let _ = write!(
                     o,
-                    r#"{{"type":"stats_ok","id":{id},"sessions":{sessions},"requests":{requests},"served":{served},"errors":{errors},"batches":{batches},"pushes":{pushes}}}"#
+                    r#"{{"type":"stats_ok","id":{id},"sessions":{sessions},"requests":{requests},"served":{served},"errors":{errors},"batches":{batches},"pushes":{pushes},"counters":["#
+                );
+                for (i, (name, value)) in counters.iter().enumerate() {
+                    if i > 0 {
+                        o.push(',');
+                    }
+                    let _ = write!(
+                        o,
+                        r#"{{"name":"{}","value":{value}}}"#,
+                        json_escape(name)
+                    );
+                }
+                o.push_str(r#"],"latency":{"#);
+                latency.push_fields(&mut o);
+                o.push_str("},\"services\":[");
+                push_summaries(&mut o, services);
+                o.push_str(r#"],"session_latency":["#);
+                push_summaries(&mut o, session_stats);
+                o.push_str("]}");
+            }
+            Response::HealthOk {
+                id,
+                server,
+                uptime_ms,
+                sessions,
+                conns,
+                journal_len,
+                journal_dropped,
+            } => {
+                let _ = write!(
+                    o,
+                    r#"{{"type":"health_ok","id":{id},"server":"{}","uptime_ms":{uptime_ms},"sessions":{sessions},"conns":{conns},"journal_len":{journal_len},"journal_dropped":{journal_dropped}}}"#,
+                    json_escape(server)
+                );
+            }
+            Response::TailOk { id } => {
+                let _ = write!(o, r#"{{"type":"tail_ok","id":{id}}}"#);
+            }
+            Response::Trace {
+                id,
+                seq,
+                ts_ns,
+                worker,
+                trace,
+                cat,
+                name,
+                session,
+            } => {
+                let _ = write!(
+                    o,
+                    r#"{{"type":"trace","id":{id},"seq":{seq},"ts_ns":{ts_ns},"worker":{worker},"trace":{trace},"cat":"{}","name":"{}""#,
+                    json_escape(cat),
+                    json_escape(name)
+                );
+                if !session.is_empty() {
+                    let _ = write!(o, r#","session":"{}""#, json_escape(session));
+                }
+                o.push('}');
+            }
+            Response::TailDone { id, sent, dropped } => {
+                let _ = write!(
+                    o,
+                    r#"{{"type":"tail_done","id":{id},"sent":{sent},"dropped":{dropped}}}"#
                 );
             }
             Response::ShutdownOk { id } => {
@@ -794,6 +1034,41 @@ impl Response {
                 errors: req_u64(&v, "errors")?,
                 batches: req_u64(&v, "batches")?,
                 pushes: req_u64(&v, "pushes")?,
+                // The extended snapshot fields are additive (see the
+                // compatibility policy): absent means empty, so old
+                // servers still parse.
+                counters: counter_pairs(&v, "counters")?,
+                latency: match v.get("latency") {
+                    None | Some(JsonValue::Null) => LatencySummary::default(),
+                    Some(l) => LatencySummary::parse_fields(l)?,
+                },
+                services: summary_pairs(&v, "services")?,
+                session_stats: summary_pairs(&v, "session_latency")?,
+            }),
+            "health_ok" => Ok(Response::HealthOk {
+                id,
+                server: req_str(&v, "server")?,
+                uptime_ms: req_u64(&v, "uptime_ms")?,
+                sessions: req_u64(&v, "sessions")?,
+                conns: req_u64(&v, "conns")?,
+                journal_len: req_u64(&v, "journal_len")?,
+                journal_dropped: req_u64(&v, "journal_dropped")?,
+            }),
+            "tail_ok" => Ok(Response::TailOk { id }),
+            "trace" => Ok(Response::Trace {
+                id,
+                seq: req_u64(&v, "seq")?,
+                ts_ns: req_u64(&v, "ts_ns")?,
+                worker: req_u64(&v, "worker")?,
+                trace: req_u64(&v, "trace")?,
+                cat: req_str(&v, "cat")?,
+                name: req_str(&v, "name")?,
+                session: opt_str(&v, "session")?.unwrap_or_default(),
+            }),
+            "tail_done" => Ok(Response::TailDone {
+                id,
+                sent: req_u64(&v, "sent")?,
+                dropped: req_u64(&v, "dropped")?,
             }),
             "shutdown_ok" => Ok(Response::ShutdownOk { id }),
             "error" => Ok(Response::Error {
@@ -820,6 +1095,54 @@ fn push_str_arr(o: &mut String, items: &[String]) {
         let _ = write!(o, "\"{}\"", json_escape(s));
     }
     o.push(']');
+}
+
+fn push_summaries(o: &mut String, pairs: &[(String, LatencySummary)]) {
+    for (i, (name, s)) in pairs.iter().enumerate() {
+        if i > 0 {
+            o.push(',');
+        }
+        let _ = write!(o, r#"{{"name":"{}","#, json_escape(name));
+        s.push_fields(o);
+        o.push('}');
+    }
+}
+
+fn counter_pairs(v: &JsonValue, key: &str) -> Result<Vec<(String, u64)>, ProtoError> {
+    match v.get(key) {
+        None | Some(JsonValue::Null) => Ok(Vec::new()),
+        Some(f) => {
+            let arr = f.as_arr().ok_or_else(|| miss(key, "array"))?;
+            arr.iter()
+                .map(|e| {
+                    let name = req_str(e, "name")
+                        .map_err(|_| miss(&format!("{key}[i].name"), "string"))?;
+                    let value = req_u64(e, "value")
+                        .map_err(|_| miss(&format!("{key}[i].value"), "non-negative integer"))?;
+                    Ok((name, value))
+                })
+                .collect()
+        }
+    }
+}
+
+fn summary_pairs(
+    v: &JsonValue,
+    key: &str,
+) -> Result<Vec<(String, LatencySummary)>, ProtoError> {
+    match v.get(key) {
+        None | Some(JsonValue::Null) => Ok(Vec::new()),
+        Some(f) => {
+            let arr = f.as_arr().ok_or_else(|| miss(key, "array"))?;
+            arr.iter()
+                .map(|e| {
+                    let name = req_str(e, "name")
+                        .map_err(|_| miss(&format!("{key}[i].name"), "string"))?;
+                    Ok((name, LatencySummary::parse_fields(e)?))
+                })
+                .collect()
+        }
+    }
 }
 
 fn push_named(o: &mut String, pairs: &[(String, String)], value_key: &str) {
@@ -968,7 +1291,14 @@ mod tests {
                 session: "s1".into(),
             },
             Request::Stats { id: 8 },
-            Request::Shutdown { id: 9 },
+            Request::Health { id: 9 },
+            Request::TraceTail {
+                id: 10,
+                cat: Some("server".into()),
+                session: Some("s1".into()),
+                limit: Some(100),
+            },
+            Request::Shutdown { id: 11 },
         ]
     }
 
@@ -1033,8 +1363,58 @@ mod tests {
                 errors: 1,
                 batches: 3,
                 pushes: 2,
+                counters: vec![("invocations".into(), 12), ("rounds".into(), 4)],
+                latency: LatencySummary {
+                    count: 19,
+                    p50_ns: 65_000,
+                    p99_ns: 410_000,
+                    max_ns: 1_200_000,
+                },
+                services: vec![(
+                    "tc".into(),
+                    LatencySummary {
+                        count: 12,
+                        p50_ns: 9_000,
+                        p99_ns: 31_000,
+                        max_ns: 40_000,
+                    },
+                )],
+                session_stats: vec![(
+                    "s1".into(),
+                    LatencySummary {
+                        count: 19,
+                        p50_ns: 65_000,
+                        p99_ns: 410_000,
+                        max_ns: 1_200_000,
+                    },
+                )],
             },
-            Response::ShutdownOk { id: 9 },
+            Response::HealthOk {
+                id: 9,
+                server: "axml-server/0.1.0".into(),
+                uptime_ms: 52_000,
+                sessions: 1,
+                conns: 2,
+                journal_len: 4_096,
+                journal_dropped: 137,
+            },
+            Response::TailOk { id: 10 },
+            Response::Trace {
+                id: 10,
+                seq: 991,
+                ts_ns: 7_000_123,
+                worker: 0,
+                trace: 42,
+                cat: "server".into(),
+                name: "serve query".into(),
+                session: "s1".into(),
+            },
+            Response::TailDone {
+                id: 10,
+                sent: 100,
+                dropped: 3,
+            },
+            Response::ShutdownOk { id: 11 },
             Response::Error {
                 id: 4,
                 code: codes::BAD_QUERY.into(),
@@ -1098,6 +1478,46 @@ mod tests {
     }
 
     #[test]
+    fn stats_ok_extended_fields_are_additive() {
+        // A v1 stats_ok from before the extended snapshot still
+        // parses: the new fields default to empty/zero (compatibility
+        // policy: clients ignore fields they do not know; absent means
+        // the old behavior).
+        let old = r#"{"type":"stats_ok","id":8,"sessions":1,"requests":20,"served":19,"errors":1,"batches":3,"pushes":2}"#;
+        let r = Response::parse(old).unwrap();
+        match r {
+            Response::StatsOk {
+                counters,
+                latency,
+                services,
+                session_stats,
+                ..
+            } => {
+                assert!(counters.is_empty());
+                assert_eq!(latency, LatencySummary::default());
+                assert!(services.is_empty());
+                assert!(session_stats.is_empty());
+            }
+            other => panic!("expected stats_ok, got {other:?}"),
+        }
+        // A trace frame with no session omits the key on the wire and
+        // parses back to the empty string.
+        let t = Response::Trace {
+            id: 1,
+            seq: 0,
+            ts_ns: 5,
+            worker: 0,
+            trace: 0,
+            cat: "engine".into(),
+            name: "round 0".into(),
+            session: String::new(),
+        };
+        let line = t.to_json();
+        assert!(!line.contains("session"), "{line}");
+        assert_eq!(Response::parse(&line).unwrap(), t);
+    }
+
+    #[test]
     fn ids_above_2_pow_53_echo_verbatim() {
         // docs/protocol.md: the id is echoed verbatim; f64 would round
         // anything above 2^53, so the whole u64 range must round-trip.
@@ -1131,6 +1551,8 @@ mod tests {
             (r#"{"type":"batch","session":"s","queries":[1]}"#, codes::BAD_FIELD),
             (r#"{"type":"open","session":"s","docs":[{"name":"d"}]}"#, codes::BAD_FIELD),
             (r#"{"type":"stats"} trailing"#, codes::BAD_JSON),
+            (r#"{"type":"trace_tail","cat":7}"#, codes::BAD_FIELD),
+            (r#"{"type":"trace_tail","limit":"many"}"#, codes::BAD_FIELD),
         ];
         for (line, want) in cases {
             let err = Request::parse(line).expect_err(line);

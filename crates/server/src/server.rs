@@ -15,17 +15,17 @@
 //! always its own batch. Answers are bit-for-bit what a direct
 //! [`axml_core::snapshot`] against the same system returns.
 
-use crate::protocol::{codes, ProtoError, Request, Response, PROTOCOL_VERSION};
+use crate::protocol::{codes, LatencySummary, ProtoError, Request, Response, PROTOCOL_VERSION};
 use axml_core::engine::{EngineConfig, EngineMode, RunStatus};
 use axml_core::trace::{
-    chrome_trace, EventKind, Histogram, Journal, MetricsRegistry, ReqKind, TraceEvent, TraceSink,
-    Tracer,
+    chrome_trace, chrome_trace_to, EventCategory, EventKind, Histogram, Journal, JournalConfig,
+    MetricsRegistry, ReqKind, TraceEvent, TraceSink, Tracer,
 };
 use axml_core::{snapshot, Env, QueryCursor, RoundRunner, Sym, System};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::thread;
@@ -62,6 +62,15 @@ pub struct ServerConfig {
     /// one write the connection errors out and is closed instead.
     /// `None` disables the bound.
     pub write_timeout: Option<Duration>,
+    /// Retention policy of the server journal. The default is the
+    /// production profile — a bounded ring (~64k events, no sampling)
+    /// — so always-on tracing cannot grow without bound; drops are
+    /// counted and exposed via `health` and the metrics endpoint.
+    pub journal: JournalConfig,
+    /// When set, serve the Prometheus text exposition format on this
+    /// address (e.g. `"127.0.0.1:9464"`) for scraping. `None` (the
+    /// default) disables the listener.
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -77,6 +86,8 @@ impl Default for ServerConfig {
             },
             trace_engine: false,
             write_timeout: Some(Duration::from_secs(30)),
+            journal: JournalConfig::default(),
+            metrics_addr: None,
         }
     }
 }
@@ -85,7 +96,10 @@ impl Default for ServerConfig {
 /// behind a mutex, so connection threads (and, with
 /// [`ServerConfig::trace_engine`], the engine itself) can record into a
 /// single timeline. Sequence numbers are stamped in lock-acquisition
-/// order, which keeps the journal strictly ordered.
+/// order, which keeps the journal strictly ordered. The journal is the
+/// bounded production ring by default ([`JournalConfig::default`]);
+/// every recorded event — retained or dropped — is also fanned out to
+/// live `trace_tail` subscribers.
 pub struct SharedSink {
     inner: Mutex<SinkInner>,
 }
@@ -93,21 +107,99 @@ pub struct SharedSink {
 struct SinkInner {
     journal: Journal,
     metrics: MetricsRegistry,
+    tails: Vec<TailSub>,
+    next_tail: u64,
 }
 
+/// One live `trace_tail` stream: a bounded channel to the serving
+/// thread plus the subscription's filters. Events the channel cannot
+/// absorb are counted in `dropped`, never blocked on — recording must
+/// stay non-blocking whatever a slow consumer does.
+struct TailSub {
+    id: u64,
+    tx: mpsc::SyncSender<TraceEvent>,
+    cat: Option<EventCategory>,
+    session: Option<Sym>,
+    dropped: Arc<AtomicU64>,
+}
+
+/// Buffered events per `trace_tail` subscriber before overflow counts
+/// as drops.
+const TAIL_BUFFER: usize = 1024;
+
 impl SharedSink {
-    /// A fresh sink with its own epoch.
+    /// A fresh sink with its own epoch and the production ring journal
+    /// ([`JournalConfig::default`]).
     pub fn new() -> SharedSink {
+        SharedSink::with_config(JournalConfig::default())
+    }
+
+    /// A fresh sink whose journal follows `cfg` (e.g.
+    /// [`JournalConfig::unbounded`] for tests that assert on every
+    /// event).
+    pub fn with_config(cfg: JournalConfig) -> SharedSink {
         SharedSink {
             inner: Mutex::new(SinkInner {
-                journal: Journal::new(),
+                journal: Journal::with_config(cfg),
                 metrics: MetricsRegistry::new(),
+                tails: Vec::new(),
+                next_tail: 0,
             }),
         }
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, SinkInner> {
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Register a live tail over the event stream, filtered by
+    /// category and/or session (attributed via
+    /// [`EventKind::session`]). Returns the tail id (for
+    /// [`SharedSink::unsubscribe_tail`]), the receiving end, and the
+    /// overflow counter.
+    pub fn subscribe_tail(
+        &self,
+        cat: Option<EventCategory>,
+        session: Option<Sym>,
+    ) -> (u64, mpsc::Receiver<TraceEvent>, Arc<AtomicU64>) {
+        let (tx, rx) = mpsc::sync_channel(TAIL_BUFFER);
+        let dropped = Arc::new(AtomicU64::new(0));
+        let mut inner = self.lock();
+        inner.next_tail += 1;
+        let id = inner.next_tail;
+        inner.tails.push(TailSub {
+            id,
+            tx,
+            cat,
+            session,
+            dropped: Arc::clone(&dropped),
+        });
+        (id, rx, dropped)
+    }
+
+    /// Drop a live tail (idempotent).
+    pub fn unsubscribe_tail(&self, id: u64) {
+        self.lock().tails.retain(|t| t.id != id);
+    }
+
+    fn fan_out(tails: &mut Vec<TailSub>, ev: TraceEvent) {
+        tails.retain(|t| {
+            if t.cat.is_some_and(|c| c != ev.kind.category()) {
+                return true;
+            }
+            if t.session.is_some_and(|s| ev.kind.session() != Some(s)) {
+                return true;
+            }
+            match t.tx.try_send(ev) {
+                Ok(()) => true,
+                Err(mpsc::TrySendError::Full(_)) => {
+                    t.dropped.fetch_add(1, Ordering::Relaxed);
+                    true
+                }
+                // Receiver gone without unsubscribing: reap the tail.
+                Err(mpsc::TrySendError::Disconnected(_)) => false,
+            }
+        });
     }
 
     /// The metrics report (includes the `server:` line once any
@@ -122,9 +214,26 @@ impl SharedSink {
         chrome_trace(&self.lock().journal.snapshot())
     }
 
-    /// Events recorded so far.
+    /// Stream the Chrome trace export to `w` without assembling it in
+    /// memory first — the right call for dumping a full ring.
+    pub fn chrome_trace_to(&self, w: &mut impl Write) -> std::io::Result<()> {
+        let events = self.lock().journal.snapshot();
+        chrome_trace_to(&events, w)
+    }
+
+    /// Events retained in the journal so far.
     pub fn events(&self) -> Vec<TraceEvent> {
         self.lock().journal.snapshot()
+    }
+
+    /// Events currently retained in the ring.
+    pub fn journal_len(&self) -> usize {
+        self.lock().journal.len()
+    }
+
+    /// Events dropped by the ring so far (evictions + sampling).
+    pub fn journal_dropped(&self) -> u64 {
+        self.lock().journal.dropped()
     }
 
     /// The all-sessions request-latency histogram (nanoseconds).
@@ -136,6 +245,42 @@ impl SharedSink {
     pub fn globals(&self) -> axml_core::trace::GlobalMetrics {
         self.lock().metrics.globals()
     }
+
+    /// Per-service invocation-latency histograms, name-sorted.
+    pub fn service_latencies(&self) -> Vec<(String, Histogram)> {
+        let inner = self.lock();
+        let mut v: Vec<(String, Histogram)> = inner
+            .metrics
+            .service_names()
+            .into_iter()
+            .filter_map(|s| {
+                inner
+                    .metrics
+                    .service(s)
+                    .map(|m| (s.as_str().to_string(), m.latency_ns))
+            })
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
+
+    /// Per-session request-latency histograms, name-sorted.
+    pub fn session_latencies(&self) -> Vec<(String, Histogram)> {
+        let inner = self.lock();
+        let mut v: Vec<(String, Histogram)> = inner
+            .metrics
+            .session_names()
+            .into_iter()
+            .filter_map(|s| {
+                inner
+                    .metrics
+                    .session(s)
+                    .map(|m| (s.as_str().to_string(), m.latency_ns))
+            })
+            .collect();
+        v.sort_by(|a, b| a.0.cmp(&b.0));
+        v
+    }
 }
 
 impl Default for SharedSink {
@@ -146,15 +291,21 @@ impl Default for SharedSink {
 
 impl TraceSink for SharedSink {
     fn record(&self, kind: EventKind) {
-        let inner = self.lock();
-        inner.journal.record(kind);
+        self.record_traced(kind, 0);
+    }
+
+    fn record_traced(&self, kind: EventKind, trace: u64) {
+        let mut inner = self.lock();
+        let ev = inner.journal.record_event(kind, trace);
         inner.metrics.record(kind);
+        Self::fan_out(&mut inner.tails, ev);
     }
 
     fn record_stamped(&self, ev: TraceEvent) {
-        let inner = self.lock();
-        inner.journal.record_stamped(ev);
+        let mut inner = self.lock();
+        let ev = inner.journal.record_absorbed(ev);
         inner.metrics.record_stamped(ev);
+        Self::fan_out(&mut inner.tails, ev);
     }
 
     fn epoch(&self) -> Option<Instant> {
@@ -175,6 +326,11 @@ struct Shared {
     conns: AtomicUsize,
     shutdown: AtomicBool,
     listen_addr: SocketAddr,
+    /// Server start time — the `health` uptime reference.
+    epoch: Instant,
+    /// Request-scoped trace-id source: every parsed request frame gets
+    /// the next id, carried through every event it provokes.
+    next_trace: AtomicU64,
 }
 
 /// The server entry point — see [`Server::spawn`].
@@ -185,8 +341,10 @@ pub struct Server;
 /// export.
 pub struct ServerHandle {
     addr: SocketAddr,
+    metrics_addr: Option<SocketAddr>,
     shared: Arc<Shared>,
     accept: Option<thread::JoinHandle<()>>,
+    metrics: Option<thread::JoinHandle<()>>,
     conn_threads: Arc<Mutex<Vec<thread::JoinHandle<()>>>>,
 }
 
@@ -194,16 +352,33 @@ impl Server {
     /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
     /// serve on a background thread. Returns once the listener is
     /// bound, so [`ServerHandle::addr`] is immediately connectable.
+    /// With [`ServerConfig::metrics_addr`] set, the Prometheus
+    /// exposition listener is bound here too.
     pub fn spawn(addr: impl ToSocketAddrs, cfg: ServerConfig) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
+        let journal = cfg.journal.clone();
+        let metrics_listener = match &cfg.metrics_addr {
+            Some(maddr) => {
+                let l = TcpListener::bind(maddr.as_str())?;
+                // Non-blocking so the loop can poll the shutdown flag.
+                l.set_nonblocking(true)?;
+                Some(l)
+            }
+            None => None,
+        };
+        let metrics_addr = metrics_listener
+            .as_ref()
+            .and_then(|l| l.local_addr().ok());
         let shared = Arc::new(Shared {
             cfg,
-            sink: SharedSink::new(),
+            sink: SharedSink::with_config(journal),
             sessions: Mutex::new(HashMap::new()),
             conns: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
             listen_addr: addr,
+            epoch: Instant::now(),
+            next_trace: AtomicU64::new(0),
         });
         let conn_threads = Arc::new(Mutex::new(Vec::new()));
         let accept = {
@@ -211,10 +386,16 @@ impl Server {
             let conn_threads = Arc::clone(&conn_threads);
             thread::spawn(move || accept_loop(listener, shared, conn_threads))
         };
+        let metrics = metrics_listener.map(|l| {
+            let shared = Arc::clone(&shared);
+            thread::spawn(move || metrics_loop(l, shared))
+        });
         Ok(ServerHandle {
             addr,
+            metrics_addr,
             shared,
             accept: Some(accept),
+            metrics,
             conn_threads,
         })
     }
@@ -224,6 +405,11 @@ impl ServerHandle {
     /// The bound listen address.
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bound Prometheus exposition address, when enabled.
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.metrics_addr
     }
 
     /// Whether a `shutdown` frame (or [`ServerHandle::shutdown`]) has
@@ -245,6 +431,9 @@ impl ServerHandle {
     /// disconnected; blocks while any connection is still open.
     pub fn join(&mut self) {
         if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        if let Some(h) = self.metrics.take() {
             let _ = h.join();
         }
         let handles = std::mem::take(&mut *lock(&self.conn_threads));
@@ -311,10 +500,67 @@ fn refuse(mut stream: TcpStream, code: &'static str, msg: &str) {
     let _ = writeln!(stream, "{}", frame.to_json());
 }
 
-/// What the reader thread hands the serving loop: a parsed request or
-/// the protocol error its line produced. `RequestRecv` is emitted at
-/// read time, so receive timestamps are honest under batching.
-type Inbound = Result<Request, ProtoError>;
+/// The Prometheus exposition listener: a minimal HTTP/1.0 responder
+/// serving one text-format document per connection, hand-rolled over
+/// `std::net` like the rest of the server. Polls `accept` so the
+/// shutdown flag ends the loop within one poll interval.
+fn metrics_loop(listener: TcpListener, shared: Arc<Shared>) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => serve_scrape(stream, &shared),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(25));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(25)),
+        }
+    }
+}
+
+/// Answer one scrape: drain the request head, render the snapshot,
+/// write one `HTTP/1.0 200` with `Content-Length` and close.
+fn serve_scrape(mut stream: TcpStream, shared: &Arc<Shared>) {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(2)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+    // The request head is irrelevant — every path gets the same
+    // document — but must be consumed before some clients will read.
+    let mut head = Vec::new();
+    let mut buf = [0u8; 512];
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") && head.len() < 8 * 1024 {
+        match stream.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => head.extend_from_slice(&buf[..n]),
+        }
+    }
+    let body = render_scrape(shared);
+    let _ = write!(
+        stream,
+        "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+fn render_scrape(shared: &Arc<Shared>) -> String {
+    crate::metrics::render_prometheus(&crate::metrics::ServerSnapshot {
+        globals: shared.sink.globals(),
+        request_latency: shared.sink.request_latency(),
+        services: shared.sink.service_latencies(),
+        sessions: lock(&shared.sessions).len() as u64,
+        conns: shared.conns.load(Ordering::SeqCst) as u64,
+        journal_len: shared.sink.journal_len() as u64,
+        journal_dropped: shared.sink.journal_dropped(),
+        uptime: shared.epoch.elapsed(),
+    })
+}
+
+/// What the reader thread hands the serving loop: a parsed request
+/// paired with its freshly assigned trace id, or the protocol error
+/// its line produced. `RequestRecv` is emitted at read time, so
+/// receive timestamps are honest under batching.
+type Inbound = Result<(Request, u64), ProtoError>;
 
 fn handle_connection(stream: &TcpStream, shared: &Arc<Shared>) -> std::io::Result<()> {
     let mut out = stream.try_clone()?;
@@ -346,14 +592,14 @@ fn handle_connection(stream: &TcpStream, shared: &Arc<Shared>) -> std::io::Resul
                     break 'serve; // framing is lost; the stream is unusable
                 }
             }
-            Ok(req @ Request::Query { .. }) => {
+            Ok((req @ Request::Query { .. }, trace)) => {
                 // Dataloader coalescing: drain consecutive already-arrived
                 // queries for the same session into one batch.
-                let mut group = vec![req];
+                let mut group = vec![(req, trace)];
                 while group.len() < shared.cfg.max_batch {
                     match pending.front() {
-                        Some(Ok(Request::Query { session, .. }))
-                            if Some(session.as_str()) == group[0].session() =>
+                        Some(Ok((Request::Query { session, .. }, _)))
+                            if Some(session.as_str()) == group[0].0.session() =>
                         {
                             let Some(Ok(q)) = pending.pop_front() else {
                                 unreachable!()
@@ -365,7 +611,7 @@ fn handle_connection(stream: &TcpStream, shared: &Arc<Shared>) -> std::io::Resul
                 }
                 serve_query_group(shared, &mut out, &group)?;
             }
-            Ok(req) => serve_one(shared, &mut out, req)?,
+            Ok((req, trace)) => serve_one(shared, &mut out, req, trace)?,
         }
     }
     drop(rx); // unblocks the reader's send() if it is mid-frame
@@ -398,14 +644,23 @@ fn read_loop(stream: TcpStream, shared: &Arc<Shared>, tx: &mpsc::Sender<Inbound>
             let _ = tx.send(Err(e));
             return; // cannot resynchronize on the stream
         }
-        let msg = Request::parse(&line);
-        if let Ok(req) = &msg {
-            shared.sink.record(EventKind::RequestRecv {
-                session: session_sym(req.session()),
-                kind: req_kind(req),
-                id: req.id(),
-            });
-        }
+        let msg = match Request::parse(&line) {
+            Ok(req) => {
+                // One trace id per request frame, assigned at receive
+                // time; every event the request provokes carries it.
+                let trace = shared.next_trace.fetch_add(1, Ordering::Relaxed) + 1;
+                shared.sink.record_traced(
+                    EventKind::RequestRecv {
+                        session: session_sym(req.session()),
+                        kind: req_kind(&req),
+                        id: req.id(),
+                    },
+                    trace,
+                );
+                Ok((req, trace))
+            }
+            Err(e) => Err(e),
+        };
         if tx.send(msg).is_err() {
             return; // server side of the connection is gone
         }
@@ -426,6 +681,8 @@ fn req_kind(req: &Request) -> ReqKind {
         Request::Subscribe { .. } => ReqKind::Subscribe,
         Request::Close { .. } => ReqKind::Close,
         Request::Stats { .. } => ReqKind::Stats,
+        Request::Health { .. } => ReqKind::Health,
+        Request::TraceTail { .. } => ReqKind::TraceTail,
         Request::Shutdown { .. } => ReqKind::Shutdown,
     }
 }
@@ -434,32 +691,49 @@ fn write_frame(out: &mut TcpStream, frame: &Response) -> std::io::Result<()> {
     writeln!(out, "{}", frame.to_json())
 }
 
-fn served(shared: &Shared, session: Sym, kind: ReqKind, id: u64, ok: bool, started: Instant) {
-    shared.sink.record(EventKind::RequestServed {
-        session,
-        kind,
-        id,
-        ok,
-        dur_ns: started.elapsed().as_nanos() as u64,
-    });
+#[allow(clippy::too_many_arguments)]
+fn served(
+    shared: &Shared,
+    session: Sym,
+    kind: ReqKind,
+    id: u64,
+    ok: bool,
+    started: Instant,
+    trace: u64,
+) {
+    shared.sink.record_traced(
+        EventKind::RequestServed {
+            session,
+            kind,
+            id,
+            ok,
+            dur_ns: started.elapsed().as_nanos() as u64,
+        },
+        trace,
+    );
 }
 
 /// Serve one non-query request (queries batch through
 /// [`serve_query_group`]). The connection always stays open — even
 /// after `shutdown`, the client decides when to hang up.
-fn serve_one(shared: &Arc<Shared>, out: &mut TcpStream, req: Request) -> std::io::Result<()> {
+fn serve_one(
+    shared: &Arc<Shared>,
+    out: &mut TcpStream,
+    req: Request,
+    trace: u64,
+) -> std::io::Result<()> {
     let started = Instant::now();
     let (id, kind) = (req.id(), req_kind(&req));
     let sym = session_sym(req.session());
-    let reply = dispatch(shared, out, &req)?;
+    let reply = dispatch(shared, out, &req, trace)?;
     match reply {
         Ok(frame) => {
             write_frame(out, &frame)?;
-            served(shared, sym, kind, id, true, started);
+            served(shared, sym, kind, id, true, started, trace);
         }
         Err(e) => {
             write_frame(out, &Response::from_error(id, e))?;
-            served(shared, sym, kind, id, false, started);
+            served(shared, sym, kind, id, false, started, trace);
         }
     }
     Ok(())
@@ -472,6 +746,7 @@ fn dispatch(
     shared: &Arc<Shared>,
     out: &mut TcpStream,
     req: &Request,
+    trace: u64,
 ) -> std::io::Result<Result<Response, ProtoError>> {
     Ok(match req {
         Request::Hello {
@@ -503,14 +778,14 @@ fn dispatch(
             session,
             mode,
             max_invocations,
-        } => run_session(shared, *id, session, mode.as_deref(), *max_invocations),
+        } => run_session(shared, *id, session, mode.as_deref(), *max_invocations, trace),
         Request::Batch {
             id,
             session,
             queries,
-        } => serve_batch_frame(shared, *id, session, queries),
+        } => serve_batch_frame(shared, *id, session, queries, trace),
         Request::Subscribe { id, session, query } => {
-            return serve_subscribe(shared, out, *id, session, query)
+            return serve_subscribe(shared, out, *id, session, query, trace)
         }
         Request::Close { id, session } => {
             match lock(&shared.sessions).remove(session) {
@@ -531,7 +806,48 @@ fn dispatch(
                 errors: g.request_errors,
                 batches: g.batches_formed,
                 pushes: g.subscription_pushes,
+                counters: crate::metrics::global_counters(&g)
+                    .into_iter()
+                    .map(|(n, v)| (n.to_string(), v))
+                    .collect(),
+                latency: LatencySummary::from_histogram(&shared.sink.request_latency()),
+                services: shared
+                    .sink
+                    .service_latencies()
+                    .into_iter()
+                    .map(|(n, h)| (n, LatencySummary::from_histogram(&h)))
+                    .collect(),
+                session_stats: shared
+                    .sink
+                    .session_latencies()
+                    .into_iter()
+                    .map(|(n, h)| (n, LatencySummary::from_histogram(&h)))
+                    .collect(),
             })
+        }
+        Request::Health { id } => Ok(Response::HealthOk {
+            id: *id,
+            server: SERVER_IDENT.to_string(),
+            uptime_ms: shared.epoch.elapsed().as_millis() as u64,
+            sessions: lock(&shared.sessions).len() as u64,
+            conns: shared.conns.load(Ordering::SeqCst) as u64,
+            journal_len: shared.sink.journal_len() as u64,
+            journal_dropped: shared.sink.journal_dropped(),
+        }),
+        Request::TraceTail {
+            id,
+            cat,
+            session,
+            limit,
+        } => {
+            return serve_trace_tail(
+                shared,
+                out,
+                *id,
+                cat.as_deref(),
+                session.as_deref(),
+                *limit,
+            )
         }
         Request::Shutdown { id } => {
             if shared.shutdown.swap(true, Ordering::SeqCst) {
@@ -548,6 +864,74 @@ fn dispatch(
 
 fn unknown_session(session: &str) -> ProtoError {
     ProtoError::new(codes::UNKNOWN_SESSION, format!("no session {session:?}"))
+}
+
+/// Serve a `trace_tail`: validate the filters, reply `tail_ok`, then
+/// forward live events as `trace` frames until the limit is reached,
+/// the server drains, or the connection dies; finish with `tail_done`.
+/// Runs on the connection's serving thread, so a tailing connection
+/// serves nothing else until the tail ends — open a second connection
+/// to keep issuing requests while observing them.
+fn serve_trace_tail(
+    shared: &Arc<Shared>,
+    out: &mut TcpStream,
+    id: u64,
+    cat: Option<&str>,
+    session: Option<&str>,
+    limit: Option<u64>,
+) -> std::io::Result<Result<Response, ProtoError>> {
+    let cat = match cat {
+        None => None,
+        Some(name) => match EventCategory::parse(name) {
+            Some(c) => Some(c),
+            None => {
+                return Ok(Err(ProtoError::new(
+                    codes::BAD_FIELD,
+                    format!("unknown trace category {name:?}"),
+                )))
+            }
+        },
+    };
+    let session = session.map(Sym::intern);
+    let (tail_id, rx, dropped) = shared.sink.subscribe_tail(cat, session);
+    write_frame(out, &Response::TailOk { id })?;
+    let mut sent = 0u64;
+    while limit.is_none_or(|n| sent < n) {
+        match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(ev) => {
+                let frame = Response::Trace {
+                    id,
+                    seq: ev.seq,
+                    ts_ns: ev.ts_ns,
+                    worker: u64::from(ev.worker),
+                    trace: ev.trace,
+                    cat: ev.kind.category().name().to_string(),
+                    name: ev.kind.label(),
+                    session: ev
+                        .kind
+                        .session()
+                        .map(|s| s.as_str().to_string())
+                        .unwrap_or_default(),
+                };
+                if write_frame(out, &frame).is_err() {
+                    break; // subscriber gone; tail_done will fail too
+                }
+                sent += 1;
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    shared.sink.unsubscribe_tail(tail_id);
+    Ok(Ok(Response::TailDone {
+        id,
+        sent,
+        dropped: dropped.load(Ordering::Relaxed),
+    }))
 }
 
 fn open_session(
@@ -632,12 +1016,13 @@ fn run_session(
     session: &str,
     mode: Option<&str>,
     max_invocations: Option<u64>,
+    trace: u64,
 ) -> Result<Response, ProtoError> {
     let cfg = engine_cfg(&shared.cfg.engine, mode, max_invocations)?;
     let sess = get_session(shared, session)?;
     let mut sess = lock(&sess);
     let tracer = if shared.cfg.trace_engine {
-        Tracer::new(&shared.sink)
+        Tracer::new(&shared.sink).with_trace(trace)
     } else {
         Tracer::disabled()
     };
@@ -674,17 +1059,17 @@ fn eval_query(sys: &System, query: &str) -> Result<Vec<String>, ProtoError> {
 fn serve_query_group(
     shared: &Shared,
     out: &mut TcpStream,
-    group: &[Request],
+    group: &[(Request, u64)],
 ) -> std::io::Result<()> {
     let batch_start = Instant::now();
-    let session = group[0].session().expect("queries carry a session");
+    let session = group[0].0.session().expect("queries carry a session");
     let sym = session_sym(Some(session));
     let sess = get_session(shared, session);
     // One lock acquisition for the whole group — every member answers
     // against the same system state even while another connection is
     // mutating the session (docs/protocol.md, Batching semantics).
     let guard = sess.as_ref().ok().map(|s| lock(s));
-    for req in group {
+    for (req, trace) in group {
         let Request::Query { id, query, .. } = req else {
             unreachable!()
         };
@@ -706,13 +1091,18 @@ fn serve_query_group(
             Ok(frame) => write_frame(out, &frame)?,
             Err(e) => write_frame(out, &Response::from_error(*id, e))?,
         }
-        served(shared, sym, ReqKind::Query, *id, ok, started);
+        served(shared, sym, ReqKind::Query, *id, ok, started, *trace);
     }
-    shared.sink.record(EventKind::BatchFormed {
-        session: sym,
-        size: group.len() as u32,
-        dur_ns: batch_start.elapsed().as_nanos() as u64,
-    });
+    // The group event carries the first member's trace id — the frame
+    // whose arrival opened the batch window.
+    shared.sink.record_traced(
+        EventKind::BatchFormed {
+            session: sym,
+            size: group.len() as u32,
+            dur_ns: batch_start.elapsed().as_nanos() as u64,
+        },
+        group[0].1,
+    );
     Ok(())
 }
 
@@ -724,6 +1114,7 @@ fn serve_batch_frame(
     id: u64,
     session: &str,
     queries: &[String],
+    trace: u64,
 ) -> Result<Response, ProtoError> {
     let started = Instant::now();
     if queries.len() > shared.cfg.max_batch {
@@ -742,11 +1133,14 @@ fn serve_batch_frame(
     for q in queries {
         answers.push(eval_query(&sess.sys, q)?);
     }
-    shared.sink.record(EventKind::BatchFormed {
-        session: session_sym(Some(session)),
-        size: queries.len() as u32,
-        dur_ns: started.elapsed().as_nanos() as u64,
-    });
+    shared.sink.record_traced(
+        EventKind::BatchFormed {
+            session: session_sym(Some(session)),
+            size: queries.len() as u32,
+            dur_ns: started.elapsed().as_nanos() as u64,
+        },
+        trace,
+    );
     Ok(Response::BatchOk {
         id,
         session: session.to_string(),
@@ -765,6 +1159,7 @@ fn serve_subscribe(
     id: u64,
     session: &str,
     query: &str,
+    trace: u64,
 ) -> std::io::Result<Result<Response, ProtoError>> {
     let q = match axml_core::parse_query(query) {
         Ok(q) => q,
@@ -786,7 +1181,7 @@ fn serve_subscribe(
     let mut cursor = QueryCursor::new(q);
     let mut runner = RoundRunner::new(&shared.cfg.engine);
     let tracer = if shared.cfg.trace_engine {
-        Tracer::new(&shared.sink)
+        Tracer::new(&shared.sink).with_trace(trace)
     } else {
         Tracer::disabled()
     };
@@ -802,13 +1197,16 @@ fn serve_subscribe(
         };
         if !fresh.is_empty() {
             let trees: Vec<String> = fresh.iter().map(|t| t.to_string()).collect();
-            shared.sink.record(EventKind::SubscriptionPush {
-                session: sym,
-                sub: id,
-                trees: trees.len() as u32,
-                round: runner.rounds() as u64,
-                version: sess.sys.version(),
-            });
+            shared.sink.record_traced(
+                EventKind::SubscriptionPush {
+                    session: sym,
+                    sub: id,
+                    trees: trees.len() as u32,
+                    round: runner.rounds() as u64,
+                    version: sess.sys.version(),
+                },
+                trace,
+            );
             write_frame(
                 out,
                 &Response::Delta {

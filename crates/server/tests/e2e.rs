@@ -508,3 +508,249 @@ fn chrome_trace_has_validated_server_lane() {
     assert!(json.contains("serve query"), "request slices missing");
     assert!(json.contains(r#""cat":"server""#), "server category missing");
 }
+
+#[test]
+fn health_frame_reports_liveness() {
+    let mut handle = spawn();
+    let mut c = Client::connect(&handle.addr().to_string()).unwrap();
+    open_and_run(&mut c, "s1");
+
+    let resp = c.call(&Request::Health { id: 40 }).unwrap();
+    let Response::HealthOk {
+        id,
+        server,
+        sessions,
+        conns,
+        journal_len,
+        journal_dropped,
+        ..
+    } = resp
+    else {
+        panic!("expected health_ok, got {resp:?}")
+    };
+    assert_eq!(id, 40);
+    assert!(
+        server.starts_with("axml-server/"),
+        "health carries the versioned server ident, got {server:?}"
+    );
+    assert_eq!(sessions, 1);
+    assert!(conns >= 1);
+    assert!(journal_len > 0, "the always-on journal holds events");
+    assert_eq!(journal_dropped, 0, "a fresh default ring drops nothing");
+
+    handle.shutdown();
+    drop(c);
+    handle.join();
+}
+
+#[test]
+fn stats_frame_exposes_counters_and_latency_summaries() {
+    let cfg = ServerConfig {
+        trace_engine: true,
+        ..ServerConfig::default()
+    };
+    let mut handle = Server::spawn("127.0.0.1:0", cfg).expect("bind ephemeral port");
+    let mut c = Client::connect(&handle.addr().to_string()).unwrap();
+    open_and_run(&mut c, "s1");
+    for id in 20..24 {
+        let _ = c
+            .call(&Request::Query {
+                id,
+                session: "s1".to_string(),
+                query: REACH_FROM_1.to_string(),
+            })
+            .unwrap();
+    }
+
+    let resp = c.call(&Request::Stats { id: 30 }).unwrap();
+    let Response::StatsOk {
+        counters,
+        latency,
+        services,
+        session_stats,
+        served,
+        ..
+    } = resp
+    else {
+        panic!("expected stats_ok")
+    };
+    assert!(served >= 6);
+    let counter = |name: &str| {
+        counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("counter {name} missing"))
+            .1
+    };
+    assert!(counter("requests_served") >= 6);
+    assert!(counter("rounds") >= 1, "trace_engine feeds engine counters");
+    assert_eq!(counter("request_errors"), 0);
+    assert!(latency.count >= 6, "request latency aggregates every request");
+    assert!(latency.max_ns >= latency.p50_ns);
+    assert!(
+        services.iter().any(|(n, s)| n == "tc" && s.count >= 1),
+        "per-service latency rows: {services:?}"
+    );
+    assert!(
+        session_stats.iter().any(|(n, s)| n == "s1" && s.count >= 6),
+        "per-session latency rows: {session_stats:?}"
+    );
+
+    handle.shutdown();
+    drop(c);
+    handle.join();
+}
+
+#[test]
+fn trace_tail_streams_live_filtered_events() {
+    let mut handle = spawn();
+    let addr = handle.addr().to_string();
+
+    // Observer first: register the tail before the traffic it watches.
+    let mut observer = Client::connect(&addr).unwrap();
+    observer
+        .send(&Request::TraceTail {
+            id: 70,
+            cat: Some("server".to_string()),
+            session: Some("watched".to_string()),
+            limit: Some(4),
+        })
+        .unwrap();
+    assert!(matches!(observer.recv().unwrap(), Response::TailOk { id: 70 }));
+
+    // Traffic on the watched session — and on another one, which the
+    // session filter must suppress.
+    let mut c = Client::connect(&addr).unwrap();
+    open_and_run(&mut c, "watched");
+    open_and_run(&mut c, "other");
+
+    let mut seen = 0u64;
+    let done = loop {
+        match observer.recv().unwrap() {
+            Response::Trace {
+                id,
+                cat,
+                session,
+                seq,
+                trace,
+                name,
+                ..
+            } => {
+                assert_eq!(id, 70);
+                assert_eq!(cat, "server");
+                assert_eq!(session, "watched", "session filter leaked {name:?} (seq {seq})");
+                assert!(trace > 0, "server events are request-attributed");
+                seen += 1;
+            }
+            done @ Response::TailDone { .. } => break done,
+            other => panic!("unexpected frame {other:?}"),
+        }
+    };
+    let Response::TailDone { id, sent, dropped } = done else {
+        unreachable!()
+    };
+    assert_eq!(id, 70);
+    assert_eq!(sent, 4, "limit bounds the stream");
+    assert_eq!(seen, sent);
+    assert_eq!(dropped, 0);
+
+    handle.shutdown();
+    drop(c);
+    drop(observer);
+    handle.join();
+}
+
+#[test]
+fn trace_ids_tie_a_request_to_its_rounds_and_invocations() {
+    // The acceptance path: with the engine traced, one `run` request's
+    // trace id must reappear on the engine's round events and the
+    // service invocations it triggered, and on the final serve event.
+    let cfg = ServerConfig {
+        trace_engine: true,
+        ..ServerConfig::default()
+    };
+    let mut handle = Server::spawn("127.0.0.1:0", cfg).expect("bind ephemeral port");
+    let mut c = Client::connect(&handle.addr().to_string()).unwrap();
+    open_and_run(&mut c, "s1");
+    handle.shutdown();
+    drop(c);
+    handle.join();
+
+    let events = handle.sink().events();
+    let run_recv = events
+        .iter()
+        .find(|e| {
+            matches!(
+                e.kind,
+                EventKind::RequestRecv { kind: ReqKind::Run, .. }
+            )
+        })
+        .expect("the run request was journaled");
+    let id = run_recv.trace;
+    assert!(id > 0, "requests get nonzero trace ids");
+    let with_id = |pred: &dyn Fn(&EventKind) -> bool| {
+        events.iter().any(|e| e.trace == id && pred(&e.kind))
+    };
+    assert!(
+        with_id(&|k| matches!(k, EventKind::RoundStart { .. })),
+        "rounds driven by the run carry its trace id"
+    );
+    assert!(
+        with_id(&|k| matches!(k, EventKind::Invoke { .. })),
+        "invocations triggered by the run carry its trace id"
+    );
+    assert!(
+        with_id(&|k| matches!(
+            k,
+            EventKind::RequestServed { kind: ReqKind::Run, ok: true, .. }
+        )),
+        "the serve event closes the same trace"
+    );
+    // Other requests (hello, open) have their own, different ids.
+    let open_recv = events
+        .iter()
+        .find(|e| matches!(e.kind, EventKind::RequestRecv { kind: ReqKind::Open, .. }))
+        .expect("the open request was journaled");
+    assert_ne!(open_recv.trace, id);
+    assert_ne!(open_recv.trace, 0);
+}
+
+#[test]
+fn metrics_listener_serves_valid_prometheus_text() {
+    let cfg = ServerConfig {
+        metrics_addr: Some("127.0.0.1:0".to_string()),
+        ..ServerConfig::default()
+    };
+    let mut handle = Server::spawn("127.0.0.1:0", cfg).expect("bind ephemeral port");
+    let scrape_addr = handle
+        .metrics_addr()
+        .expect("metrics listener bound")
+        .to_string();
+    let mut c = Client::connect(&handle.addr().to_string()).unwrap();
+    open_and_run(&mut c, "s1");
+
+    // A hand-rolled HTTP GET, like any scraper.
+    use std::io::{Read, Write as _};
+    let mut s = std::net::TcpStream::connect(&scrape_addr).unwrap();
+    s.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+    let mut response = String::new();
+    s.read_to_string(&mut response).unwrap();
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("HTTP response has a header/body split");
+    assert!(head.starts_with("HTTP/1.0 200 OK"), "head: {head}");
+    assert!(
+        head.contains("Content-Type: text/plain"),
+        "exposition content type missing: {head}"
+    );
+    let samples =
+        axml_server::metrics::validate_prometheus_text(body).expect("valid exposition format");
+    assert!(samples > 30, "expected a full metrics page, got {samples} samples");
+    assert!(body.contains("axml_requests_served_total"));
+    assert!(body.contains("axml_sessions 1"));
+    assert!(body.contains("axml_journal_events"));
+
+    handle.shutdown();
+    drop(c);
+    handle.join();
+}

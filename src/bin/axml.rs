@@ -7,6 +7,7 @@
 //! axml analyze <file.axml> '<query>'
 //! axml fire-once <file.axml>
 //! axml reduce '<tree>'
+//! axml --version
 //! ```
 //!
 //! System files use the `doc`/`service` declaration format of
@@ -29,7 +30,8 @@ fn usage() -> ExitCode {
          axml decide <file>\n  \
          axml analyze <file> '<query>'\n  \
          axml fire-once <file>\n  \
-         axml reduce '<tree>'"
+         axml reduce '<tree>'\n  \
+         axml --version"
     );
     ExitCode::from(2)
 }
@@ -192,6 +194,10 @@ fn run_cli(args: &[String]) -> Result<ExitCode, String> {
             let Some(tree) = args.get(1) else { return Ok(usage()) };
             let t = parse_tree(tree).map_err(|e| e.to_string())?;
             println!("{}", reduce(&t));
+            Ok(ExitCode::SUCCESS)
+        }
+        "--version" | "-V" => {
+            println!("axml {}", env!("CARGO_PKG_VERSION"));
             Ok(ExitCode::SUCCESS)
         }
         _ => Ok(usage()),
