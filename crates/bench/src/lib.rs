@@ -19,7 +19,11 @@ pub fn random_tree(n: usize, labels: usize, values: usize, redundancy: f64, seed
     let mut rng = StdRng::seed_from_u64(seed);
     let mut t = Tree::with_label("root");
     let mut interior: Vec<NodeId> = vec![t.root()];
-    while t.node_count() < n {
+    // Nothing is ever removed, so a local tally tracks `node_count()`
+    // without its O(n) live-node walk (which made construction O(n²)
+    // and dominated the X20 harness at 64k nodes).
+    let mut count = 1usize;
+    while count < n {
         let parent = interior[rng.gen_range(0..interior.len())];
         let duplicate = rng.gen_bool(redundancy);
         let marking = if duplicate || rng.gen_bool(0.75) {
@@ -28,6 +32,7 @@ pub fn random_tree(n: usize, labels: usize, values: usize, redundancy: f64, seed
             Marking::value(&format!("{}", rng.gen_range(0..values)))
         };
         if let Ok(id) = t.add_child(parent, marking) {
+            count += 1;
             if !t.marking(id).is_value() {
                 interior.push(id);
             }

@@ -23,7 +23,7 @@ use crate::invoke::{apply_plan, evaluate_node, invoke_node_with_provenance, Graf
 use crate::matcher::MatchStrategy;
 use crate::provenance::{Provenance, SkipRecord};
 use crate::sym::{FxHashMap, Sym};
-use crate::system::System;
+use crate::system::{System, SystemSnapshot};
 use crate::trace::{EventKind, Journal, Tracer};
 use crate::tree::NodeId;
 use std::sync::OnceLock;
@@ -474,6 +474,10 @@ pub struct RoundRunner {
     wpcaches: Vec<ProgramCache>,
     seeded: bool,
     status: Option<RunStatus>,
+    /// The latest *committed* state, republished as an O(1) MVCC
+    /// snapshot after every completed step (see
+    /// [`RoundRunner::snapshot`]).
+    latest: Option<SystemSnapshot>,
 }
 
 impl RoundRunner {
@@ -501,7 +505,23 @@ impl RoundRunner {
             wpcaches,
             seeded: false,
             status: None,
+            latest: None,
         }
+    }
+
+    /// The latest committed state as an O(1) MVCC snapshot, refreshed at
+    /// the end of every [`RoundRunner::step`] (including the final one).
+    /// `None` until the first step completes.
+    ///
+    /// This is what lets readers overlap an in-flight fixpoint: a server
+    /// hands the snapshot to concurrent `query`/`stats` frames and
+    /// computes subscription deltas snapshot-to-snapshot while the next
+    /// round is being evaluated and committed on the writer's side —
+    /// the snapshot shares every untouched chunk (and `(id, version)`
+    /// cache key) with the live system, so taking and reading it costs
+    /// pointer bumps, not tree copies.
+    pub fn snapshot(&self) -> Option<SystemSnapshot> {
+        self.latest.clone()
     }
 
     /// Why the run stopped, once it has ([`RoundRunner::step`] returned
@@ -555,6 +575,21 @@ impl RoundRunner {
     /// provenance — the full-generality round body shared by every
     /// `run_*` entry point.
     pub fn step_restricted_with_provenance(
+        &mut self,
+        sys: &mut System,
+        allow: &impl Fn(Sym, NodeId) -> bool,
+        tracer: Tracer<'_>,
+        prov: Provenance<'_>,
+    ) -> Result<Option<RunStatus>> {
+        let status = self.step_body(sys, allow, tracer, prov)?;
+        // Every exit from the round body — fixpoint, budget stop, or
+        // more rounds to come — leaves `sys` in a committed state, so
+        // republish it for concurrent readers (O(1): Arc bumps per doc).
+        self.latest = Some(sys.snapshot());
+        Ok(status)
+    }
+
+    fn step_body(
         &mut self,
         sys: &mut System,
         allow: &impl Fn(Sym, NodeId) -> bool,
@@ -659,7 +694,16 @@ impl RoundRunner {
                 let eval_t0 = Instant::now();
                 let wcaches = &mut self.wcaches;
                 let wpcaches = &mut self.wpcaches;
-                let sys_ref: &System = sys;
+                // Workers read the round-start state through an MVCC
+                // snapshot (O(1) to take). The commit phase below runs
+                // after the scope ends, on `sys` itself, so evaluation
+                // semantics are identical to sharing `&*sys` — but the
+                // snapshot keeps its documents' `(id, version)` keys,
+                // so per-worker match/program caches stay warm, and any
+                // index a worker builds is published into the cell the
+                // snapshot shares with the live documents.
+                let round_snap = sys.snapshot();
+                let sys_ref: &System = round_snap.system();
                 let jobs_ref: &[(Sym, NodeId, Sym)] = &jobs;
                 type WorkerOut = (Vec<(usize, Result<GraftPlan>)>, Option<Journal>);
                 let worker_outs: Vec<WorkerOut> =
@@ -779,7 +823,7 @@ impl RoundRunner {
                         changed: outcome.changed,
                         grafted: outcome.grafted as u32,
                         result_trees: outcome.result_trees as u32,
-                        doc_version: sys.doc(d).map(|t| t.version()).unwrap_or(0),
+                        doc_version: sys.doc(d).map(|t| t.mutation_count()).unwrap_or(0),
                         dur_ns: started
                             .map(|t| t.elapsed().as_nanos() as u64)
                             .unwrap_or(0),
@@ -861,7 +905,7 @@ impl RoundRunner {
                     changed: outcome.changed,
                     grafted: outcome.grafted as u32,
                     result_trees: outcome.result_trees as u32,
-                    doc_version: sys.doc(d).map(|t| t.version()).unwrap_or(0),
+                    doc_version: sys.doc(d).map(|t| t.mutation_count()).unwrap_or(0),
                     dur_ns: started
                         .map(|t| t.elapsed().as_nanos() as u64)
                         .unwrap_or(0),

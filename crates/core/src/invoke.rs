@@ -191,7 +191,7 @@ pub fn apply_plan(
     // Re-resolve the parent from the live document: reduction during
     // earlier commits may have re-parented the (still alive) node.
     let parent = doc.parent(plan.node).ok_or(AxmlError::FunctionRoot)?;
-    let pre_version = doc.version();
+    let pre_version = doc.mutation_count();
     // Index maintenance is reported as counter deltas over the whole
     // graft+reduce batch; the index's build state cannot change during
     // the commit (mutations maintain but never build).
@@ -250,7 +250,7 @@ pub fn apply_plan(
     if grafted > 0 {
         tracer.emit(|| EventKind::Graft {
             doc: doc_name,
-            doc_version: doc.version(),
+            doc_version: doc.mutation_count(),
             trees: grafted as u32,
         });
         // Node counts are O(live nodes); only pay for them when a sink

@@ -117,7 +117,7 @@ pub use provenance::{
 };
 pub use parse::{parse_document, parse_pattern, parse_tree};
 pub use query::{parse_query, Query};
-pub use system::System;
+pub use system::{System, SystemSnapshot};
 pub use reduce::{canonical_key, lub, reduce, CanonKey};
 pub use subsume::{compare, equivalent, subsumed};
 pub use sym::Sym;

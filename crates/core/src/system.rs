@@ -121,19 +121,23 @@ impl System {
         self.docs.get_mut(&name)
     }
 
-    /// A document's mutation counter (see [`Tree::version`]): strictly
-    /// increases with every graft that survives reduction, so callers
-    /// can cheaply detect "has this document changed since I last
-    /// looked?" without diffing trees.
+    /// A document's mutation counter (see [`Tree::mutation_count`]):
+    /// strictly increases with every graft that survives reduction, so
+    /// callers can cheaply detect "has this document changed since I
+    /// last looked?" without diffing trees. Deterministic run-to-run
+    /// (unlike the MVCC stamp [`Tree::version`]), so it is safe to
+    /// report on the wire and in trace events.
     pub fn doc_version(&self, name: Sym) -> Option<u64> {
-        self.docs.get(&name).map(Tree::version)
+        self.docs.get(&name).map(Tree::mutation_count)
     }
 
     /// A monotone version for the whole system: the sum of all document
-    /// versions. Any rewriting step strictly increases it; equality of
-    /// two observations means no document changed in between.
+    /// mutation counts. Any rewriting step strictly increases it;
+    /// equality of two observations means no document changed in
+    /// between. Deterministic run-to-run, unlike the per-document MVCC
+    /// stamps ([`Tree::version`]).
     pub fn version(&self) -> u64 {
-        self.docs.values().map(Tree::version).sum()
+        self.docs.values().map(Tree::mutation_count).sum()
     }
 
     /// Fetch a service.
@@ -248,6 +252,46 @@ impl System {
     /// Mutual pointwise subsumption.
     pub fn equivalent_to(&self, other: &System) -> bool {
         self.subsumed_by(other) && other.subsumed_by(self)
+    }
+
+    /// Take an O(1) MVCC snapshot of the system's current state.
+    ///
+    /// `System: Clone` is already cheap — every [`Tree`] clone is two
+    /// `Arc` bumps (see the copy-on-write notes on [`Tree`]) — and the
+    /// snapshot wraps that clone in an `Arc` so it can be handed to any
+    /// number of concurrent readers (server query/stats frames, engine
+    /// workers, p2p peers) for one more pointer bump each. The snapshot
+    /// is fully immutable: writers that keep mutating the original
+    /// diverge via path copying and never disturb it, and every
+    /// document keeps its `(id, version)` handle so snapshot-side
+    /// evaluation shares match/program caches with the live system.
+    pub fn snapshot(&self) -> SystemSnapshot {
+        SystemSnapshot(Arc::new(self.clone()))
+    }
+}
+
+/// An immutable, shareable snapshot of a [`System`] — the MVCC handle
+/// readers evaluate against while a writer commits rounds.
+///
+/// Dereferences to [`System`], so every read-only API (queries,
+/// canonical keys, stats probes) works on a snapshot unchanged.
+/// Cloning a snapshot is one `Arc` bump.
+#[derive(Clone, Debug)]
+pub struct SystemSnapshot(Arc<System>);
+
+impl std::ops::Deref for SystemSnapshot {
+    type Target = System;
+
+    fn deref(&self) -> &System {
+        &self.0
+    }
+}
+
+impl SystemSnapshot {
+    /// The snapshot's state as a plain shared reference (convenience for
+    /// APIs that want an explicit `&System`).
+    pub fn system(&self) -> &System {
+        &self.0
     }
 }
 
@@ -396,6 +440,25 @@ mod tests {
         let stable = sys.version();
         crate::invoke::invoke_node(&mut sys, d, n).unwrap();
         assert_eq!(sys.version(), stable);
+    }
+
+    #[test]
+    fn snapshot_is_immutable_while_writer_advances() {
+        let mut sys = example_3_2();
+        let snap = sys.snapshot();
+        let key0 = snap.canonical_key();
+        let v0 = snap.version();
+        let calls = sys.function_nodes();
+        for (d, n) in calls {
+            crate::invoke::invoke_node(&mut sys, d, n).unwrap();
+        }
+        assert!(sys.version() > v0, "the writer moved on");
+        assert_eq!(snap.version(), v0, "the snapshot did not");
+        assert_eq!(snap.canonical_key(), key0);
+        // Snapshots are cheap to fan out and agree with their source.
+        let again = snap.clone();
+        assert_eq!(again.canonical_key(), key0);
+        assert_eq!(sys.snapshot().canonical_key(), sys.canonical_key());
     }
 
     #[test]

@@ -1,4 +1,5 @@
-//! Unordered AXML trees (Definition 2.1).
+//! Unordered AXML trees (Definition 2.1), stored as persistent
+//! copy-on-write arenas.
 //!
 //! A tree is an arena of nodes; each node carries a [`Marking`] — a label,
 //! a function name (a Web-service call), or an atomic value. The paper's
@@ -15,13 +16,39 @@
 //! relies on this to keep function-node identities across invocation steps
 //! (reduction keeps the *oldest* of equivalent siblings; see
 //! [`mod@crate::reduce`]).
+//!
+//! # Copy-on-write representation
+//!
+//! The arena is a two-level chunked spine: an `Arc` of chunk pointers,
+//! each chunk an `Arc` of up to [`CHUNK`] node slots. [`Tree::clone`] is
+//! two `Arc` bumps — O(1) whatever the document size — which is what
+//! makes [`crate::system::System::snapshot`] a constant-time MVCC
+//! snapshot. Reads cost two index operations; a mutation path-copies
+//! only what it touches (`Arc::make_mut` on the spine vector and the one
+//! affected chunk), so a clone and its original share every untouched
+//! chunk. The paper's fixpoint semantics (Thm 2.1) is defined over
+//! immutable states, and positive rewriting only ever *extends*
+//! documents — the ideal case for path copying: a graft after a snapshot
+//! copies O(nodes/[`CHUNK`]) spine pointers once, then O([`CHUNK`])
+//! nodes per touched chunk.
+//!
+//! # MVCC handles
+//!
+//! `(Tree::id, Tree::version)` is a real snapshot handle: version stamps
+//! are drawn from one process-wide counter, so a pair names immutable
+//! content. A clone keeps the original's `(id, version)` — it *is* the
+//! same content — and whichever handle mutates first moves to a globally
+//! fresh version while the others keep observing the old pair.
+//! Subsumption memos, the per-atom match cache, and the program cache
+//! are all keyed on these pairs and stay sound across snapshots without
+//! any invalidation traffic.
 
 use crate::error::{AxmlError, Result};
 use crate::index::{DocIndex, IndexStats};
 use crate::sym::Sym;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// Arena size at which a probe lazily builds the document index.
 /// Smaller trees (pattern instantiations, contexts, canonical-key
@@ -29,11 +56,31 @@ use std::sync::OnceLock;
 /// build, and skipping the build means they never pay maintenance.
 const INDEX_BUILD_THRESHOLD: usize = 48;
 
+/// log2 of [`CHUNK`]: node index `i` lives in chunk `i >> CHUNK_BITS`
+/// at offset `i & (CHUNK - 1)`.
+const CHUNK_BITS: usize = 6;
+
+/// Nodes per copy-on-write chunk. 64 slots keeps the per-write copy
+/// small (one chunk) while a snapshot's spine copy on first divergence
+/// stays `nodes / 64` pointers.
+pub const CHUNK: usize = 1 << CHUNK_BITS;
+
+const CHUNK_MASK: usize = CHUNK - 1;
+
 /// Process-wide tree-identity counter; see [`Tree::id`].
 static NEXT_TREE_ID: AtomicU64 = AtomicU64::new(0);
 
 fn fresh_tree_id() -> u64 {
     NEXT_TREE_ID.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Process-wide version-stamp counter; see [`Tree::version`]. Starting
+/// at 1 keeps 0 as the "never mutated" stamp every fresh tree begins
+/// with.
+static NEXT_VERSION: AtomicU64 = AtomicU64::new(1);
+
+fn fresh_version() -> u64 {
+    NEXT_VERSION.fetch_add(1, Ordering::Relaxed)
 }
 
 /// The marking of a node: label, function name, or atomic value.
@@ -110,7 +157,10 @@ struct Node {
     alive: bool,
 }
 
-/// An unordered AXML tree backed by a node arena.
+/// One copy-on-write chunk of the arena.
+type Chunk = Arc<Vec<Node>>;
+
+/// An unordered AXML tree backed by a persistent chunked node arena.
 ///
 /// ```
 /// use axml_core::parse::parse_tree;
@@ -122,38 +172,62 @@ struct Node {
 /// assert_eq!(doc.marking(root), Marking::label("a"));
 /// assert_eq!(doc.node_count(), 2);
 ///
-/// // Mutation bumps the version counter; node ids stay stable.
+/// // Clones are O(1) snapshots: mutation draws a globally fresh version
+/// // stamp and copy-on-write diverges only the mutated handle; node ids
+/// // stay stable.
+/// let snap = doc.clone();
 /// let v0 = doc.version();
 /// doc.add_child(root, Marking::value("42"))?;
 /// assert!(doc.version() > v0);
+/// assert_eq!(snap.version(), v0);
+/// assert_eq!(snap.node_count(), 2, "the snapshot is immutable");
 /// assert!(doc.is_alive(root));
 /// # Ok::<(), axml_core::AxmlError>(())
 /// ```
 #[derive(Debug)]
 pub struct Tree {
-    nodes: Vec<Node>,
+    /// The chunked arena spine. Shared wholesale by clones; mutation
+    /// path-copies the spine vector and the one touched chunk.
+    spine: Arc<Vec<Chunk>>,
+    /// Arena slots in use (the last chunk may be partially filled).
+    len: usize,
     root: NodeId,
     id: u64,
     version: u64,
+    /// Deterministic per-handle mutation tally (see
+    /// [`Tree::mutation_count`]): what observability reports, while
+    /// [`Tree::version`] carries the globally unique MVCC stamp.
+    mutations: u64,
     /// Lazily built marking/child index (see [`mod@crate::index`]).
-    /// `OnceLock` rather than a cell keeps `Tree: Sync` (services are
-    /// `Send + Sync` and may capture forests).
-    index: OnceLock<Box<DocIndex>>,
+    /// The cell itself is `Arc`-shared by clones, so an index built on
+    /// *either* side of a snapshot is published to every handle still
+    /// at that version; the first divergence copies the cell (and, if
+    /// built, the index) for the mutating handle. All sharers of one
+    /// cell are at the same `(id, version)` — any mutation replaces the
+    /// cell before restamping — so a published index can never be stale
+    /// for a reader. `OnceLock` rather than a cell keeps `Tree: Sync`
+    /// (services are `Send + Sync` and may capture forests; engine
+    /// workers probe shared snapshots).
+    index: Arc<OnceLock<Arc<DocIndex>>>,
 }
 
 impl Clone for Tree {
+    /// O(1): two `Arc` bumps. The clone keeps the original's
+    /// `(id, version)` — it *is* the same immutable content — so every
+    /// `(id, version)`-keyed memo, match-cache entry, and compiled
+    /// program computed against one handle stays valid for the other.
+    /// Divergence is handled at mutation time: version stamps are
+    /// globally unique, so two handles can never present different
+    /// content under one key.
     fn clone(&self) -> Tree {
         Tree {
-            nodes: self.nodes.clone(),
+            spine: Arc::clone(&self.spine),
+            len: self.len,
             root: self.root,
-            // A clone is a *different* tree that may diverge from the
-            // original, so it gets its own identity (keeping subsumption
-            // memos and match caches keyed by (id, version) sound).
-            id: fresh_tree_id(),
+            id: self.id,
             version: self.version,
-            // The index is not cloned: the copy rebuilds lazily on its
-            // first probe, keeping clones cheap for never-probed trees.
-            index: OnceLock::new(),
+            mutations: self.mutations,
+            index: Arc::clone(&self.index),
         }
     }
 }
@@ -164,17 +238,21 @@ impl Tree {
     /// Any marking is accepted here; use [`Tree::validate_document_root`]
     /// when the tree is meant to be a document.
     pub fn new(root: Marking) -> Tree {
+        let mut chunk = Vec::with_capacity(CHUNK);
+        chunk.push(Node {
+            marking: root,
+            parent: None,
+            children: Vec::new(),
+            alive: true,
+        });
         Tree {
-            nodes: vec![Node {
-                marking: root,
-                parent: None,
-                children: Vec::new(),
-                alive: true,
-            }],
+            spine: Arc::new(vec![Arc::new(chunk)]),
+            len: 1,
             root: NodeId(0),
             id: fresh_tree_id(),
             version: 0,
-            index: OnceLock::new(),
+            mutations: 0,
+            index: Arc::new(OnceLock::new()),
         }
     }
 
@@ -198,47 +276,115 @@ impl Tree {
         self.root
     }
 
-    /// A process-unique identity for this arena. Fresh on creation *and*
-    /// on clone, so `(id, version)` pairs never collide between trees —
-    /// the key property behind cross-tree subsumption memos and the
-    /// engine's per-atom match cache.
+    /// A process-unique identity for this arena, *stable across clones*:
+    /// a clone names the same immutable content, so it keeps the id, and
+    /// `(id, version)` pairs still never name two different contents
+    /// because version stamps are globally unique (see
+    /// [`Tree::version`]). This is the key property behind cross-tree
+    /// subsumption memos, the engine's per-atom match cache, and the
+    /// compiled-program cache staying sound across MVCC snapshots.
     #[inline]
     pub fn id(&self) -> u64 {
         self.id
     }
 
-    /// Monotonically increasing mutation counter: bumped by every
-    /// [`Tree::add_child`] and [`Tree::remove_subtree`] (hence by grafts
-    /// and in-place reduction). Equal versions of the same [`Tree::id`]
-    /// guarantee identical content, which is what the delta engine's
-    /// read-set skipping relies on.
+    /// Mutation stamp, strictly increasing per handle: every
+    /// [`Tree::add_child`] and [`Tree::remove_subtree`] (hence every
+    /// graft and in-place reduction) draws a fresh stamp from one
+    /// process-wide counter. Equal `(id, version)` pairs guarantee
+    /// identical content — even between a snapshot and the handle it was
+    /// taken from, because the counter never re-issues a stamp — which
+    /// is what the delta engine's read-set skipping and the MVCC
+    /// snapshot handles rely on.
     #[inline]
     pub fn version(&self) -> u64 {
         self.version
     }
 
+    /// The `(id, version)` MVCC handle naming this tree's current
+    /// immutable content.
+    #[inline]
+    pub fn snapshot_handle(&self) -> (u64, u64) {
+        (self.id, self.version)
+    }
+
+    /// Deterministic mutation tally for this handle: starts at 0,
+    /// increments by exactly one per [`Tree::add_child`] /
+    /// [`Tree::remove_subtree`], and is copied by clones. Unlike
+    /// [`Tree::version`] — whose stamps come from a process-wide
+    /// counter and therefore depend on what else the process did — this
+    /// count is reproducible run-to-run, so it is what trace events,
+    /// wire frames, and [`crate::system::System::version`] report.
+    #[inline]
+    pub fn mutation_count(&self) -> u64 {
+        self.mutations
+    }
+
+    #[inline]
+    fn node(&self, n: NodeId) -> &Node {
+        let i = n.idx();
+        &self.spine[i >> CHUNK_BITS][i & CHUNK_MASK]
+    }
+
+    /// Copy-on-write write access to one node: path-copies the spine
+    /// vector and the touched chunk when (and only when) they are shared
+    /// with another handle. Everything this does not touch keeps being
+    /// shared with outstanding snapshots.
+    #[inline]
+    fn node_mut(&mut self, n: NodeId) -> &mut Node {
+        let i = n.idx();
+        let spine = Arc::make_mut(&mut self.spine);
+        let chunk = Arc::make_mut(&mut spine[i >> CHUNK_BITS]);
+        &mut chunk[i & CHUNK_MASK]
+    }
+
+    /// Append a node slot, copy-on-write style: a shared spine (and a
+    /// shared, partially filled last chunk) are path-copied first, so
+    /// outstanding snapshots never observe the new slot.
+    fn push_node(&mut self, node: Node) -> NodeId {
+        let id = NodeId(u32::try_from(self.len).expect("arena exceeds u32 node ids"));
+        let spine = Arc::make_mut(&mut self.spine);
+        if self.len & CHUNK_MASK == 0 {
+            spine.push(Arc::new(Vec::with_capacity(CHUNK)));
+        }
+        let chunk = Arc::make_mut(spine.last_mut().expect("spine is never empty"));
+        chunk.push(node);
+        self.len += 1;
+        self.debug_check_cow();
+        id
+    }
+
+    /// Copy-on-write write access to the maintained index, if built: the
+    /// shared cell is replaced with a private copy first (an `Arc` bump
+    /// when the index is absent, one index deep-copy on the first
+    /// divergence after a snapshot), so handles still at the old version
+    /// keep their published index untouched.
+    fn index_mut(&mut self) -> Option<&mut DocIndex> {
+        Arc::make_mut(&mut self.index).get_mut().map(Arc::make_mut)
+    }
+
     /// The marking of node `n`.
     #[inline]
     pub fn marking(&self, n: NodeId) -> Marking {
-        self.nodes[n.idx()].marking
+        self.node(n).marking
     }
 
     /// The live children of node `n`.
     #[inline]
     pub fn children(&self, n: NodeId) -> &[NodeId] {
-        &self.nodes[n.idx()].children
+        &self.node(n).children
     }
 
     /// The parent of node `n` (`None` for the root).
     #[inline]
     pub fn parent(&self, n: NodeId) -> Option<NodeId> {
-        self.nodes[n.idx()].parent
+        self.node(n).parent
     }
 
     /// Whether node `n` is still part of the tree.
     #[inline]
     pub fn is_alive(&self, n: NodeId) -> bool {
-        n.idx() < self.nodes.len() && self.nodes[n.idx()].alive
+        n.idx() < self.len && self.node(n).alive
     }
 
     /// Add a child with marking `m` under `parent`. Fails if `parent` is an
@@ -250,17 +396,18 @@ impl Tree {
         if self.marking(parent).is_value() {
             return Err(AxmlError::ValueNodeWithChildren);
         }
-        let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(Node {
+        let id = self.push_node(Node {
             marking: m,
             parent: Some(parent),
             children: Vec::new(),
             alive: true,
         });
-        self.nodes[parent.idx()].children.push(id);
-        self.version += 1;
-        if let Some(ix) = self.index.get_mut() {
-            ix.record_add(parent, id, m, self.version);
+        self.node_mut(parent).children.push(id);
+        self.version = fresh_version();
+        self.mutations += 1;
+        let version = self.version;
+        if let Some(ix) = self.index_mut() {
+            ix.record_add(parent, id, m, version);
         }
         #[cfg(debug_assertions)]
         self.debug_check_index();
@@ -273,32 +420,39 @@ impl Tree {
         if !self.is_alive(n) {
             return Err(AxmlError::DeadNode);
         }
-        let parent = self.nodes[n.idx()].parent.ok_or(AxmlError::DeadNode)?;
-        let siblings = &mut self.nodes[parent.idx()].children;
+        let parent = self.node(n).parent.ok_or(AxmlError::DeadNode)?;
+        let n_marking = self.node(n).marking;
+        let siblings = &mut self.node_mut(parent).children;
         if let Some(pos) = siblings.iter().position(|&c| c == n) {
             siblings.swap_remove(pos);
         }
-        if let Some(ix) = self.index.get_mut() {
-            ix.unlink_child(parent, n, self.nodes[n.idx()].marking);
+        if let Some(ix) = self.index_mut() {
+            ix.unlink_child(parent, n, n_marking);
         }
-        // Mark the whole subtree dead, iteratively. Index entries must be
-        // retired *before* each node's child list is cleared.
+        // Mark the whole subtree dead, iteratively. Each node's child
+        // list is detached in the same step that retires its index
+        // entries, so the index hooks always see the pre-removal
+        // markings.
         let mut stack = vec![n];
         while let Some(x) = stack.pop() {
-            self.nodes[x.idx()].alive = false;
-            stack.extend(self.nodes[x.idx()].children.iter().copied());
-            if let Some(ix) = self.index.get_mut() {
-                ix.forget_node(x, self.nodes[x.idx()].marking);
-                for i in 0..self.nodes[x.idx()].children.len() {
-                    let c = self.nodes[x.idx()].children[i];
-                    ix.drop_child_bucket(x, self.nodes[c.idx()].marking);
+            let node = self.node_mut(x);
+            node.alive = false;
+            let kids = std::mem::take(&mut node.children);
+            let x_marking = node.marking;
+            let kid_markings: Vec<Marking> = kids.iter().map(|&c| self.node(c).marking).collect();
+            if let Some(ix) = self.index_mut() {
+                ix.forget_node(x, x_marking);
+                for m in kid_markings {
+                    ix.drop_child_bucket(x, m);
                 }
             }
-            self.nodes[x.idx()].children.clear();
+            stack.extend(kids);
         }
-        self.version += 1;
-        if let Some(ix) = self.index.get_mut() {
-            ix.set_version(self.version);
+        self.version = fresh_version();
+        self.mutations += 1;
+        let version = self.version;
+        if let Some(ix) = self.index_mut() {
+            ix.set_version(version);
         }
         #[cfg(debug_assertions)]
         self.debug_check_index();
@@ -312,7 +466,44 @@ impl Tree {
 
     /// Total arena slots ever allocated (live + dead).
     pub fn arena_len(&self) -> usize {
-        self.nodes.len()
+        self.len
+    }
+
+    /// Number of arena chunks this tree shares (pointer-equal) with
+    /// `other` — the test- and bench-visible probe of copy-on-write
+    /// structural sharing. A fresh clone shares every chunk; each
+    /// mutation diverges at most the touched chunk (plus, for appends,
+    /// the tail chunk).
+    pub fn shared_chunks_with(&self, other: &Tree) -> usize {
+        if Arc::ptr_eq(&self.spine, &other.spine) {
+            return self.spine.len();
+        }
+        self.spine
+            .iter()
+            .zip(other.spine.iter())
+            .filter(|(a, b)| Arc::ptr_eq(a, b))
+            .count()
+    }
+
+    /// Total chunks in the arena spine.
+    pub fn chunk_count(&self) -> usize {
+        self.spine.len()
+    }
+
+    /// Structural-sharing invariant, checked under debug assertions at
+    /// every write: a handle that just mutated must own its spine
+    /// exclusively — a node reachable from a diverged snapshot must
+    /// never be written through. `Arc::make_mut` enforces this by
+    /// construction; the check guards the funnel against any future
+    /// write path that bypasses it.
+    #[inline]
+    fn debug_check_cow(&self) {
+        #[cfg(debug_assertions)]
+        debug_assert_eq!(
+            Arc::strong_count(&self.spine),
+            1,
+            "mutated through a spine still shared with a snapshot"
+        );
     }
 
     /// Depth-first iterator over the live nodes of the subtree at `n`.
@@ -403,17 +594,20 @@ impl Tree {
 
     /// The document index, building it lazily once the arena is large
     /// enough to amortize the build. `None` means "keep scanning".
-    /// Probing a stale index is a hard error (panic), never a silent
-    /// wrong answer — see [`mod@crate::index`].
+    /// A build publishes into the `Arc`-shared cell, so every handle
+    /// still at this version — the writer a snapshot was taken from, or
+    /// other snapshots — sees it too. Probing a stale index is a hard
+    /// error (panic), never a silent wrong answer — see
+    /// [`mod@crate::index`].
     fn live_index(&self) -> Option<&DocIndex> {
         if let Some(ix) = self.index.get() {
             ix.assert_fresh(self.version);
             return Some(ix);
         }
-        if self.nodes.len() < INDEX_BUILD_THRESHOLD {
+        if self.len < INDEX_BUILD_THRESHOLD {
             return None;
         }
-        let ix = self.index.get_or_init(|| Box::new(DocIndex::build(self)));
+        let ix = self.index.get_or_init(|| Arc::new(DocIndex::build(self)));
         ix.assert_fresh(self.version);
         Some(ix)
     }
@@ -421,7 +615,7 @@ impl Tree {
     /// Force the index to exist regardless of the lazy-build threshold
     /// (tests and benchmarks; the matcher goes through the lazy probes).
     pub fn build_index(&self) {
-        let ix = self.index.get_or_init(|| Box::new(DocIndex::build(self)));
+        let ix = self.index.get_or_init(|| Arc::new(DocIndex::build(self)));
         ix.assert_fresh(self.version);
     }
 
@@ -486,7 +680,7 @@ impl Tree {
     /// job) exercise the maintenance hooks without going quadratic.
     #[cfg(debug_assertions)]
     fn debug_check_index(&self) {
-        if self.index.get().is_some() && (self.nodes.len() <= 64 || self.version.is_multiple_of(61)) {
+        if self.index.get().is_some() && (self.len <= 64 || self.version.is_multiple_of(61)) {
             if let Err(e) = self.validate_index() {
                 panic!("document index invariant broken: {e}");
             }
@@ -592,18 +786,81 @@ mod tests {
     }
 
     #[test]
-    fn identity_fresh_on_clone_and_version_counts_mutations() {
+    fn clone_keeps_identity_and_versions_stay_injective() {
         let mut t = sample();
         let v0 = t.version();
         let dup = t.clone();
-        assert_ne!(t.id(), dup.id(), "clones get a fresh identity");
+        assert_eq!(t.id(), dup.id(), "a clone is the same content");
         assert_eq!(dup.version(), v0);
+        assert_eq!(t.snapshot_handle(), dup.snapshot_handle());
         t.add_child(t.root(), Marking::label("x")).unwrap();
-        assert_eq!(t.version(), v0 + 1);
+        assert!(t.version() > v0, "mutation moves to a fresh global stamp");
         assert_eq!(dup.version(), v0, "clone is unaffected");
+        assert_ne!(
+            t.snapshot_handle(),
+            dup.snapshot_handle(),
+            "diverged handles never share a key"
+        );
+        let f = t.function_nodes()[0];
+        let v1 = t.version();
+        t.remove_subtree(f).unwrap();
+        assert!(t.version() > v1);
+    }
+
+    #[test]
+    fn version_stamps_globally_unique_across_trees() {
+        let mut a = Tree::with_label("a");
+        let mut b = Tree::with_label("b");
+        a.add_child(a.root(), Marking::label("x")).unwrap();
+        b.add_child(b.root(), Marking::label("y")).unwrap();
+        a.add_child(a.root(), Marking::label("x")).unwrap();
+        assert_ne!(a.version(), b.version(), "stamps come from one counter");
+    }
+
+    #[test]
+    fn clone_is_immutable_snapshot_under_divergence() {
+        let mut t = sample();
+        let snap = t.clone();
+        let x = t.add_child(t.root(), Marking::label("x")).unwrap();
         let f = t.function_nodes()[0];
         t.remove_subtree(f).unwrap();
-        assert_eq!(t.version(), v0 + 2);
+        // The writer sees its own edits...
+        assert!(t.is_alive(x));
+        assert!(!t.is_alive(f));
+        assert_eq!(t.node_count(), 4);
+        // ...while the snapshot still reads the pre-divergence state.
+        assert!(!snap.is_alive(x), "snapshot predates the add");
+        assert!(snap.is_alive(f), "snapshot still holds the removed call");
+        assert_eq!(snap.node_count(), 5);
+        assert_eq!(snap.children(snap.root()).len(), 2);
+        // Divergence works in both directions: mutating the snapshot's
+        // handle does not leak into the writer.
+        let mut snap = snap;
+        snap.add_child(snap.root(), Marking::label("w")).unwrap();
+        assert_eq!(snap.node_count(), 6);
+        assert_eq!(t.node_count(), 4);
+    }
+
+    #[test]
+    fn clone_shares_chunks_until_divergence() {
+        let mut t = Tree::with_label("r");
+        for _ in 0..(3 * CHUNK) {
+            t.add_child(t.root(), Marking::label("c")).unwrap();
+        }
+        let chunks = t.chunk_count();
+        assert!(chunks >= 3);
+        let snap = t.clone();
+        assert_eq!(t.shared_chunks_with(&snap), chunks, "a clone shares all");
+        // One append touches the root's chunk (child list) and the tail
+        // chunk (new slot); every other chunk keeps being shared.
+        t.add_child(t.root(), Marking::label("c")).unwrap();
+        let shared = t.shared_chunks_with(&snap);
+        assert!(
+            shared >= chunks - 2,
+            "append diverged {} of {chunks} chunks",
+            chunks - shared
+        );
+        assert!(shared < t.chunk_count(), "touched chunks did diverge");
     }
 
     #[test]
@@ -644,7 +901,7 @@ mod tests {
     }
 
     #[test]
-    fn index_builds_lazily_past_threshold_and_is_not_cloned() {
+    fn index_shared_by_clones_until_divergence() {
         let mut t = Tree::with_label("r");
         for i in 0..INDEX_BUILD_THRESHOLD {
             t.add_child(t.root(), Marking::label(if i % 2 == 0 { "even" } else { "odd" }))
@@ -655,15 +912,42 @@ mod tests {
         assert_eq!(evens.len(), INDEX_BUILD_THRESHOLD / 2);
         assert!(t.index_is_built());
         let dup = t.clone();
-        assert!(!dup.index_is_built(), "clones rebuild lazily");
+        assert!(
+            dup.index_is_built(),
+            "a same-version clone shares the published index"
+        );
         assert_eq!(
             dup.indexed_children_with(dup.root(), Marking::label("odd"))
                 .unwrap()
                 .len(),
             INDEX_BUILD_THRESHOLD / 2
         );
-        t.validate_index().unwrap();
+        // A build on either side of the clone publishes to both.
+        let fresh = t.clone();
+        let probed = Tree::clone(&fresh);
+        probed.build_index();
+        assert!(fresh.index_is_built(), "build on one handle serves all");
+        // Divergence isolates: the writer maintains its private copy,
+        // the snapshot keeps the published one, and both stay valid.
+        let mut writer = dup.clone();
+        writer
+            .add_child(writer.root(), Marking::label("even"))
+            .unwrap();
+        assert_eq!(
+            writer
+                .indexed_nodes_with(Marking::label("even"))
+                .unwrap()
+                .len(),
+            INDEX_BUILD_THRESHOLD / 2 + 1
+        );
+        assert_eq!(
+            dup.indexed_nodes_with(Marking::label("even")).unwrap().len(),
+            INDEX_BUILD_THRESHOLD / 2,
+            "snapshot's index is untouched by the writer's maintenance"
+        );
+        writer.validate_index().unwrap();
         dup.validate_index().unwrap();
+        t.validate_index().unwrap();
     }
 
     #[test]

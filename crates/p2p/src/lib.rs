@@ -34,7 +34,7 @@ pub mod network;
 pub mod termination;
 pub mod threaded;
 
-pub use network::{Mode, Network, NetworkStats, Peer};
+pub use network::{Mode, Network, NetworkStats, Peer, PeerSnapshot};
 pub use threaded::{
     run_threaded, run_threaded_config, run_threaded_full, run_threaded_traced,
     standalone_peer, ThreadedConfig, ThreadedOutcome,

@@ -32,6 +32,7 @@ use axml_core::tree::{Marking, NodeId, Tree};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One peer: named documents plus locally-hosted positive services.
@@ -83,6 +84,18 @@ impl Peer {
     /// Read a document.
     pub fn doc(&self, name: &str) -> Option<&Tree> {
         self.docs.get(&Sym::intern(name))
+    }
+
+    /// An immutable snapshot of this peer's current state.
+    ///
+    /// O(1) in document size: [`Tree`] is a copy-on-write persistent
+    /// structure, so cloning the peer bumps a few `Arc`s per document
+    /// and shares every node (and any built indexes) with the live
+    /// peer until it next mutates. The threaded runtime answers whole
+    /// call batches from one snapshot, so every response in a batch is
+    /// stamped with exactly the state that produced it.
+    pub fn snapshot(&self) -> PeerSnapshot {
+        PeerSnapshot(Arc::new(self.clone()))
     }
 
     /// Evaluate a locally-hosted service for the given input/context.
@@ -197,6 +210,22 @@ impl Peer {
             }
         }
         out
+    }
+}
+
+/// An O(1) immutable snapshot of a [`Peer`] (see [`Peer::snapshot`]).
+///
+/// Dereferences to [`Peer`], so everything read-only — `evaluate`,
+/// `digest`, `witnesses` — works unchanged against the frozen state.
+/// Cheap to clone and `Send + Sync`: worker threads evaluating a call
+/// batch share one snapshot while the live peer stays free to mutate.
+#[derive(Clone)]
+pub struct PeerSnapshot(Arc<Peer>);
+
+impl std::ops::Deref for PeerSnapshot {
+    type Target = Peer;
+    fn deref(&self) -> &Peer {
+        &self.0
     }
 }
 
@@ -475,7 +504,7 @@ impl Network {
                         doc_version: self.peers[cidx]
                             .docs
                             .get(&doc)
-                            .map(|t| t.version())
+                            .map(|t| t.mutation_count())
                             .unwrap_or(0),
                         peer: Some(provider),
                         inputs: self.peers[pidx].witnesses(svc),

@@ -92,12 +92,13 @@ pub struct ThreadedConfig {
     /// Keep a per-peer [`ProvenanceStore`] (see [`run_threaded_full`]).
     pub provenance: bool,
     /// How each peer evaluates a batch of simultaneously-pending
-    /// incoming calls: with [`Parallelism::Workers`]`(n)` the peer
-    /// drains every queued `Call` and evaluates them on `n` worker
-    /// threads against its (read-only) document snapshot, then sends
-    /// the responses sequentially in arrival order — the same
-    /// snapshot-read / sequential-commit split as the engine's parallel
-    /// rounds, and sound for the same Theorem 2.1 reason.
+    /// incoming calls: the peer freezes one O(1)
+    /// [`crate::network::PeerSnapshot`] per batch, and with
+    /// [`Parallelism::Workers`]`(n)` drains every queued `Call` and
+    /// evaluates them on `n` worker threads against that snapshot,
+    /// then sends the responses sequentially in arrival order — the
+    /// same snapshot-read / sequential-commit split as the engine's
+    /// parallel rounds, and sound for the same Theorem 2.1 reason.
     pub parallelism: Parallelism,
 }
 
@@ -420,16 +421,19 @@ fn peer_loop(
                     }
                 }
 
-                // Evaluate the batch. Evaluation is read-only on the
-                // peer's documents, so with `Workers(n)` the calls are
-                // striped across a scoped pool sharing `&peer` — the
-                // peer-local version of the engine's snapshot-read
+                // Answer the whole batch from one MVCC snapshot — an
+                // O(1) freeze of the peer's documents (COW trees, so a
+                // few Arc bumps). With `Workers(n)` the calls are
+                // striped across a scoped pool sharing the snapshot —
+                // the peer-local version of the engine's snapshot-read
                 // phase. Responses are sent afterwards, sequentially,
-                // in arrival order, so callers observe the same
-                // behavior whatever the worker count.
+                // in arrival order, and stamped with the digest of the
+                // exact state that answered them, so callers observe
+                // the same behavior whatever the worker count.
+                let snap = peer.snapshot();
                 let evals: Vec<(Result<Forest>, u64)> = if workers > 1 && batch.len() > 1 {
                     let k = workers.min(batch.len());
-                    let peer_ref = &peer;
+                    let snap_ref = &snap;
                     let batch_ref = &batch[..];
                     crossbeam::thread::scope(|scope| {
                         let handles: Vec<_> = (0..k)
@@ -440,7 +444,7 @@ fn peer_loop(
                                     while i < batch_ref.len() {
                                         let call = &batch_ref[i];
                                         let t0 = Instant::now();
-                                        let r = peer_ref.evaluate(
+                                        let r = snap_ref.evaluate(
                                             call.service,
                                             &call.input,
                                             &call.context,
@@ -469,7 +473,7 @@ fn peer_loop(
                         .iter()
                         .map(|call| {
                             let t0 = Instant::now();
-                            let r = peer.evaluate(call.service, &call.input, &call.context);
+                            let r = snap.evaluate(call.service, &call.input, &call.context);
                             (r, t0.elapsed().as_nanos() as u64)
                         })
                         .collect()
@@ -494,7 +498,7 @@ fn peer_loop(
                             round: 0, // the threaded backend has no rounds
                             doc_version: 0,
                             peer: Some(myname),
-                            inputs: peer.witnesses(call.service),
+                            inputs: snap.witnesses(call.service),
                         })
                     });
                     if let Some(tx) = peers_tx.get(&call.caller) {
@@ -510,7 +514,7 @@ fn peer_loop(
                             forest,
                             provider: myname,
                             service: call.service,
-                            provider_digest: peer.digest(),
+                            provider_digest: snap.digest(),
                             prov_seq,
                             trace: call.trace,
                         });

@@ -2,17 +2,20 @@
 //!
 //! ```text
 //! axml-load [--addr HOST:PORT] [--conns N] [--requests N] [--batch N]
-//!           [--entries N] [--subscribe] [--shutdown] [--json PATH]
-//!           [--version]
+//!           [--entries N] [--subscribe] [--readers N] [--shutdown]
+//!           [--json PATH] [--version]
 //! ```
 //!
 //! Each connection opens its own session, runs it, then issues
 //! `--requests` point-lookup queries in frames of `--batch`, measuring
 //! the client-observed round trip. Prints a one-line report with
 //! p50/p99/max latency and throughput. `--subscribe` additionally
-//! streams a transitive-closure fixpoint per connection; `--shutdown`
-//! stops the server afterwards (the CI smoke job uses both); `--json
-//! PATH` also writes the machine-readable summary
+//! streams a transitive-closure fixpoint per connection; `--readers N`
+//! appends a mixed phase racing `N` closed-loop `query`/`stats`
+//! readers against a writer driving back-to-back fixpoints on one
+//! shared session (reader p50/p99 in extra columns); `--shutdown`
+//! stops the server afterwards (the CI smoke job uses all three);
+//! `--json PATH` also writes the machine-readable summary
 //! ([`LoadReport::to_json`]) to `PATH` for benchmark trajectory files.
 
 use axml_server::load::{run, LoadConfig, LoadReport};
@@ -20,8 +23,8 @@ use axml_server::load::{run, LoadConfig, LoadReport};
 fn usage() -> ! {
     eprintln!(
         "usage: axml-load [--addr HOST:PORT] [--conns N] [--requests N] [--batch N]\n\
-         \x20                [--entries N] [--subscribe] [--shutdown] [--json PATH]\n\
-         \x20                [--version]"
+         \x20                [--entries N] [--subscribe] [--readers N] [--shutdown]\n\
+         \x20                [--json PATH] [--version]"
     );
     std::process::exit(2)
 }
@@ -42,6 +45,7 @@ fn main() {
             "--batch" => cfg.batch = parse(&val("--batch")).max(1),
             "--entries" => cfg.entries = parse(&val("--entries")).max(1),
             "--subscribe" => cfg.subscribe = true,
+            "--readers" => cfg.readers = parse(&val("--readers")),
             "--shutdown" => cfg.shutdown = true,
             "--json" => json_path = Some(val("--json")),
             "--version" | "-V" => {

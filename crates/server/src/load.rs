@@ -8,11 +8,18 @@
 //! client-observed frame round trip, recorded in a log-scale
 //! [`Histogram`]; the X19 experiment reports its p50/p99 at several
 //! batch sizes next to the server-side `server:` report line.
+//!
+//! `--readers N` appends a mixed read/write phase: one writer
+//! connection drives back-to-back `run` fixpoints on a shared session
+//! while `N` closed-loop readers alternate `query` and `stats` frames
+//! against it, measuring reader p50/p99 under an actively-committing
+//! writer (the MVCC read-while-commit path; see `docs/mvcc.md`).
 
 use crate::protocol::{ProtoError, Request, Response, PROTOCOL_VERSION};
 use axml_core::trace::Histogram;
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 /// What one `axml-load` run does. See `docs/server.md` for the CLI
@@ -33,6 +40,14 @@ pub struct LoadConfig {
     /// Also run one streaming subscription per connection (a
     /// transitive-closure fixpoint) before the query loop.
     pub subscribe: bool,
+    /// Mixed read/write workload: after the main loop, race this many
+    /// closed-loop reader connections (alternating `query` and `stats`
+    /// frames) against one writer connection driving back-to-back
+    /// `run` fixpoints on a shared session. Reader latency lands in
+    /// its own histogram (`rd-p50`/`rd-p99` columns, `reader_*` JSON
+    /// fields) — on an MVCC server the readers never wait for the
+    /// writer's rounds. 0 disables the phase.
+    pub readers: usize,
     /// Send a `shutdown` frame after the load (on a final extra
     /// connection), stopping the server.
     pub shutdown: bool,
@@ -47,6 +62,7 @@ impl Default for LoadConfig {
             batch: 1,
             entries: 64,
             subscribe: false,
+            readers: 0,
             shutdown: false,
         }
     }
@@ -69,6 +85,14 @@ pub struct LoadReport {
     pub latency: Histogram,
     /// Wall-clock time of the whole load (connect to close).
     pub elapsed: Duration,
+    /// Mixed-workload phase: reader frames answered (`--readers`).
+    pub reader_requests: usize,
+    /// Mixed-workload phase: reader round-trip latency, nanoseconds.
+    pub reader_latency: Histogram,
+    /// Mixed-workload phase: wall-clock time of the race.
+    pub reader_elapsed: Duration,
+    /// Mixed-workload phase: writer fixpoints committed during the race.
+    pub writer_runs: usize,
 }
 
 impl LoadReport {
@@ -80,6 +104,14 @@ impl LoadReport {
         self.requests as f64 / self.elapsed.as_secs_f64()
     }
 
+    /// Reader requests per second over the mixed-workload phase.
+    pub fn reader_throughput(&self) -> f64 {
+        if self.reader_elapsed.is_zero() {
+            return 0.0;
+        }
+        self.reader_requests as f64 / self.reader_elapsed.as_secs_f64()
+    }
+
     /// Machine-readable run summary: one JSON object on one line, the
     /// `BENCH_*.json` trajectory format (`axml-load --json PATH`).
     /// Latencies are nanoseconds; `elapsed_ms` and `throughput_rps`
@@ -89,7 +121,9 @@ impl LoadReport {
             "{{\"conns\":{},\"batch\":{},\"requests\":{},\"elapsed_ms\":{:.3},\
              \"throughput_rps\":{:.1},\"latency_p50_ns\":{},\"latency_p99_ns\":{},\
              \"latency_max_ns\":{},\"answer_trees\":{},\"deltas\":{},\
-             \"pushed_trees\":{},\"errors\":{}}}",
+             \"pushed_trees\":{},\"errors\":{},\"readers\":{},\
+             \"reader_requests\":{},\"reader_rps\":{:.1},\
+             \"reader_p50_ns\":{},\"reader_p99_ns\":{},\"writer_runs\":{}}}",
             cfg.conns,
             cfg.batch,
             self.requests,
@@ -102,12 +136,18 @@ impl LoadReport {
             self.deltas,
             self.pushed_trees,
             self.errors,
+            cfg.readers,
+            self.reader_requests,
+            self.reader_throughput(),
+            self.reader_latency.quantile(0.50),
+            self.reader_latency.quantile(0.99),
+            self.writer_runs,
         )
     }
 
     /// One-line human summary (latencies in microseconds).
     pub fn render(&self, cfg: &LoadConfig) -> String {
-        format!(
+        let mut line = format!(
             "axml-load: conns {}  batch {}  requests {}  elapsed {:.1} ms  thrpt {:.0} req/s  \
              p50 {} us  p99 {} us  max {} us  trees {}  deltas {} ({} trees)  errors {}",
             cfg.conns,
@@ -122,7 +162,18 @@ impl LoadReport {
             self.deltas,
             self.pushed_trees,
             self.errors,
-        )
+        );
+        if cfg.readers > 0 {
+            line.push_str(&format!(
+                "  readers {}  rd-thrpt {:.0} req/s  rd-p50 {} us  rd-p99 {} us  writer-runs {}",
+                cfg.readers,
+                self.reader_throughput(),
+                self.reader_latency.quantile(0.50) / 1_000,
+                self.reader_latency.quantile(0.99) / 1_000,
+                self.writer_runs,
+            ));
+        }
+        line
     }
 }
 
@@ -342,6 +393,122 @@ fn drive_conn(cfg: &LoadConfig, conn: usize) -> std::io::Result<ConnResult> {
     Ok(r)
 }
 
+struct MixedResult {
+    writer_runs: usize,
+    reader_requests: usize,
+    errors: usize,
+    samples: Vec<u64>,
+    elapsed: Duration,
+}
+
+/// The `--readers N` race: one writer connection drives back-to-back
+/// `run` fixpoints on a shared session while `N` closed-loop readers
+/// alternate `query` and `stats` frames. Every writer round holds the
+/// session's writer lock and commits; the readers are served from the
+/// published MVCC snapshot, so their p50/p99 should stay flat however
+/// busy the writer is.
+fn mixed_workload(cfg: &LoadConfig) -> std::io::Result<MixedResult> {
+    let session = "load-rw".to_string();
+    let mut w = Client::connect(&cfg.addr)?;
+    let (edges, rule) = tc_doc(8);
+    match w.call(&Request::Open {
+        id: 1,
+        session: session.clone(),
+        docs: vec![
+            ("db".to_string(), kv_doc(cfg.entries)),
+            ("edges".to_string(), edges),
+        ],
+        services: vec![("tc".to_string(), rule)],
+    })? {
+        Response::OpenOk { .. } => {}
+        other => return Err(bad_frame(&other)),
+    }
+    let stop = AtomicBool::new(false);
+    let started = Instant::now();
+    let mut writer_result: std::io::Result<usize> = Ok(0);
+    let mut reader_results: Vec<std::io::Result<(Vec<u64>, usize)>> = Vec::new();
+    std::thread::scope(|scope| {
+        let writer = {
+            let session = session.clone();
+            let stop = &stop;
+            let w = &mut w;
+            scope.spawn(move || -> std::io::Result<usize> {
+                let mut runs = 0usize;
+                let mut id = 8u64;
+                while !stop.load(Ordering::Relaxed) {
+                    match w.call(&Request::Run {
+                        id,
+                        session: session.clone(),
+                        mode: None,
+                        max_invocations: None,
+                    })? {
+                        Response::RunOk { .. } => runs += 1,
+                        other => return Err(bad_frame(&other)),
+                    }
+                    id += 1;
+                }
+                Ok(runs)
+            })
+        };
+        let readers: Vec<_> = (0..cfg.readers)
+            .map(|rid| {
+                let session = session.clone();
+                let cfg = &*cfg;
+                scope.spawn(move || -> std::io::Result<(Vec<u64>, usize)> {
+                    let mut c = Client::connect(&cfg.addr)?;
+                    let mut samples = Vec::with_capacity(cfg.requests);
+                    let mut errors = 0usize;
+                    for i in 0..cfg.requests {
+                        let id = 100 + i as u64;
+                        let t0 = Instant::now();
+                        let resp = if i % 2 == 0 {
+                            c.call(&Request::Query {
+                                id,
+                                session: session.clone(),
+                                query: kv_query((i * 7 + rid) % cfg.entries.max(1)),
+                            })?
+                        } else {
+                            c.call(&Request::Stats { id })?
+                        };
+                        match resp {
+                            Response::Answers { .. } | Response::StatsOk { .. } => {}
+                            Response::Error { .. } => errors += 1,
+                            other => return Err(bad_frame(&other)),
+                        }
+                        samples.push(t0.elapsed().as_nanos() as u64);
+                    }
+                    Ok((samples, errors))
+                })
+            })
+            .collect();
+        for h in readers {
+            reader_results.push(h.join().expect("reader thread panicked"));
+        }
+        stop.store(true, Ordering::Relaxed);
+        writer_result = writer.join().expect("writer thread panicked");
+    });
+    let elapsed = started.elapsed();
+    let mut out = MixedResult {
+        writer_runs: writer_result?,
+        reader_requests: 0,
+        errors: 0,
+        samples: Vec::new(),
+        elapsed,
+    };
+    for r in reader_results {
+        let (samples, errors) = r?;
+        out.reader_requests += samples.len();
+        out.errors += errors;
+        out.samples.extend(samples);
+    }
+    let mut c = Client::connect(&cfg.addr)?;
+    match c.call(&Request::Close { id: 2, session })? {
+        Response::Closed { .. } | Response::Error { .. } => {}
+        other => return Err(bad_frame(&other)),
+    }
+    Ok(out)
+}
+
 /// Run the load against a listening server and aggregate the report.
 pub fn run(cfg: &LoadConfig) -> std::io::Result<LoadReport> {
     let started = Instant::now();
@@ -367,6 +534,16 @@ pub fn run(cfg: &LoadConfig) -> std::io::Result<LoadReport> {
         report.pushed_trees += r.pushed_trees;
         for s in r.samples {
             report.latency.record(s);
+        }
+    }
+    if cfg.readers > 0 {
+        let mixed = mixed_workload(cfg)?;
+        report.writer_runs = mixed.writer_runs;
+        report.reader_requests = mixed.reader_requests;
+        report.reader_elapsed = mixed.elapsed;
+        report.errors += mixed.errors;
+        for s in mixed.samples {
+            report.reader_latency.record(s);
         }
     }
     if cfg.shutdown {
@@ -416,6 +593,12 @@ mod tests {
             "deltas",
             "pushed_trees",
             "errors",
+            "readers",
+            "reader_requests",
+            "reader_rps",
+            "reader_p50_ns",
+            "reader_p99_ns",
+            "writer_runs",
         ] {
             assert!(
                 fields.iter().any(|(k, _)| k == key),

@@ -10,10 +10,17 @@
 //! The batching discipline is the dataloader one: the handler blocks
 //! for the first frame, then drains whatever else has already arrived;
 //! consecutive `query` frames for the same session inside that drain
-//! are served under a single session lock as one batch (one
-//! [`EventKind::BatchFormed`] event). An explicit `batch` frame is
-//! always its own batch. Answers are bit-for-bit what a direct
-//! [`axml_core::snapshot`] against the same system returns.
+//! are served against a single committed [`SystemSnapshot`] as one
+//! batch (one [`EventKind::BatchFormed`] event). An explicit `batch`
+//! frame is always its own batch. Answers are bit-for-bit what a
+//! direct [`axml_core::snapshot`] against the same system returns.
+//!
+//! Locking discipline (see `docs/mvcc.md`): each session splits into a
+//! `writer` mutex — held by `run`/`subscribe` for a whole fixpoint
+//! drive — and a `published` slot holding the latest committed
+//! snapshot, swapped after every committed round. Readers never touch
+//! the writer lock, so `query`/`stats` frames are answered while a
+//! fixpoint is mid-round.
 
 use crate::protocol::{codes, LatencySummary, ProtoError, Request, Response, PROTOCOL_VERSION};
 use axml_core::engine::{EngineConfig, EngineMode, RunStatus};
@@ -21,7 +28,7 @@ use axml_core::trace::{
     chrome_trace, chrome_trace_to, EventCategory, EventKind, Histogram, Journal, JournalConfig,
     MetricsRegistry, ReqKind, TraceEvent, TraceSink, Tracer,
 };
-use axml_core::{snapshot, Env, QueryCursor, RoundRunner, Sym, System};
+use axml_core::{snapshot, Env, QueryCursor, RoundRunner, Sym, System, SystemSnapshot};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -42,8 +49,8 @@ pub struct ServerConfig {
     pub max_conns: usize,
     /// Live sessions server-wide; further `open`s fail `overloaded`.
     pub max_sessions: usize,
-    /// Most queries served under one session lock — the cap both on
-    /// explicit `batch` frames and on dataloader coalescing.
+    /// Most queries served against one committed snapshot — the cap
+    /// both on explicit `batch` frames and on dataloader coalescing.
     pub max_batch: usize,
     /// Longest accepted frame line, bytes; longer ones fail
     /// `too-large` and the connection is closed (the stream can no
@@ -56,11 +63,12 @@ pub struct ServerConfig {
     /// in the server journal too, not only the server-lifecycle
     /// events. Verbose; off by default.
     pub trace_engine: bool,
-    /// Socket write timeout. `subscribe` (and batched answers) write
-    /// while holding the session lock, so a client that stops reading
-    /// would wedge the session for everyone; after this long stuck in
-    /// one write the connection errors out and is closed instead.
-    /// `None` disables the bound.
+    /// Socket write timeout. `subscribe` writes delta frames while
+    /// holding the session's writer lock, so a client that stops
+    /// reading would wedge other *writers* (queries keep flowing from
+    /// the published snapshot); after this long stuck in one write the
+    /// connection errors out and is closed instead. `None` disables
+    /// the bound.
     pub write_timeout: Option<Duration>,
     /// Retention policy of the server journal. The default is the
     /// production profile — a bounded ring (~64k events, no sampling)
@@ -314,15 +322,47 @@ impl TraceSink for SharedSink {
 }
 
 /// One session: a named AXML [`System`] shared by every connection
-/// that names it.
+/// that names it, split MVCC-style into a writer side and a published
+/// read side so the critical section readers contend on is commit-only.
+///
+/// * `writer` serializes mutating frames (`run`, `subscribe`): one
+///   writer drives the fixpoint at a time, exactly the old one-lock
+///   discipline.
+/// * `published` holds the latest *committed* state as an O(1)
+///   [`SystemSnapshot`]. The writer swaps it after every committed
+///   round; `query`/`batch` readers lock it just long enough to clone
+///   the `Arc` and evaluate entirely off-lock — concurrently with an
+///   in-flight fixpoint, and with each other.
 struct Session {
-    sys: System,
+    writer: Mutex<System>,
+    published: Mutex<SystemSnapshot>,
+}
+
+impl Session {
+    fn new(sys: System) -> Session {
+        let published = sys.snapshot();
+        Session {
+            writer: Mutex::new(sys),
+            published: Mutex::new(published),
+        }
+    }
+
+    /// The latest committed state — a few pointer bumps under a lock
+    /// held for nanoseconds, never blocked on a running fixpoint.
+    fn read(&self) -> SystemSnapshot {
+        lock(&self.published).clone()
+    }
+
+    /// Publish a committed state for concurrent readers.
+    fn publish(&self, snap: SystemSnapshot) {
+        *lock(&self.published) = snap;
+    }
 }
 
 struct Shared {
     cfg: ServerConfig,
     sink: SharedSink,
-    sessions: Mutex<HashMap<String, Arc<Mutex<Session>>>>,
+    sessions: Mutex<HashMap<String, Arc<Session>>>,
     conns: AtomicUsize,
     shutdown: AtomicBool,
     listen_addr: SocketAddr,
@@ -963,7 +1003,7 @@ fn open_session(
             format!("session {session:?} already exists"),
         ));
     }
-    table.insert(session.to_string(), Arc::new(Mutex::new(Session { sys })));
+    table.insert(session.to_string(), Arc::new(Session::new(sys)));
     Ok(Response::OpenOk {
         id,
         session: session.to_string(),
@@ -972,7 +1012,7 @@ fn open_session(
     })
 }
 
-fn get_session(shared: &Shared, session: &str) -> Result<Arc<Mutex<Session>>, ProtoError> {
+fn get_session(shared: &Shared, session: &str) -> Result<Arc<Session>, ProtoError> {
     lock(&shared.sessions)
         .get(session)
         .cloned()
@@ -1020,7 +1060,10 @@ fn run_session(
 ) -> Result<Response, ProtoError> {
     let cfg = engine_cfg(&shared.cfg.engine, mode, max_invocations)?;
     let sess = get_session(shared, session)?;
-    let mut sess = lock(&sess);
+    // Writer lock: one fixpoint drive at a time. Readers never take
+    // it — they follow the published snapshot, which is swapped below
+    // after every committed round.
+    let mut sys = lock(&sess.writer);
     let tracer = if shared.cfg.trace_engine {
         Tracer::new(&shared.sink).with_trace(trace)
     } else {
@@ -1028,20 +1071,29 @@ fn run_session(
     };
     let mut runner = RoundRunner::new(&cfg);
     let status = loop {
-        match runner.step(&mut sess.sys, tracer) {
-            Ok(Some(status)) => break status,
-            Ok(None) => {}
+        match runner.step(&mut sys, tracer) {
+            Ok(step) => {
+                // Commit-only critical section: each committed round is
+                // republished (O(1)) so concurrent `query`/`batch`
+                // frames see the freshest consistent state mid-run.
+                if let Some(snap) = runner.snapshot() {
+                    sess.publish(snap);
+                }
+                if let Some(status) = step {
+                    break status;
+                }
+            }
             Err(e) => return Err(ProtoError::new(codes::ENGINE_FAILED, e.to_string())),
         }
     };
-    let stats = runner.stats(&sess.sys);
+    let stats = runner.stats(&sys);
     Ok(Response::RunOk {
         id,
         session: session.to_string(),
         status: status_str(status).to_string(),
         rounds: stats.rounds as u64,
         invocations: stats.invocations as u64,
-        version: sess.sys.version(),
+        version: sys.version(),
     })
 }
 
@@ -1065,17 +1117,19 @@ fn serve_query_group(
     let session = group[0].0.session().expect("queries carry a session");
     let sym = session_sym(Some(session));
     let sess = get_session(shared, session);
-    // One lock acquisition for the whole group — every member answers
-    // against the same system state even while another connection is
-    // mutating the session (docs/protocol.md, Batching semantics).
-    let guard = sess.as_ref().ok().map(|s| lock(s));
+    // One snapshot for the whole group — every member answers against
+    // the same committed system state (docs/protocol.md, Batching
+    // semantics). No writer lock is taken: queries are served from the
+    // published MVCC snapshot even while another connection is driving
+    // a fixpoint over the same session.
+    let snap = sess.as_ref().ok().map(|s| s.read());
     for (req, trace) in group {
         let Request::Query { id, query, .. } = req else {
             unreachable!()
         };
         let started = Instant::now();
-        let reply = match &guard {
-            Some(g) => eval_query(&g.sys, query).map(|trees| Response::Answers {
+        let reply = match &snap {
+            Some(s) => eval_query(s.system(), query).map(|trees| Response::Answers {
                 id: *id,
                 session: session.to_string(),
                 trees,
@@ -1084,7 +1138,7 @@ fn serve_query_group(
                 .as_ref()
                 .err()
                 .cloned()
-                .expect("no guard only when the session lookup failed")),
+                .expect("no snapshot only when the session lookup failed")),
         };
         let ok = reply.is_ok();
         match reply {
@@ -1106,8 +1160,8 @@ fn serve_query_group(
     Ok(())
 }
 
-/// Serve an explicit `batch` frame: all queries under one session
-/// lock, answers gathered into a single `batch_ok`. One bad query
+/// Serve an explicit `batch` frame: all queries against one committed
+/// snapshot, answers gathered into a single `batch_ok`. One bad query
 /// fails the whole frame (the batch is atomic on the wire).
 fn serve_batch_frame(
     shared: &Shared,
@@ -1127,11 +1181,12 @@ fn serve_batch_frame(
             ),
         ));
     }
-    let sess = get_session(shared, session)?;
-    let sess = lock(&sess);
+    // One snapshot for the whole frame: atomic on the wire, and served
+    // off the writer lock so an in-flight `run` never delays it.
+    let snap = get_session(shared, session)?.read();
     let mut answers = Vec::with_capacity(queries.len());
     for q in queries {
-        answers.push(eval_query(&sess.sys, q)?);
+        answers.push(eval_query(snap.system(), q)?);
     }
     shared.sink.record_traced(
         EventKind::BatchFormed {
@@ -1150,9 +1205,12 @@ fn serve_batch_frame(
 
 /// Serve a `subscribe`: `sub_ok`, then drive the session's rewriting
 /// round by round, pushing a `delta` frame whenever the continuous
-/// query's answer set grew, and finish with `sub_done`. The session
+/// query's answer set grew, and finish with `sub_done`. The writer
 /// lock is held for the whole drive — the fixpoint the subscriber
-/// observes is exactly one fair run.
+/// observes is exactly one fair run — but every committed round is
+/// republished, and the delta pushes themselves are computed
+/// snapshot-to-snapshot, so concurrent `query`/`stats` frames are
+/// answered while the fixpoint is still in flight.
 fn serve_subscribe(
     shared: &Shared,
     out: &mut TcpStream,
@@ -1169,7 +1227,9 @@ fn serve_subscribe(
         Ok(s) => s,
         Err(e) => return Ok(Err(e)),
     };
-    let mut sess = lock(&sess);
+    // Writer lock for the whole drive (one fair run), republishing a
+    // snapshot after every committed round.
+    let mut sys = lock(&sess.writer);
     let sym = session_sym(Some(session));
     write_frame(
         out,
@@ -1187,11 +1247,15 @@ fn serve_subscribe(
     };
     let mut pushes = 0u64;
     let mut done: Option<RunStatus> = None;
+    // Deltas are computed snapshot-to-snapshot: `cur` starts at the
+    // state visible when the subscription opened and advances to each
+    // committed round's published snapshot.
+    let mut cur = sys.snapshot();
     let status = loop {
         // Poll before the first round (answers already present in the
         // opened system are the round-0 delta) and once more after the
         // terminal round (it may still have derived answers).
-        let fresh = match cursor.poll(&sess.sys) {
+        let fresh = match cursor.poll(cur.system()) {
             Ok(fresh) => fresh,
             Err(e) => return Ok(Err(ProtoError::new(codes::ENGINE_FAILED, e.to_string()))),
         };
@@ -1203,7 +1267,7 @@ fn serve_subscribe(
                     sub: id,
                     trees: trees.len() as u32,
                     round: runner.rounds() as u64,
-                    version: sess.sys.version(),
+                    version: cur.version(),
                 },
                 trace,
             );
@@ -1213,7 +1277,7 @@ fn serve_subscribe(
                     id,
                     session: session.to_string(),
                     round: runner.rounds() as u64,
-                    version: sess.sys.version(),
+                    version: cur.version(),
                     trees,
                 },
             )?;
@@ -1222,8 +1286,14 @@ fn serve_subscribe(
         if let Some(status) = done {
             break status;
         }
-        match runner.step(&mut sess.sys, tracer) {
-            Ok(step) => done = step,
+        match runner.step(&mut sys, tracer) {
+            Ok(step) => {
+                if let Some(snap) = runner.snapshot() {
+                    sess.publish(snap.clone());
+                    cur = snap;
+                }
+                done = step;
+            }
             Err(e) => return Ok(Err(ProtoError::new(codes::ENGINE_FAILED, e.to_string()))),
         }
     };

@@ -754,3 +754,115 @@ fn metrics_listener_serves_valid_prometheus_text() {
     drop(c);
     handle.join();
 }
+
+/// The MVCC acceptance path: while a `subscribe` drives a long fixpoint
+/// (holding the session's writer lock for the whole run), `query` and
+/// `stats` frames from another connection are answered from the latest
+/// committed snapshot — without waiting for the fixpoint to finish.
+/// The server journal proves the interleaving: the reader's serve
+/// events land strictly between the subscription's first `RoundStart`
+/// and last `RoundEnd`.
+#[test]
+fn queries_answered_while_subscription_fixpoint_is_mid_round() {
+    use axml_server::load::tc_doc;
+
+    let cfg = ServerConfig {
+        trace_engine: true,
+        ..ServerConfig::default()
+    };
+    let mut handle = Server::spawn("127.0.0.1:0", cfg).expect("bind ephemeral port");
+    let addr = handle.addr().to_string();
+
+    // A long chain: the closure needs ~32 rounds, so the fixpoint is
+    // still running for a long time after its first delta arrives.
+    let (edges, rule) = tc_doc(32);
+    let mut sub = Client::connect(&addr).unwrap();
+    let resp = sub
+        .call(&Request::Open {
+            id: 1,
+            session: "rw".to_string(),
+            docs: vec![("edges".to_string(), edges)],
+            services: vec![("tc".to_string(), rule)],
+        })
+        .unwrap();
+    assert!(matches!(resp, Response::OpenOk { .. }));
+
+    // Reader pre-connects (hello done) so its query goes out instantly.
+    let mut reader = Client::connect(&addr).unwrap();
+
+    sub.send(&Request::Subscribe {
+        id: 7,
+        session: "rw".to_string(),
+        query: "hit{$y} :- edges/r{t{from{\"0\"},to{$y}}}".to_string(),
+    })
+    .unwrap();
+    assert!(matches!(sub.recv().unwrap(), Response::SubOk { id: 7, .. }));
+
+    // Wait for the second delta: the first is the round-0 poll pushed
+    // before any round runs, the second is only sent after round 1
+    // committed — so the fixpoint drive is now provably mid-flight.
+    for _ in 0..2 {
+        let frame = sub.recv().unwrap();
+        assert!(matches!(frame, Response::Delta { .. }), "{frame:?}");
+    }
+
+    // Read while the writer commits: both frames must be answered now,
+    // not after sub_done.
+    let resp = reader
+        .call(&Request::Query {
+            id: 40,
+            session: "rw".to_string(),
+            query: "hit{$y} :- edges/r{t{from{\"0\"},to{$y}}}".to_string(),
+        })
+        .unwrap();
+    assert!(matches!(resp, Response::Answers { .. }), "{resp:?}");
+    let resp = reader.call(&Request::Stats { id: 41 }).unwrap();
+    assert!(matches!(resp, Response::StatsOk { .. }), "{resp:?}");
+
+    // Drain the subscription to its terminal frame.
+    let mut deltas = 2u64;
+    loop {
+        match sub.recv().unwrap() {
+            Response::Delta { .. } => deltas += 1,
+            Response::SubDone { status, .. } => {
+                assert_eq!(status, "terminated");
+                break;
+            }
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+    assert!(deltas >= 2, "expected a real stream, got {deltas} delta(s)");
+
+    handle.shutdown();
+    drop(sub);
+    drop(reader);
+    handle.join();
+
+    // Server-side proof of interleaving, from the journal's total
+    // order: the reader's serves land inside the fixpoint drive.
+    let events = handle.sink().events();
+    let seq_of = |pred: &dyn Fn(&EventKind) -> bool| -> Vec<u64> {
+        events
+            .iter()
+            .filter(|e| pred(&e.kind))
+            .map(|e| e.seq)
+            .collect()
+    };
+    let rounds_start = seq_of(&|k| matches!(k, EventKind::RoundStart { .. }));
+    let rounds_end = seq_of(&|k| matches!(k, EventKind::RoundEnd { .. }));
+    let first_round = *rounds_start.iter().min().expect("fixpoint journaled rounds");
+    let last_round = *rounds_end.iter().max().unwrap();
+    for kind in [ReqKind::Query, ReqKind::Stats] {
+        let served = seq_of(&|k| {
+            matches!(k, EventKind::RequestServed { kind: k2, ok: true, .. } if *k2 == kind)
+        });
+        let seq = *served.iter().max().unwrap_or_else(|| {
+            panic!("{kind:?} serve event missing from the journal")
+        });
+        assert!(
+            first_round < seq && seq < last_round,
+            "{kind:?} served at seq {seq}, outside the fixpoint window \
+             [{first_round}, {last_round}] — reads waited for the writer"
+        );
+    }
+}

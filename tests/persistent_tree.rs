@@ -1,0 +1,291 @@
+//! Differential coverage for the copy-on-write persistent tree engine:
+//! `Tree::clone` / `System::snapshot` are O(1) frozen handles, and the
+//! engine run on a COW clone is bit-for-bit the engine run on the
+//! original — answers, fixpoint statistics, trace journals, and explain
+//! DAGs — across the full {Naive,Delta} × {Scan,Indexed} ×
+//! {Sequential,Workers} configuration matrix.
+//!
+//! Background (see `docs/mvcc.md`): nodes live in chunked `Arc`-shared
+//! spines, mutators path-copy only the touched chunk, and every commit
+//! stamps a fresh globally-unique version while a separate per-handle
+//! mutation tally keeps everything observable (journals, stats, wire
+//! frames) deterministic run-to-run.
+
+use positive_axml::core::engine::{
+    run, EngineConfig, EngineMode, Parallelism, RunStatus,
+};
+use positive_axml::core::gensys::{random_simple_system, GenConfig};
+use positive_axml::core::matcher::MatchStrategy;
+use positive_axml::core::tree::{Marking, Tree};
+use proptest::prelude::*;
+
+const BUDGET: usize = 5_000;
+
+fn gen_cfg(knob: u64) -> GenConfig {
+    GenConfig {
+        services: 2 + (knob % 3) as usize,
+        docs: 1 + (knob % 2) as usize,
+        head_call_prob: 0.15 + 0.2 * ((knob % 4) as f64),
+        ..GenConfig::default()
+    }
+}
+
+/// A live node picked deterministically from `k` (always succeeds:
+/// the root is live).
+fn pick_live(t: &Tree, k: usize) -> positive_axml::core::tree::NodeId {
+    let live: Vec<_> = t.iter_live(t.root()).collect();
+    live[k % live.len()]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Random mutation scripts with interleaved clones: every clone is
+    /// a frozen snapshot (its rendering and `snapshot_handle` never
+    /// move while the writer keeps mutating), handles are injective
+    /// (same stamp ⇔ same content), and a fresh clone shares every
+    /// chunk with its source.
+    #[test]
+    fn clones_are_frozen_snapshots(ops in prop::collection::vec((0u8..4, 0usize..64), 1..60)) {
+        let labels = ["a", "b", "c", "d"];
+        let mut t = Tree::with_label("root");
+        let mut checkpoints: Vec<(Tree, String)> = Vec::new();
+        for (i, (op, k)) in ops.iter().enumerate() {
+            match op {
+                0..=2 => {
+                    let parent = pick_live(&t, *k);
+                    t.add_child(parent, Marking::label(labels[*k % labels.len()])).unwrap();
+                }
+                _ => {
+                    let n = pick_live(&t, *k);
+                    if n != t.root() {
+                        t.remove_subtree(n).unwrap();
+                    }
+                }
+            }
+            if i % 7 == 0 {
+                let snap = t.clone();
+                // A fresh clone shares its entire spine with the writer.
+                prop_assert_eq!(snap.shared_chunks_with(&t), t.chunk_count());
+                prop_assert_eq!(snap.snapshot_handle(), t.snapshot_handle());
+                let rendered = snap.to_string();
+                checkpoints.push((snap, rendered));
+            }
+        }
+        // Every checkpoint is still exactly what it was when taken.
+        for (snap, rendered) in &checkpoints {
+            prop_assert!(&snap.to_string() == rendered, "snapshot moved under the writer");
+        }
+        // Handles are injective: equal stamps mean equal content, and
+        // distinct mutation tallies mean distinct stamps.
+        for (a, ra) in &checkpoints {
+            for (b, rb) in &checkpoints {
+                if a.snapshot_handle() == b.snapshot_handle() {
+                    prop_assert!(ra == rb, "equal handles must mean equal content");
+                    prop_assert_eq!(a.mutation_count(), b.mutation_count());
+                } else {
+                    prop_assert!(a.mutation_count() != b.mutation_count());
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The full engine matrix on COW clones of one random system:
+    /// every cell runs on its own O(1) clone, all cells agree on the
+    /// canonical fixpoint, statistics are identical wherever the
+    /// semantics say they must be (across strategies and worker counts
+    /// within a mode), and a snapshot taken before any run is still
+    /// bit-for-bit the seed state after all sixteen runs mutated their
+    /// clones.
+    #[test]
+    fn engine_matrix_on_cow_clones_is_bit_for_bit(
+        seed in 0u64..1_000_000,
+        knob in 0u64..24,
+    ) {
+        let sys = random_simple_system(&gen_cfg(knob), seed);
+        let pre_snap = sys.snapshot();
+        let pre_key = sys.canonical_key();
+        let pre_version = sys.version();
+        for mode in [EngineMode::Naive, EngineMode::Delta] {
+            let mut cells = Vec::new();
+            for strategy in [MatchStrategy::Scan, MatchStrategy::Indexed] {
+                for parallelism in [Parallelism::Sequential, Parallelism::Workers(2)] {
+                    let mut clone = sys.clone();
+                    let cfg = EngineConfig {
+                        mode,
+                        match_strategy: strategy,
+                        parallelism,
+                        ..EngineConfig::with_budget(BUDGET)
+                    };
+                    let (status, stats) = run(&mut clone, &cfg).unwrap();
+                    if cells.is_empty() && status != RunStatus::Terminated {
+                        // Nonterminating seed: budget-exhausted states
+                        // can be enormous, skip the whole mode.
+                        break;
+                    }
+                    cells.push((status, stats, clone.canonical_key()));
+                }
+                if cells.is_empty() {
+                    break;
+                }
+            }
+            if cells.is_empty() {
+                continue;
+            }
+            // Cells are [Scan/Seq, Scan/W2, Indexed/Seq, Indexed/W2].
+            for (status, _, key) in &cells[1..] {
+                prop_assert!(*status == RunStatus::Terminated);
+                prop_assert!(
+                    key == &cells[0].2,
+                    "seed {} knob {} {:?}: fixpoint diverged across the matrix",
+                    seed, knob, mode
+                );
+            }
+            // The match strategy must not change any statistic at all.
+            for (seq, par) in [(0usize, 2usize), (1, 3)] {
+                prop_assert!(cells[seq].1.invocations == cells[par].1.invocations);
+                prop_assert!(cells[seq].1.productive == cells[par].1.productive);
+                prop_assert!(cells[seq].1.skipped == cells[par].1.skipped);
+                prop_assert!(cells[seq].1.rounds == cells[par].1.rounds);
+                prop_assert!(cells[seq].1.final_nodes == cells[par].1.final_nodes);
+            }
+            // Sequential vs workers: snapshot evaluation may defer a
+            // same-round re-fire to the next round, so counts agree
+            // only up to the fairness bound (see tests/parallel_engine.rs).
+            let (s, w) = (&cells[0].1, &cells[1].1);
+            prop_assert!(
+                w.invocations <= s.invocations * 2 + 8
+                    && s.invocations <= w.invocations * 2 + 8,
+                "seed {} knob {} {:?}: invocations {} vs {} outside the fairness bound",
+                seed, knob, mode, w.invocations, s.invocations
+            );
+            prop_assert!(cells[1].1.final_nodes == cells[0].1.final_nodes);
+        }
+        // The pre-run snapshot never moved, whatever the clones did.
+        prop_assert!(pre_snap.canonical_key() == pre_key);
+        prop_assert!(pre_snap.version() == pre_version);
+        prop_assert!(sys.canonical_key() == pre_key, "the source system itself must be untouched");
+    }
+}
+
+/// Two COW clones of one system produce bit-for-bit identical trace
+/// journals (wall-clock durations zeroed) — the regression gate for
+/// the split between globally-unique MVCC stamps (cache keys) and the
+/// deterministic per-handle mutation tally every reported
+/// `doc_version` comes from. With raw stamps in the events, two runs
+/// in one process could never agree.
+#[test]
+fn journals_identical_across_cow_clones_and_worker_counts() {
+    use positive_axml::core::trace::{Journal, Tracer};
+
+    let base = axml_bench::tc_system(10);
+    let journal_of = |parallelism: Parallelism| {
+        let mut sys = base.clone();
+        let journal = Journal::new();
+        let cfg = EngineConfig {
+            parallelism,
+            ..EngineConfig::with_mode(EngineMode::Delta)
+        };
+        positive_axml::core::engine::run_traced(&mut sys, &cfg, Tracer::new(&journal)).unwrap();
+        (journal.snapshot(), sys.canonical_key())
+    };
+    // Zero the wall-clock fields; everything else must match exactly.
+    let zero_after = |s: String, field: &str| -> String {
+        let mut out = String::new();
+        let mut rest = s.as_str();
+        while let Some(i) = rest.find(field) {
+            let j = i + field.len();
+            out.push_str(&rest[..j]);
+            out.push('0');
+            let tail = &rest[j..];
+            let k = tail
+                .find(|c: char| !c.is_ascii_digit())
+                .unwrap_or(tail.len());
+            rest = &tail[k..];
+        }
+        out.push_str(rest);
+        out
+    };
+    use positive_axml::core::trace::EventKind;
+    // Worker-tagged events (eval striping, pool shape) legitimately
+    // depend on the worker count; everything committed does not.
+    let worker_tagged = |k: &EventKind| {
+        matches!(
+            k,
+            EventKind::WorkerEval { .. } | EventKind::ParallelRound { .. }
+        )
+    };
+    let strip = |evs: &[positive_axml::core::trace::TraceEvent]| -> Vec<String> {
+        evs.iter()
+            .filter(|e| !worker_tagged(&e.kind))
+            .map(|e| zero_after(format!("{:?}", e.kind), "dur_ns: "))
+            .collect()
+    };
+    let (j1, k1) = journal_of(Parallelism::Sequential);
+    let (j2, k2) = journal_of(Parallelism::Sequential);
+    assert_eq!(k1, k2);
+    assert_eq!(strip(&j1), strip(&j2), "two clones of one system journaled differently");
+    let (w1, wk1) = journal_of(Parallelism::Workers(1));
+    let (w2, wk2) = journal_of(Parallelism::Workers(2));
+    assert_eq!(wk1, k1);
+    assert_eq!(wk2, k1);
+    assert_eq!(
+        strip(&w1),
+        strip(&w2),
+        "worker count changed the committed event stream"
+    );
+}
+
+/// Explain DAGs are unchanged by COW cloning: lineage recorded while
+/// running a clone renders to exactly the DOT text of the original's
+/// run.
+#[test]
+fn explain_dags_unchanged_by_cow_cloning() {
+    use positive_axml::core::engine::run_with_provenance;
+    use positive_axml::core::matcher::match_pattern;
+    use positive_axml::core::provenance::{Provenance, ProvenanceStore};
+    use positive_axml::core::trace::Tracer;
+    use positive_axml::core::{parse_query, Sym};
+
+    let base = axml_bench::tc_random_digraph(24, 3, 11);
+    let dags_of = || {
+        let mut sys = base.clone();
+        let store = ProvenanceStore::new();
+        let cfg = EngineConfig::with_mode(EngineMode::Delta);
+        let (status, _) =
+            run_with_provenance(&mut sys, &cfg, Tracer::disabled(), Provenance::new(&store))
+                .unwrap();
+        assert_eq!(status, RunStatus::Terminated);
+        let q = parse_query("path{$x,$y} :- d1/r{t{from{$x},to{$y}}}").unwrap();
+        let t = sys.doc(Sym::intern("d1")).unwrap();
+        let bindings = match_pattern(&q.body[0].pattern, t);
+        assert!(!bindings.is_empty());
+        bindings
+            .iter()
+            .map(|b| store.explain_answer(&sys, &q, b).lineage.to_dot())
+            .collect::<Vec<String>>()
+    };
+    assert_eq!(dags_of(), dags_of(), "cloning perturbed the lineage DAGs");
+}
+
+/// `System::snapshot` is a handle, not a copy: the snapshot answers
+/// with the pre-run state while the writer advances through a whole
+/// fixpoint, and its trees still share their spines with wherever the
+/// writer has not yet diverged.
+#[test]
+fn system_snapshot_survives_a_full_fixpoint() {
+    let mut sys = axml_bench::tc_system(8);
+    let snap = sys.snapshot();
+    let before_key = snap.canonical_key();
+    let before_version = snap.version();
+    let (status, stats) = run(&mut sys, &EngineConfig::default()).unwrap();
+    assert_eq!(status, RunStatus::Terminated);
+    assert!(stats.invocations > 0);
+    assert_ne!(sys.canonical_key(), before_key, "the run must actually change the system");
+    assert_eq!(snap.canonical_key(), before_key);
+    assert_eq!(snap.version(), before_version);
+}
