@@ -1,0 +1,58 @@
+//! X21 bench — sharded scale-out of the multi-tenant workload.
+//!
+//! Fixpoint wall time for the same producer/consumer tenant pairs
+//! placed on 1, 2, and 4 peers by the consistent-hash ring: with the
+//! threaded round driver each peer evaluates its tenants in parallel,
+//! so the column should shrink with the peer count (on a machine with
+//! the cores to back it). The delta-vs-full pair runs the identical
+//! 4-peer workload with push-mode delta propagation on and off; the
+//! timing difference is the cost of re-serializing full responses the
+//! caller already holds. Wire-byte totals for the same comparison are
+//! in `experiments x21` / `BENCH_x21.json`. See `docs/sharding.md`.
+
+use axml_bench::sharded_tenant_network;
+use axml_p2p::ShardedConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+const PAIRS: usize = 4;
+const CHAIN: usize = 10;
+const MAX_ROUNDS: usize = 400;
+
+fn bench_peer_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("x21/peer-scaling");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    for &peers in &[1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::new("fixpoint", peers), &peers, |b, &peers| {
+            b.iter(|| {
+                let mut net =
+                    sharded_tenant_network(peers, PAIRS, CHAIN, ShardedConfig::default());
+                assert!(net.run(MAX_ROUNDS).unwrap());
+                net.stats.evaluations
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_delta_push(c: &mut Criterion) {
+    let mut g = c.benchmark_group("x21/propagation");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    for (label, push_deltas) in [("delta-push", true), ("full-response", false)] {
+        g.bench_function(BenchmarkId::new(label, PAIRS), |b| {
+            b.iter(|| {
+                let cfg = ShardedConfig {
+                    push_deltas,
+                    ..ShardedConfig::default()
+                };
+                let mut net = sharded_tenant_network(4, PAIRS, CHAIN, cfg);
+                assert!(net.run(MAX_ROUNDS).unwrap());
+                net.stats.wire_push_bytes
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_peer_scaling, bench_delta_push);
+criterion_main!(benches);

@@ -478,6 +478,31 @@ pub struct RoundRunner {
     /// snapshot after every completed step (see
     /// [`RoundRunner::snapshot`]).
     latest: Option<SystemSnapshot>,
+    /// Per-document delta stamps of the last completed step (see
+    /// [`RoundRunner::round_deltas`]).
+    last_deltas: Vec<DocDelta>,
+}
+
+/// One document's delta stamp for the last completed round: the wire
+/// unit of push-mode change propagation. A consumer holding the
+/// previous round's stamps can tell *which* documents moved — and by
+/// how many mutations — without diffing any tree contents.
+///
+/// `id`/`version` are the MVCC snapshot handle ([`Tree::id`](crate::tree::Tree::id) /
+/// [`Tree::version`](crate::tree::Tree::version); process-unique, not reproducible run-to-run);
+/// `mutations` is the deterministic per-handle tally
+/// ([`Tree::mutation_count`](crate::tree::Tree::mutation_count)) that observable surfaces report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DocDelta {
+    /// The document that changed.
+    pub doc: Sym,
+    /// The document's arena identity ([`Tree::id`](crate::tree::Tree::id)).
+    pub id: u64,
+    /// The MVCC version stamp after the round ([`Tree::version`](crate::tree::Tree::version)).
+    pub version: u64,
+    /// The deterministic mutation tally after the round
+    /// ([`Tree::mutation_count`](crate::tree::Tree::mutation_count)).
+    pub mutations: u64,
 }
 
 impl RoundRunner {
@@ -506,6 +531,7 @@ impl RoundRunner {
             seeded: false,
             status: None,
             latest: None,
+            last_deltas: Vec::new(),
         }
     }
 
@@ -522,6 +548,17 @@ impl RoundRunner {
     /// pointer bumps, not tree copies.
     pub fn snapshot(&self) -> Option<SystemSnapshot> {
         self.latest.clone()
+    }
+
+    /// The delta stamps of the last completed step: one [`DocDelta`]
+    /// per document the round actually mutated, in document order.
+    /// Empty before the first step *and* after any quiet round — a
+    /// consumer (e.g. the server's subscription loop, or a sharded
+    /// peer deciding whether to push) can skip recomputing derived
+    /// state entirely when this is empty, because every observable
+    /// answer is a function of the documents.
+    pub fn round_deltas(&self) -> &[DocDelta] {
+        &self.last_deltas
     }
 
     /// Why the run stopped, once it has ([`RoundRunner::step`] returned
@@ -581,7 +618,33 @@ impl RoundRunner {
         tracer: Tracer<'_>,
         prov: Provenance<'_>,
     ) -> Result<Option<RunStatus>> {
+        // Pin the pre-step state so the post-step diff is exact even on
+        // the first step (O(1): Arc bumps per doc).
+        let before = match &self.latest {
+            Some(snap) => snap.clone(),
+            None => sys.snapshot(),
+        };
         let status = self.step_body(sys, allow, tracer, prov)?;
+        // Per-document delta stamps: a document changed iff its
+        // deterministic mutation tally moved. Tallies are strictly
+        // increasing per handle, so equality means bit-identical
+        // content between the two committed states.
+        self.last_deltas.clear();
+        for &d in sys.doc_names() {
+            let Some(tree) = sys.doc(d) else { continue };
+            let moved = before
+                .doc(d)
+                .map(|old| old.mutation_count() != tree.mutation_count())
+                .unwrap_or(true);
+            if moved {
+                self.last_deltas.push(DocDelta {
+                    doc: d,
+                    id: tree.id(),
+                    version: tree.version(),
+                    mutations: tree.mutation_count(),
+                });
+            }
+        }
         // Every exit from the round body — fixpoint, budget stop, or
         // more rounds to come — leaves `sys` in a committed state, so
         // republish it for concurrent readers (O(1): Arc bumps per doc).

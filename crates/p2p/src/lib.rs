@@ -18,7 +18,11 @@
 //! * [`termination`] — a polling-based distributed quiescence detector
 //!   validated against the simulator's global oracle;
 //! * [`threaded`] — truly concurrent peers on OS threads, with a
-//!   double-wave quiescence coordinator.
+//!   double-wave quiescence coordinator;
+//! * [`placement`] — sharded scale-out: consistent-hash placement of
+//!   tenants (small independent AXML systems) onto a physical peer
+//!   ring, push-mode delta propagation of document changes, and
+//!   rebalancing on peer join/leave with O(1) COW document migration.
 //!
 //! Both backends can record structured trace journals of their message
 //! traffic and provider evaluations — see [`axml_core::trace`],
@@ -31,10 +35,18 @@
 #![warn(missing_docs)]
 
 pub mod network;
+pub mod placement;
 pub mod termination;
 pub mod threaded;
 
 pub use network::{Mode, Network, NetworkStats, Peer, PeerSnapshot};
+pub use placement::{
+    DocId, PeerGauges, Ring, ShardStats, ShardedConfig, ShardedNetwork,
+};
+pub use termination::{
+    detect_termination, detect_termination_sharded,
+    detect_termination_sharded_with, Verdict,
+};
 pub use threaded::{
     run_threaded, run_threaded_config, run_threaded_full, run_threaded_traced,
     standalone_peer, ThreadedConfig, ThreadedOutcome,

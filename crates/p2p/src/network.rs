@@ -86,6 +86,23 @@ impl Peer {
         self.docs.get(&Sym::intern(name))
     }
 
+    /// Document names in registration order.
+    pub fn doc_names(&self) -> &[Sym] {
+        &self.doc_order
+    }
+
+    /// Read a document by interned name (the placement layer resolves
+    /// documents through `DocId`s, which carry `Sym`s).
+    pub(crate) fn doc_tree(&self, name: Sym) -> Option<&Tree> {
+        self.docs.get(&name)
+    }
+
+    /// Mutable access to a document tree (the placement layer's commit
+    /// phase grafts responses directly into the owning tenant's doc).
+    pub(crate) fn doc_tree_mut(&mut self, name: Sym) -> Option<&mut Tree> {
+        self.docs.get_mut(&name)
+    }
+
     /// An immutable snapshot of this peer's current state.
     ///
     /// O(1) in document size: [`Tree`] is a copy-on-write persistent
@@ -128,36 +145,7 @@ impl Peer {
         let Some(tree) = self.docs.get_mut(&doc) else {
             return false;
         };
-        if !tree.is_alive(node) {
-            return false;
-        }
-        let Some(parent) = tree.parent(node) else {
-            return false;
-        };
-        let mut grafted = false;
-        for r in forest.trees() {
-            let mut memo = SubMemo::new();
-            let already = tree
-                .children(parent)
-                .iter()
-                .any(|&c| memo.subsumed_at(r, r.root(), tree, c));
-            if !already {
-                let new_root = tree.graft(parent, r).expect("parent is alive");
-                grafted = true;
-                if prov.enabled() {
-                    let fresh: Vec<NodeId> = tree.iter_live(new_root).collect();
-                    prov.with(|st| {
-                        for nid in fresh {
-                            st.stamp(doc, nid, origin);
-                        }
-                    });
-                }
-            }
-        }
-        if grafted {
-            reduce_in_place(tree);
-        }
-        grafted
+        graft_response(tree, doc, node, forest.trees(), prov, origin)
     }
 
     /// Provider-side witnesses of a hosted service: the nodes of this
@@ -211,6 +199,57 @@ impl Peer {
         }
         out
     }
+}
+
+/// Graft response trees beside a live call node: each tree that is not
+/// already subsumed by an existing sibling becomes a new child of the
+/// call node's parent, every grafted node is stamped with `origin` in
+/// `prov`, and the document is reduced once if anything landed.
+/// Returns whether the document changed.
+///
+/// This is the single delivery primitive shared by [`Peer::deliver_with`]
+/// (the flat network's caller side) and the sharded placement layer's
+/// commit phase (`crate::placement`), so both propagate responses with
+/// bit-identical semantics — which is what lets the differential suite
+/// compare their fixpoints node-for-node.
+pub(crate) fn graft_response(
+    tree: &mut Tree,
+    doc: Sym,
+    node: NodeId,
+    trees: &[Tree],
+    prov: Provenance<'_>,
+    origin: Origin,
+) -> bool {
+    if !tree.is_alive(node) {
+        return false;
+    }
+    let Some(parent) = tree.parent(node) else {
+        return false;
+    };
+    let mut grafted = false;
+    for r in trees {
+        let mut memo = SubMemo::new();
+        let already = tree
+            .children(parent)
+            .iter()
+            .any(|&c| memo.subsumed_at(r, r.root(), tree, c));
+        if !already {
+            let new_root = tree.graft(parent, r).expect("parent is alive");
+            grafted = true;
+            if prov.enabled() {
+                let fresh: Vec<NodeId> = tree.iter_live(new_root).collect();
+                prov.with(|st| {
+                    for nid in fresh {
+                        st.stamp(doc, nid, origin);
+                    }
+                });
+            }
+        }
+    }
+    if grafted {
+        reduce_in_place(tree);
+    }
+    grafted
 }
 
 /// An O(1) immutable snapshot of a [`Peer`] (see [`Peer::snapshot`]).

@@ -80,6 +80,12 @@ struct PollReply {
     /// No pending pull scheduled (the peer will stay silent unless a
     /// message arrives).
     idle: bool,
+    /// Cumulative `PeerSnapshot` freezes this peer performed to serve
+    /// call batches.
+    snapshot_freezes: u64,
+    /// Cumulative call batches answered from an already-frozen
+    /// snapshot (no commit intervened since the last freeze).
+    snapshot_reuses: u64,
 }
 
 /// Configuration for the threaded runtime ([`run_threaded_config`]).
@@ -120,6 +126,12 @@ pub struct ThreadedStats {
     pub waves: usize,
     /// Total messages sent by peers (calls + responses).
     pub messages: u64,
+    /// `PeerSnapshot` freezes performed across all peers: one per
+    /// *invalidation*, not one per batch — a peer re-freezes only
+    /// after a commit actually changed its documents.
+    pub snapshot_freezes: u64,
+    /// Call batches answered from a still-valid frozen snapshot.
+    pub snapshot_reuses: u64,
 }
 
 /// Outcome of a threaded run: the final peers plus statistics.
@@ -249,6 +261,8 @@ pub fn run_threaded_config(peers: Vec<Peer>, cfg: ThreadedConfig) -> Result<Thre
         let mut digests = Vec::new();
         let mut sent = 0u64;
         let mut received = 0u64;
+        let mut freezes = 0u64;
+        let mut reuses = 0u64;
         let mut all_idle = true;
         let mut ok = true;
         for name in &names {
@@ -263,6 +277,8 @@ pub fn run_threaded_config(peers: Vec<Peer>, cfg: ThreadedConfig) -> Result<Thre
                     sent += reply.sent;
                     received += reply.received;
                     all_idle &= reply.idle;
+                    freezes += reply.snapshot_freezes;
+                    reuses += reply.snapshot_reuses;
                 }
                 Err(_) => {
                     ok = false;
@@ -273,6 +289,10 @@ pub fn run_threaded_config(peers: Vec<Peer>, cfg: ThreadedConfig) -> Result<Thre
         if !ok {
             break;
         }
+        // Counters are cumulative per peer; the latest complete wave
+        // holds the run's totals so far.
+        stats.snapshot_freezes = freezes;
+        stats.snapshot_reuses = reuses;
         let balanced = sent == received;
         if all_idle && balanced {
             if let Some((pd, ps, pr)) = &prev {
@@ -354,6 +374,16 @@ fn peer_loop(
     let mut callers_seen: Vec<Sym> = Vec::new();
     // Non-Call messages set aside while draining a call batch.
     let mut backlog: VecDeque<Msg> = VecDeque::new();
+    // The current frozen state, reused across call batches until a
+    // commit invalidates it. The *only* mutation site in this loop is
+    // `deliver_with` in the `Response` arm, so invalidating there —
+    // and only when it reports a change — keeps the cached snapshot
+    // exactly equal to the live state whenever it exists. A whole
+    // push-propagation wave of batches between commits then freezes
+    // once instead of once per batch.
+    let mut frozen: Option<crate::network::PeerSnapshot> = None;
+    let mut snapshot_freezes = 0u64;
+    let mut snapshot_reuses = 0u64;
     loop {
         let tracer = match journal.as_ref() {
             Some(j) => Tracer::new(j),
@@ -423,14 +453,29 @@ fn peer_loop(
 
                 // Answer the whole batch from one MVCC snapshot — an
                 // O(1) freeze of the peer's documents (COW trees, so a
-                // few Arc bumps). With `Workers(n)` the calls are
-                // striped across a scoped pool sharing the snapshot —
-                // the peer-local version of the engine's snapshot-read
-                // phase. Responses are sent afterwards, sequentially,
-                // in arrival order, and stamped with the digest of the
-                // exact state that answered them, so callers observe
-                // the same behavior whatever the worker count.
-                let snap = peer.snapshot();
+                // few Arc bumps) — and keep that snapshot for the
+                // *next* batch too, unless a commit intervenes: only
+                // the `Response` arm mutates the peer, and it drops
+                // `frozen` when the delivery changed anything. With
+                // `Workers(n)` the calls are striped across a scoped
+                // pool sharing the snapshot — the peer-local version
+                // of the engine's snapshot-read phase. Responses are
+                // sent afterwards, sequentially, in arrival order, and
+                // stamped with the digest of the exact state that
+                // answered them, so callers observe the same behavior
+                // whatever the worker count.
+                let snap = match &frozen {
+                    Some(s) => {
+                        snapshot_reuses += 1;
+                        s.clone()
+                    }
+                    None => {
+                        snapshot_freezes += 1;
+                        let s = peer.snapshot();
+                        frozen = Some(s.clone());
+                        s
+                    }
+                };
                 let evals: Vec<(Result<Forest>, u64)> = if workers > 1 && batch.len() > 1 {
                     let k = workers.min(batch.len());
                     let snap_ref = &snap;
@@ -549,6 +594,11 @@ fn peer_loop(
                     round: 0,
                 };
                 let changed = peer.deliver_with(doc, node, &forest, prov, origin);
+                if changed {
+                    // The commit moved our documents: the cached batch
+                    // snapshot no longer equals the live state.
+                    frozen = None;
+                }
                 let known = provider_digests.insert(provider, provider_digest.clone());
                 if changed || known.as_ref() != Some(&provider_digest) {
                     need_pull = true;
@@ -586,6 +636,8 @@ fn peer_loop(
                     sent,
                     received,
                     idle: !need_pull,
+                    snapshot_freezes,
+                    snapshot_reuses,
                 });
             }
             Ok(Msg::Shutdown(reply)) => {
@@ -715,6 +767,27 @@ mod tests {
             );
             assert!(out.stats.messages >= 2);
         }
+    }
+
+    #[test]
+    fn batch_snapshots_are_reused_until_a_commit_intervenes() {
+        let out = run_threaded(build_peers(), 2_000).unwrap();
+        assert_eq!(out.canonical_key(), reference_key());
+        // Freezes happen (batches were served)…
+        assert!(
+            out.stats.snapshot_freezes >= 1,
+            "no snapshot was ever frozen: {:?}",
+            out.stats
+        );
+        // …but the store peer never commits (nothing calls into its
+        // documents), so its repeat pulls from the hub are answered
+        // from the cached snapshot: at least one reuse is guaranteed
+        // by the protocol, whatever the interleaving.
+        assert!(
+            out.stats.snapshot_reuses >= 1,
+            "every batch re-froze: {:?}",
+            out.stats
+        );
     }
 
     #[test]

@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! axml-load [--addr HOST:PORT] [--conns N] [--requests N] [--batch N]
-//!           [--entries N] [--subscribe] [--readers N] [--shutdown]
-//!           [--json PATH] [--version]
+//!           [--entries N] [--subscribe] [--readers N] [--tenants N]
+//!           [--shutdown] [--json PATH] [--version]
 //! ```
 //!
 //! Each connection opens its own session, runs it, then issues
@@ -13,18 +13,22 @@
 //! streams a transitive-closure fixpoint per connection; `--readers N`
 //! appends a mixed phase racing `N` closed-loop `query`/`stats`
 //! readers against a writer driving back-to-back fixpoints on one
-//! shared session (reader p50/p99 in extra columns); `--shutdown`
-//! stops the server afterwards (the CI smoke job uses all three);
-//! `--json PATH` also writes the machine-readable summary
-//! ([`LoadReport::to_json`]) to `PATH` for benchmark trajectory files.
+//! shared session (reader p50/p99 in extra columns); `--tenants N`
+//! appends a multi-tenant phase — `N` concurrent single-session
+//! tenants, each its own small system — reporting aggregate and
+//! worst-tenant p99 (`tn-*` columns, `tenant_*` JSON fields; pair
+//! with `axml-server --peers N`); `--shutdown` stops the server
+//! afterwards (the CI smoke job uses all three); `--json PATH` also
+//! writes the machine-readable summary ([`LoadReport::to_json`]) to
+//! `PATH` for benchmark trajectory files.
 
 use axml_server::load::{run, LoadConfig, LoadReport};
 
 fn usage() -> ! {
     eprintln!(
         "usage: axml-load [--addr HOST:PORT] [--conns N] [--requests N] [--batch N]\n\
-         \x20                [--entries N] [--subscribe] [--readers N] [--shutdown]\n\
-         \x20                [--json PATH] [--version]"
+         \x20                [--entries N] [--subscribe] [--readers N] [--tenants N]\n\
+         \x20                [--shutdown] [--json PATH] [--version]"
     );
     std::process::exit(2)
 }
@@ -46,6 +50,7 @@ fn main() {
             "--entries" => cfg.entries = parse(&val("--entries")).max(1),
             "--subscribe" => cfg.subscribe = true,
             "--readers" => cfg.readers = parse(&val("--readers")),
+            "--tenants" => cfg.tenants = parse(&val("--tenants")),
             "--shutdown" => cfg.shutdown = true,
             "--json" => json_path = Some(val("--json")),
             "--version" | "-V" => {

@@ -755,6 +755,149 @@ fn metrics_listener_serves_valid_prometheus_text() {
     handle.join();
 }
 
+/// `--peers N` placement: sessions hash onto virtual peers, the
+/// `stats`/`health` frames expose the per-peer gauges, subscription
+/// push traffic is attributed to the owning peer, and the Prometheus
+/// page carries the `axml_peer_*` series.
+#[test]
+fn placement_gauges_flow_through_stats_health_and_prometheus() {
+    let cfg = ServerConfig {
+        peers: 4,
+        metrics_addr: Some("127.0.0.1:0".to_string()),
+        ..ServerConfig::default()
+    };
+    let mut handle = Server::spawn("127.0.0.1:0", cfg).expect("bind ephemeral port");
+    let scrape_addr = handle.metrics_addr().unwrap().to_string();
+    let mut c = Client::connect(&handle.addr().to_string()).unwrap();
+
+    // Three sessions; drive one fixpoint through a subscription so
+    // push bytes land on its owner peer.
+    for name in ["t0", "t1", "t2"] {
+        let resp = c
+            .call(&Request::Open {
+                id: 1,
+                session: name.to_string(),
+                docs: vec![("edges".to_string(), EDGES.to_string())],
+                services: vec![("tc".to_string(), TC.to_string())],
+            })
+            .unwrap();
+        assert!(matches!(resp, Response::OpenOk { .. }), "{resp:?}");
+    }
+    c.send(&Request::Subscribe {
+        id: 7,
+        session: "t0".to_string(),
+        query: REACH_FROM_1.to_string(),
+    })
+    .unwrap();
+    assert!(matches!(c.recv().unwrap(), Response::SubOk { id: 7, .. }));
+    loop {
+        match c.recv().unwrap() {
+            Response::Delta { .. } => {}
+            Response::SubDone { .. } => break,
+            other => panic!("unexpected frame {other:?}"),
+        }
+    }
+
+    let resp = c.call(&Request::Stats { id: 8 }).unwrap();
+    let Response::StatsOk { placement, .. } = resp else {
+        panic!("expected stats_ok")
+    };
+    assert_eq!(placement.len(), 4, "one row per peer, idle peers included");
+    let names: Vec<&str> = placement.iter().map(|r| r.peer.as_str()).collect();
+    let mut sorted = names.clone();
+    sorted.sort_unstable();
+    assert_eq!(names, sorted, "rows are name-sorted");
+    assert_eq!(
+        placement.iter().map(|r| r.docs_placed).sum::<u64>(),
+        3,
+        "every open session is placed exactly once"
+    );
+    assert!(
+        placement.iter().any(|r| r.bytes_pushed > 0 && r.deltas_pushed > 0),
+        "subscription traffic attributed to an owner: {placement:?}"
+    );
+
+    let resp = c.call(&Request::Health { id: 9 }).unwrap();
+    let Response::HealthOk { peers, .. } = resp else {
+        panic!("expected health_ok")
+    };
+    assert_eq!(peers, 4);
+
+    // Closing a session frees its slot.
+    let resp = c
+        .call(&Request::Close { id: 10, session: "t2".to_string() })
+        .unwrap();
+    assert!(matches!(resp, Response::Closed { .. }));
+    let resp = c.call(&Request::Stats { id: 11 }).unwrap();
+    let Response::StatsOk { placement, .. } = resp else {
+        panic!("expected stats_ok")
+    };
+    assert_eq!(placement.iter().map(|r| r.docs_placed).sum::<u64>(), 2);
+
+    // The scrape page exposes the same series and still validates.
+    use std::io::{Read, Write as _};
+    let mut s = std::net::TcpStream::connect(&scrape_addr).unwrap();
+    s.write_all(b"GET /metrics HTTP/1.0\r\n\r\n").unwrap();
+    let mut response = String::new();
+    s.read_to_string(&mut response).unwrap();
+    let (_, body) = response.split_once("\r\n\r\n").unwrap();
+    axml_server::metrics::validate_prometheus_text(body).expect("valid exposition format");
+    assert!(body.contains("axml_peer_docs_placed{peer=\"peer-0\"}"));
+    assert!(body.contains("# TYPE axml_peer_bytes_pushed_total counter"));
+
+    handle.shutdown();
+    drop(c);
+    handle.join();
+}
+
+/// `axml-load --tenants N` drives N concurrent single-session tenants
+/// and reports aggregate + worst-tenant latency; tenants close their
+/// sessions, so placement occupancy returns to zero afterwards.
+#[test]
+fn load_tenants_phase_reports_per_tenant_latency() {
+    use axml_server::load::{run, LoadConfig};
+    let cfg = ServerConfig {
+        peers: 2,
+        ..ServerConfig::default()
+    };
+    let mut handle = Server::spawn("127.0.0.1:0", cfg).expect("bind ephemeral port");
+    let load = LoadConfig {
+        addr: handle.addr().to_string(),
+        conns: 1,
+        requests: 8,
+        entries: 16,
+        tenants: 3,
+        ..LoadConfig::default()
+    };
+    let report = run(&load).expect("load run succeeds");
+    assert_eq!(report.errors, 0, "no error frames");
+    assert_eq!(report.tenant_runs, 3, "one fixpoint per tenant");
+    assert_eq!(report.tenant_requests, 3 * 8);
+    assert_eq!(report.tenant_latency.count(), 3 * 8);
+    assert!(report.tenant_worst_p99 >= report.tenant_latency.quantile(0.5));
+    let json = report.to_json(&load);
+    assert!(json.contains("\"tenants\":3"), "{json}");
+    assert!(json.contains("\"tenant_requests\":24"), "{json}");
+    let line = report.render(&load);
+    assert!(line.contains("tenants 3"), "{line}");
+    assert!(line.contains("tn-worst-p99"), "{line}");
+
+    // Every tenant closed its session: occupancy is back to zero but
+    // the push/traffic attribution would have remained (none here —
+    // the tenant phase is query-only).
+    let mut c = Client::connect(&handle.addr().to_string()).unwrap();
+    let resp = c.call(&Request::Stats { id: 1 }).unwrap();
+    let Response::StatsOk { placement, .. } = resp else {
+        panic!("expected stats_ok")
+    };
+    assert_eq!(placement.len(), 2);
+    assert_eq!(placement.iter().map(|r| r.docs_placed).sum::<u64>(), 0);
+
+    handle.shutdown();
+    drop(c);
+    handle.join();
+}
+
 /// The MVCC acceptance path: while a `subscribe` drives a long fixpoint
 /// (holding the session's writer lock for the whole run), `query` and
 /// `stats` frames from another connection are answered from the latest
